@@ -1,0 +1,220 @@
+//! Grid coordinates and Euclidean geometry.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A site (trap position) in the 2D atom array.
+///
+/// Coordinates are signed so that directional arithmetic near the edge
+/// of the device is well-defined; [`Grid`](crate::Grid) decides which
+/// sites actually exist.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::Site;
+///
+/// let a = Site::new(0, 0);
+/// let b = Site::new(3, 4);
+/// assert_eq!(a.distance(b), 5.0);
+/// assert_eq!(a.distance_sq(b), 25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Site {
+    /// Column index.
+    pub x: i32,
+    /// Row index.
+    pub y: i32,
+}
+
+impl Site {
+    /// Creates a site at `(x, y)`.
+    #[inline]
+    pub const fn new(x: i32, y: i32) -> Self {
+        Site { x, y }
+    }
+
+    /// Squared Euclidean distance to `other` (exact, integer).
+    #[inline]
+    pub fn distance_sq(self, other: Site) -> i64 {
+        let dx = (self.x - other.x) as i64;
+        let dy = (self.y - other.y) as i64;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Site) -> f64 {
+        (self.distance_sq(other) as f64).sqrt()
+    }
+
+    /// Chebyshev (L∞) distance; a cheap lower bound used to prune
+    /// neighbor scans.
+    #[inline]
+    pub fn chebyshev(self, other: Site) -> i32 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// The site one step in `dir`.
+    #[inline]
+    pub fn step(self, dir: Direction) -> Site {
+        let (dx, dy) = dir.delta();
+        Site::new(self.x + dx, self.y + dy)
+    }
+
+    /// `true` if `self` and `other` are within Euclidean distance `d`.
+    ///
+    /// Uses the exact squared-integer comparison, so there is no
+    /// floating-point boundary ambiguity: distance `d` exactly equal to
+    /// the limit is *in range*, matching the paper's `d(u,v) ≤ d_max`.
+    #[inline]
+    pub fn within(self, other: Site, d: f64) -> bool {
+        debug_assert!(d >= 0.0);
+        (self.distance_sq(other) as f64) <= d * d
+    }
+}
+
+impl From<(i32, i32)> for Site {
+    fn from((x, y): (i32, i32)) -> Self {
+        Site::new(x, y)
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// The four cardinal directions used by the row/column shift of the
+/// virtual-remapping loss strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Toward smaller `y`.
+    North,
+    /// Toward larger `y`.
+    South,
+    /// Toward larger `x`.
+    East,
+    /// Toward smaller `x`.
+    West,
+}
+
+impl Direction {
+    /// All four directions, in a fixed deterministic order.
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::South,
+        Direction::East,
+        Direction::West,
+    ];
+
+    /// The unit step `(dx, dy)` of this direction.
+    #[inline]
+    pub fn delta(self) -> (i32, i32) {
+        match self {
+            Direction::North => (0, -1),
+            Direction::South => (0, 1),
+            Direction::East => (1, 0),
+            Direction::West => (-1, 0),
+        }
+    }
+
+    /// The opposite direction.
+    #[inline]
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "north",
+            Direction::South => "south",
+            Direction::East => "east",
+            Direction::West => "west",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pythagorean_distance() {
+        assert_eq!(Site::new(0, 0).distance(Site::new(3, 4)), 5.0);
+        assert_eq!(Site::new(1, 1).distance(Site::new(1, 1)), 0.0);
+    }
+
+    #[test]
+    fn within_is_inclusive_at_the_boundary() {
+        let a = Site::new(0, 0);
+        assert!(a.within(Site::new(2, 0), 2.0));
+        assert!(!a.within(Site::new(3, 0), 2.0));
+        // Diagonal distance sqrt(2) vs MID 1: out of range.
+        assert!(!a.within(Site::new(1, 1), 1.0));
+        // ... but within MID 2.
+        assert!(a.within(Site::new(1, 1), 2.0));
+    }
+
+    #[test]
+    fn step_moves_one_unit() {
+        let s = Site::new(5, 5);
+        assert_eq!(s.step(Direction::North), Site::new(5, 4));
+        assert_eq!(s.step(Direction::South), Site::new(5, 6));
+        assert_eq!(s.step(Direction::East), Site::new(6, 5));
+        assert_eq!(s.step(Direction::West), Site::new(4, 5));
+    }
+
+    #[test]
+    fn opposite_round_trips() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            let s = Site::new(0, 0);
+            assert_eq!(s.step(d).step(d.opposite()), s);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Site::new(2, 7).to_string(), "(2, 7)");
+        assert_eq!(Direction::East.to_string(), "east");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distance_symmetric(ax in -50i32..50, ay in -50i32..50,
+                                   bx in -50i32..50, by in -50i32..50) {
+            let a = Site::new(ax, ay);
+            let b = Site::new(bx, by);
+            prop_assert_eq!(a.distance_sq(b), b.distance_sq(a));
+        }
+
+        #[test]
+        fn prop_triangle_inequality(ax in -20i32..20, ay in -20i32..20,
+                                    bx in -20i32..20, by in -20i32..20,
+                                    cx in -20i32..20, cy in -20i32..20) {
+            let a = Site::new(ax, ay);
+            let b = Site::new(bx, by);
+            let c = Site::new(cx, cy);
+            prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+        }
+
+        #[test]
+        fn prop_chebyshev_lower_bounds_euclidean(ax in -20i32..20, ay in -20i32..20,
+                                                 bx in -20i32..20, by in -20i32..20) {
+            let a = Site::new(ax, ay);
+            let b = Site::new(bx, by);
+            prop_assert!(f64::from(a.chebyshev(b)) <= a.distance(b) + 1e-9);
+        }
+    }
+}

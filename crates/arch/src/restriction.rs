@@ -1,0 +1,299 @@
+//! Restriction zones: the parallelism constraint of long-range Rydberg
+//! interactions.
+//!
+//! When a gate excites atoms to Rydberg states, every atom near the
+//! interacting set is disturbed if addressed simultaneously. The paper
+//! models this as a *zone of restriction*: a union of discs of radius
+//! `f(d)` centered at each operand, where `d` is the maximum pairwise
+//! distance among operands, and `f(d) = d/2` in all experiments
+//! (§III-A). Two gates may be scheduled in the same timestep only if
+//! their zones do not intersect.
+
+use crate::Site;
+use serde::{Deserialize, Serialize};
+
+/// The restriction-radius function `f(d)`.
+///
+/// The paper fixes `f(d) = d/2` but notes real devices may need a
+/// different function, so the policy is pluggable (and swept by the
+/// ablation bench).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RestrictionPolicy {
+    /// No restriction zones at all: any disjoint gates can run in
+    /// parallel (the "ideal parallel" baseline of Fig. 5).
+    None,
+    /// `f(d) = d/2`, the paper's model.
+    HalfDistance,
+    /// `f(d) = d`, a pessimistic variant (ablation).
+    FullDistance,
+    /// `f(d) = c` independent of distance (ablation).
+    Constant(f64),
+}
+
+impl RestrictionPolicy {
+    /// Radius of the restriction discs for an interaction whose maximum
+    /// pairwise operand distance is `d`.
+    #[inline]
+    pub fn radius(self, d: f64) -> f64 {
+        match self {
+            RestrictionPolicy::None => 0.0,
+            RestrictionPolicy::HalfDistance => d / 2.0,
+            RestrictionPolicy::FullDistance => d,
+            RestrictionPolicy::Constant(c) => c,
+        }
+    }
+
+    /// `true` if this policy never blocks anything.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        matches!(self, RestrictionPolicy::None)
+    }
+}
+
+impl Default for RestrictionPolicy {
+    /// The paper's `f(d) = d/2`.
+    fn default() -> Self {
+        RestrictionPolicy::HalfDistance
+    }
+}
+
+/// The restriction zone of one scheduled gate: discs of `radius` around
+/// each operand site.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::{RestrictionPolicy, RestrictionZone, Site};
+///
+/// let policy = RestrictionPolicy::HalfDistance;
+/// // A distance-2 interaction: radius-1 discs around both operands.
+/// let a = RestrictionZone::for_gate(&[Site::new(0, 0), Site::new(2, 0)], policy);
+/// let b = RestrictionZone::for_gate(&[Site::new(6, 0), Site::new(8, 0)], policy);
+/// assert!(!a.intersects(&b));
+///
+/// let c = RestrictionZone::for_gate(&[Site::new(3, 0), Site::new(5, 0)], policy);
+/// assert!(a.intersects(&c)); // discs at x=2 (r=1) and x=3 (r=1) overlap
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RestrictionZone {
+    centers: Vec<Site>,
+    radius: f64,
+}
+
+impl RestrictionZone {
+    /// Builds the zone for a gate acting on `operands`.
+    ///
+    /// The disc radius is `policy.radius(d)` with `d` the maximum
+    /// pairwise Euclidean distance among operands (0 for single-qubit
+    /// gates, which therefore occupy just their own site).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `operands` is empty.
+    pub fn for_gate(operands: &[Site], policy: RestrictionPolicy) -> Self {
+        assert!(!operands.is_empty(), "a gate must have operands");
+        let mut d: f64 = 0.0;
+        for i in 0..operands.len() {
+            for j in (i + 1)..operands.len() {
+                d = d.max(operands[i].distance(operands[j]));
+            }
+        }
+        RestrictionZone {
+            centers: operands.to_vec(),
+            radius: policy.radius(d),
+        }
+    }
+
+    /// The operand sites at the center of each disc.
+    pub fn centers(&self) -> &[Site] {
+        &self.centers
+    }
+
+    /// The disc radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Maximum pairwise distance between this gate's operands,
+    /// recoverable for diagnostics.
+    pub fn span(&self) -> f64 {
+        let mut d: f64 = 0.0;
+        for i in 0..self.centers.len() {
+            for j in (i + 1)..self.centers.len() {
+                d = d.max(self.centers[i].distance(self.centers[j]));
+            }
+        }
+        d
+    }
+
+    /// `true` if `site` lies strictly inside the zone but is not one of
+    /// the gate's own operands — i.e. it would be disturbed by running
+    /// another gate there simultaneously.
+    pub fn blocks(&self, site: Site) -> bool {
+        if self.centers.contains(&site) {
+            return false;
+        }
+        self.centers
+            .iter()
+            .any(|c| c.distance(site) < self.radius)
+    }
+
+    /// `true` if two zones overlap, meaning their gates cannot share a
+    /// timestep.
+    ///
+    /// Zones intersect if any disc of one intersects any disc of the
+    /// other, *or* if a gate's operand site falls inside the other
+    /// gate's zone (which covers the zero-radius single-qubit case).
+    /// Sharing an operand site always conflicts.
+    pub fn intersects(&self, other: &RestrictionZone) -> bool {
+        for a in &self.centers {
+            for b in &other.centers {
+                if a == b {
+                    return true;
+                }
+                // Disc-disc intersection with strict inequality: zones
+                // that exactly touch do not conflict.
+                if a.distance(*b) < self.radius + other.radius {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const HALF: RestrictionPolicy = RestrictionPolicy::HalfDistance;
+
+    fn zone(ops: &[(i32, i32)]) -> RestrictionZone {
+        let sites: Vec<Site> = ops.iter().map(|&(x, y)| Site::new(x, y)).collect();
+        RestrictionZone::for_gate(&sites, HALF)
+    }
+
+    #[test]
+    fn policy_radii() {
+        assert_eq!(RestrictionPolicy::None.radius(4.0), 0.0);
+        assert_eq!(RestrictionPolicy::HalfDistance.radius(4.0), 2.0);
+        assert_eq!(RestrictionPolicy::FullDistance.radius(4.0), 4.0);
+        assert_eq!(RestrictionPolicy::Constant(1.5).radius(4.0), 1.5);
+        assert!(RestrictionPolicy::None.is_none());
+        assert!(!HALF.is_none());
+        assert_eq!(RestrictionPolicy::default(), HALF);
+    }
+
+    #[test]
+    fn single_qubit_zone_is_a_point() {
+        let z = zone(&[(3, 3)]);
+        assert_eq!(z.radius(), 0.0);
+        assert!(!z.blocks(Site::new(3, 4)));
+        assert!(!z.blocks(Site::new(3, 3)), "own operand never blocked");
+    }
+
+    #[test]
+    fn zone_radius_is_half_max_pairwise_distance() {
+        let z = zone(&[(0, 0), (4, 0)]);
+        assert_eq!(z.radius(), 2.0);
+        assert_eq!(z.span(), 4.0);
+        // Three-qubit gate: max pairwise distance governs.
+        let z3 = zone(&[(0, 0), (2, 0), (0, 3)]);
+        let expected = Site::new(2, 0).distance(Site::new(0, 3)) / 2.0;
+        assert!((z3.radius() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocks_spectator_inside_disc() {
+        let z = zone(&[(0, 0), (4, 0)]);
+        assert!(z.blocks(Site::new(1, 0)), "inside disc of (0,0)");
+        assert!(z.blocks(Site::new(5, 0)), "inside disc of (4,0)");
+        assert!(!z.blocks(Site::new(2, 0)), "exactly on both boundaries");
+        assert!(!z.blocks(Site::new(7, 0)), "far away");
+        assert!(!z.blocks(Site::new(0, 0)), "operands exempt");
+    }
+
+    #[test]
+    fn disjoint_zones_do_not_intersect() {
+        // Matches Fig. 1a: parallel gates with separated zones.
+        let a = zone(&[(0, 0), (1, 0)]); // radius 0.5
+        let b = zone(&[(5, 0), (6, 0)]); // radius 0.5
+        assert!(!a.intersects(&b));
+        assert!(!b.intersects(&a));
+    }
+
+    #[test]
+    fn overlapping_discs_intersect() {
+        let a = zone(&[(0, 0), (4, 0)]); // discs r=2 at x=0 and x=4
+        let b = zone(&[(6, 0), (10, 0)]); // discs r=2 at x=6 and x=10
+        // Distance between closest centers is 2 < 2 + 2.
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn touching_zones_do_not_conflict() {
+        let a = zone(&[(0, 0), (2, 0)]); // r = 1
+        let b = zone(&[(4, 0), (6, 0)]); // r = 1; gap between x=2 and x=4 is 2 = r+r
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn shared_operand_always_conflicts() {
+        let a = zone(&[(0, 0)]);
+        let b = zone(&[(0, 0)]);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn single_qubit_gate_inside_zone_conflicts() {
+        let big = zone(&[(0, 0), (4, 0)]); // r = 2
+        let sq = zone(&[(1, 0)]); // point
+        assert!(big.intersects(&sq));
+        let far = zone(&[(8, 0)]);
+        assert!(!big.intersects(&far));
+    }
+
+    #[test]
+    fn none_policy_only_conflicts_on_shared_operands() {
+        let p = RestrictionPolicy::None;
+        let a = RestrictionZone::for_gate(&[Site::new(0, 0), Site::new(9, 0)], p);
+        let b = RestrictionZone::for_gate(&[Site::new(1, 0), Site::new(2, 0)], p);
+        assert!(!a.intersects(&b), "zero radius: spectators untouched");
+        let c = RestrictionZone::for_gate(&[Site::new(0, 0), Site::new(3, 3)], p);
+        assert!(a.intersects(&c), "shared operand still conflicts");
+    }
+
+    #[test]
+    #[should_panic(expected = "operands")]
+    fn empty_operands_panics() {
+        RestrictionZone::for_gate(&[], HALF);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersects_is_symmetric(
+            ax in 0i32..10, ay in 0i32..10, bx in 0i32..10, by in 0i32..10,
+            cx in 0i32..10, cy in 0i32..10, dx in 0i32..10, dy in 0i32..10,
+        ) {
+            prop_assume!((ax, ay) != (bx, by) && (cx, cy) != (dx, dy));
+            let z1 = zone(&[(ax, ay), (bx, by)]);
+            let z2 = zone(&[(cx, cy), (dx, dy)]);
+            prop_assert_eq!(z1.intersects(&z2), z2.intersects(&z1));
+        }
+
+        #[test]
+        fn prop_zone_blocked_site_implies_intersection_with_point_gate(
+            ax in 0i32..10, ay in 0i32..10, bx in 0i32..10, by in 0i32..10,
+            px in 0i32..10, py in 0i32..10,
+        ) {
+            prop_assume!((ax, ay) != (bx, by));
+            let z = zone(&[(ax, ay), (bx, by)]);
+            let p = Site::new(px, py);
+            if z.blocks(p) {
+                let point = RestrictionZone::for_gate(&[p], HALF);
+                prop_assert!(z.intersects(&point));
+            }
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Virtual address remapping for atom-loss recovery.
+//!
+//! The *virtual remapping* strategy (paper §VI, Fig. 9b) borrows from
+//! DRAM sparing: instead of physically refilling a lost trap, a hardware
+//! lookup table redirects each program-facing *address* to a possibly
+//! different physical trap. Updating the table takes ~40 ns, versus
+//! ~0.3 s for an array reload. When an in-use atom is lost, the
+//! addresses from the hole to the device edge shift one usable atom
+//! outward, absorbing a spare.
+
+use crate::{Direction, Grid, Site};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`VirtualMap::shift_from`] when no spare capacity
+/// exists in the requested direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoSpareError {
+    /// The direction that was attempted.
+    pub direction: Direction,
+}
+
+impl fmt::Display for NoSpareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no spare atom toward {} to absorb the shift", self.direction)
+    }
+}
+
+impl Error for NoSpareError {}
+
+/// A bijective indirection table from program-facing addresses to
+/// physical trap sites.
+///
+/// Both sides of the mapping are [`Site`]s: an *address* is the location
+/// the compiled program believes a qubit occupies; the map resolves it
+/// to the trap that actually holds the atom. A fresh map is the
+/// identity.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::{Direction, Grid, Site, VirtualMap};
+///
+/// let mut grid = Grid::new(5, 1);
+/// let mut vmap = VirtualMap::new();
+/// // Program uses addresses (0,0) and (1,0); (2..4,0) are spares.
+/// grid.remove_atom(Site::new(1, 0));
+/// let in_use = |a: Site| a.x <= 1 && a.y == 0;
+/// vmap.shift_from(&grid, Site::new(1, 0), Direction::East, &in_use).unwrap();
+/// assert_eq!(vmap.resolve(Site::new(1, 0)), Site::new(2, 0));
+/// assert_eq!(vmap.resolve(Site::new(0, 0)), Site::new(0, 0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VirtualMap {
+    fwd: HashMap<Site, Site>,
+    inv: HashMap<Site, Site>,
+}
+
+impl VirtualMap {
+    /// Creates an identity map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The physical trap an address currently resolves to.
+    #[inline]
+    pub fn resolve(&self, addr: Site) -> Site {
+        self.fwd.get(&addr).copied().unwrap_or(addr)
+    }
+
+    /// The address currently resolving to a physical trap.
+    #[inline]
+    pub fn address_of(&self, phys: Site) -> Site {
+        self.inv.get(&phys).copied().unwrap_or(phys)
+    }
+
+    /// `true` if no address has been remapped.
+    pub fn is_identity(&self) -> bool {
+        self.fwd.iter().all(|(a, p)| a == p)
+    }
+
+    /// Number of addresses resolving somewhere other than themselves.
+    pub fn remapped_count(&self) -> usize {
+        self.fwd.iter().filter(|(a, p)| a != p).count()
+    }
+
+    /// Resets to the identity (used after an array reload).
+    pub fn reset(&mut self) {
+        self.fwd.clear();
+        self.inv.clear();
+    }
+
+    fn set(&mut self, addr: Site, phys: Site) {
+        self.fwd.insert(addr, phys);
+        self.inv.insert(phys, addr);
+    }
+
+    /// Shifts addresses away from a lost atom, absorbing one spare.
+    ///
+    /// `lost_phys` is the trap whose atom was just lost (the caller must
+    /// already have called [`Grid::remove_atom`]). Every in-use address
+    /// whose atom lies on the ray from `lost_phys` to the device edge in
+    /// `dir` is reassigned to the next usable atoms along that ray, in
+    /// order; displaced unused addresses rotate back onto the freed
+    /// traps so the map stays a bijection.
+    ///
+    /// `in_use_addr` reports whether an *address* is used by the
+    /// compiled program.
+    ///
+    /// Returns the `(address, new_physical)` pairs that changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoSpareError`] if the usable atoms toward the edge
+    /// cannot absorb the shifted addresses; the caller must then fall
+    /// back to an array reload.
+    pub fn shift_from(
+        &mut self,
+        grid: &Grid,
+        lost_phys: Site,
+        dir: Direction,
+        in_use_addr: &dyn Fn(Site) -> bool,
+    ) -> Result<Vec<(Site, Site)>, NoSpareError> {
+        // The ray of trap sites from the hole (inclusive) to the edge.
+        let mut ray = Vec::new();
+        let mut cur = lost_phys;
+        while grid.contains(cur) {
+            ray.push(cur);
+            cur = cur.step(dir);
+        }
+
+        // In-use addresses whose atom sits on the ray, in ray order.
+        let shifted: Vec<Site> = ray
+            .iter()
+            .filter(|&&p| p == lost_phys || grid.is_usable(p))
+            .map(|&p| self.address_of(p))
+            .filter(|&a| in_use_addr(a))
+            .collect();
+        if shifted.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Usable atoms strictly beyond the hole, in ray order.
+        let targets: Vec<Site> = ray
+            .iter()
+            .skip(1)
+            .copied()
+            .filter(|&p| grid.is_usable(p))
+            .collect();
+        if targets.len() < shifted.len() {
+            return Err(NoSpareError { direction: dir });
+        }
+
+        // Old homes freed by the shift (starting at the hole itself).
+        let freed: Vec<Site> = shifted.iter().map(|&a| self.resolve(a)).collect();
+
+        let mut changes = Vec::new();
+        let consumed = &targets[..shifted.len()];
+
+        // Unused addresses displaced from consumed targets rotate onto
+        // freed traps, keeping the map bijective.
+        let displaced: Vec<Site> = consumed
+            .iter()
+            .map(|&t| self.address_of(t))
+            .filter(|a| !shifted.contains(a))
+            .collect();
+
+        for (&addr, &target) in shifted.iter().zip(consumed) {
+            if self.resolve(addr) != target {
+                self.set(addr, target);
+                changes.push((addr, target));
+            }
+        }
+        let reclaimed: Vec<Site> = freed
+            .into_iter()
+            .filter(|p| !consumed.contains(p))
+            .collect();
+        for (&addr, &phys) in displaced.iter().zip(reclaimed.iter()) {
+            self.set(addr, phys);
+        }
+        Ok(changes)
+    }
+
+    /// Picks the cardinal direction with the most spare (usable but
+    /// unused) atoms between `lost_phys` and the device edge, the
+    /// paper's shift-direction heuristic. Returns `None` if no direction
+    /// has a spare.
+    pub fn best_shift_direction(
+        &self,
+        grid: &Grid,
+        lost_phys: Site,
+        in_use_addr: &dyn Fn(Site) -> bool,
+    ) -> Option<Direction> {
+        let mut best: Option<(usize, Direction)> = None;
+        for dir in Direction::ALL {
+            let mut spares = 0usize;
+            let mut cur = lost_phys.step(dir);
+            while grid.contains(cur) {
+                if grid.is_usable(cur) && !in_use_addr(self.address_of(cur)) {
+                    spares += 1;
+                }
+                cur = cur.step(dir);
+            }
+            if spares > 0 && best.is_none_or(|(s, _)| spares > s) {
+                best = Some((spares, dir));
+            }
+        }
+        best.map(|(_, d)| d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn assert_bijective(vmap: &VirtualMap, grid: &Grid) {
+        let mut seen = HashSet::new();
+        for addr in grid.sites() {
+            let p = vmap.resolve(addr);
+            assert!(seen.insert(p), "two addresses resolve to {p}");
+            assert_eq!(vmap.address_of(p), addr, "inverse inconsistent at {p}");
+        }
+    }
+
+    #[test]
+    fn fresh_map_is_identity() {
+        let v = VirtualMap::new();
+        assert!(v.is_identity());
+        assert_eq!(v.remapped_count(), 0);
+        assert_eq!(v.resolve(Site::new(3, 4)), Site::new(3, 4));
+        assert_eq!(v.address_of(Site::new(3, 4)), Site::new(3, 4));
+    }
+
+    #[test]
+    fn shift_moves_addresses_over_the_hole() {
+        // Row of 5; addresses (0..2,0) in use, (3..4,0) spare.
+        let mut grid = Grid::new(5, 1);
+        let mut v = VirtualMap::new();
+        let in_use = |a: Site| a.y == 0 && a.x <= 2;
+        grid.remove_atom(Site::new(1, 0));
+        let changes = v
+            .shift_from(&grid, Site::new(1, 0), Direction::East, &in_use)
+            .unwrap();
+        // Addresses 1 and 2 shift east by one.
+        assert_eq!(v.resolve(Site::new(1, 0)), Site::new(2, 0));
+        assert_eq!(v.resolve(Site::new(2, 0)), Site::new(3, 0));
+        assert_eq!(v.resolve(Site::new(0, 0)), Site::new(0, 0));
+        assert_eq!(changes.len(), 2);
+        assert_bijective(&v, &grid);
+        // No address in use resolves to the hole.
+        for x in 0..=2 {
+            assert_ne!(v.resolve(Site::new(x, 0)), Site::new(1, 0));
+        }
+    }
+
+    #[test]
+    fn shift_skips_preexisting_holes() {
+        let mut grid = Grid::new(5, 1);
+        let mut v = VirtualMap::new();
+        let in_use = |a: Site| a.y == 0 && a.x <= 1;
+        grid.remove_atom(Site::new(2, 0)); // spare hole
+        grid.remove_atom(Site::new(1, 0)); // in-use atom lost
+        v.shift_from(&grid, Site::new(1, 0), Direction::East, &in_use)
+            .unwrap();
+        // Address 1 skips the hole at x=2 and lands on x=3.
+        assert_eq!(v.resolve(Site::new(1, 0)), Site::new(3, 0));
+        assert_bijective(&v, &grid);
+    }
+
+    #[test]
+    fn shift_without_spares_errors() {
+        let mut grid = Grid::new(2, 1);
+        let mut v = VirtualMap::new();
+        let in_use = |_: Site| true; // whole device in use
+        grid.remove_atom(Site::new(0, 0));
+        let err = v
+            .shift_from(&grid, Site::new(0, 0), Direction::East, &in_use)
+            .unwrap_err();
+        assert_eq!(err.direction, Direction::East);
+        assert_eq!(err.to_string(), "no spare atom toward east to absorb the shift");
+    }
+
+    #[test]
+    fn shift_of_unused_atom_is_a_noop() {
+        let mut grid = Grid::new(4, 1);
+        let mut v = VirtualMap::new();
+        let in_use = |a: Site| a == Site::new(0, 0);
+        grid.remove_atom(Site::new(2, 0));
+        let changes = v
+            .shift_from(&grid, Site::new(2, 0), Direction::East, &in_use)
+            .unwrap();
+        assert!(changes.is_empty());
+        assert!(v.is_identity());
+    }
+
+    #[test]
+    fn second_loss_composes_with_first() {
+        let mut grid = Grid::new(6, 1);
+        let mut v = VirtualMap::new();
+        let in_use = |a: Site| a.y == 0 && a.x <= 2;
+        // First loss at x=1.
+        grid.remove_atom(Site::new(1, 0));
+        v.shift_from(&grid, Site::new(1, 0), Direction::East, &in_use)
+            .unwrap();
+        // Now address 1 -> (2,0), address 2 -> (3,0). Lose (3,0).
+        grid.remove_atom(Site::new(3, 0));
+        v.shift_from(&grid, Site::new(3, 0), Direction::East, &in_use)
+            .unwrap();
+        assert_eq!(v.resolve(Site::new(2, 0)), Site::new(4, 0));
+        assert_eq!(v.resolve(Site::new(1, 0)), Site::new(2, 0));
+        assert_bijective(&v, &grid);
+    }
+
+    #[test]
+    fn best_direction_prefers_more_spares() {
+        let grid = Grid::new(7, 1);
+        let v = VirtualMap::new();
+        // Program occupies x in 2..=4; one spare west (x 0..1 minus lost),
+        // two east.
+        let in_use = |a: Site| a.y == 0 && (2..=4).contains(&a.x);
+        let dir = v
+            .best_shift_direction(&grid, Site::new(3, 0), &in_use)
+            .unwrap();
+        assert_eq!(dir, Direction::East);
+    }
+
+    #[test]
+    fn best_direction_none_when_everything_used() {
+        let grid = Grid::new(3, 1);
+        let v = VirtualMap::new();
+        let in_use = |_: Site| true;
+        assert_eq!(v.best_shift_direction(&grid, Site::new(1, 0), &in_use), None);
+    }
+
+    #[test]
+    fn reset_restores_identity() {
+        let mut grid = Grid::new(4, 1);
+        let mut v = VirtualMap::new();
+        let in_use = |a: Site| a.x <= 1 && a.y == 0;
+        grid.remove_atom(Site::new(0, 0));
+        v.shift_from(&grid, Site::new(0, 0), Direction::East, &in_use)
+            .unwrap();
+        assert!(!v.is_identity());
+        v.reset();
+        assert!(v.is_identity());
+    }
+
+    proptest! {
+        /// Random loss sequences keep the map bijective and never leave
+        /// an in-use address resolving to a hole.
+        #[test]
+        fn prop_shift_preserves_bijection(losses in proptest::collection::vec((0i32..8, 0i32..4), 1..6)) {
+            let mut grid = Grid::new(8, 4);
+            let mut v = VirtualMap::new();
+            // Program occupies the left half of the device.
+            let in_use = |a: Site| a.x < 4;
+            for (x, y) in losses {
+                let lost = Site::new(x, y);
+                if !grid.is_usable(lost) {
+                    continue;
+                }
+                grid.remove_atom(lost);
+                // Only shift when an in-use address lived there.
+                if !in_use(v.address_of(lost)) {
+                    continue;
+                }
+                if let Some(dir) = v.best_shift_direction(&grid, lost, &in_use) {
+                    if v.shift_from(&grid, lost, dir, &in_use).is_err() {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+                assert_bijective(&v, &grid);
+                for addr in grid.sites().filter(|&a| in_use(a)) {
+                    prop_assert!(grid.is_usable(v.resolve(addr)),
+                        "in-use address {addr} resolves to a hole");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion benchmarks for the compiler hot paths: end-to-end
+//! compilation per benchmark family at a tight (MID 1, SC-style) and a
+//! mid-range (MID 3, NA-style) interaction distance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use na_arch::Grid;
+use na_benchmarks::Benchmark;
+use na_core::{compile, CompilerConfig};
+
+fn bench_compile(c: &mut Criterion) {
+    let grid = Grid::new(10, 10);
+    let mut group = c.benchmark_group("compile_size30");
+    group.sample_size(20);
+    for b in Benchmark::ALL {
+        let circuit = b.generate(30, 0);
+        let sc = CompilerConfig::new(1.0).with_native_multiqubit(false);
+        group.bench_with_input(BenchmarkId::new("mid1_2q", b.name()), &circuit, |bench, c| {
+            bench.iter(|| compile(c, &grid, &sc).unwrap());
+        });
+        let na = CompilerConfig::new(3.0);
+        group.bench_with_input(BenchmarkId::new("mid3_native", b.name()), &circuit, |bench, c| {
+            bench.iter(|| compile(c, &grid, &na).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_placement_scaling(c: &mut Criterion) {
+    let grid = Grid::new(10, 10);
+    let mut group = c.benchmark_group("compile_qaoa_scaling");
+    group.sample_size(10);
+    for size in [20u32, 50, 100] {
+        let circuit = Benchmark::Qaoa.generate(size, 7);
+        let cfg = CompilerConfig::new(3.0);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &circuit, |bench, c| {
+            bench.iter(|| compile(c, &grid, &cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_placement_scaling);
+criterion_main!(benches);

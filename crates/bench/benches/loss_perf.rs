@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the atom-loss machinery: per-loss strategy
+//! reaction time (the quantity that must stay far below the 0.3 s
+//! reload for software coping to pay off) and campaign shot throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use na_arch::Grid;
+use na_benchmarks::Benchmark;
+use na_loss::{run_campaign, CampaignConfig, LossModel, LossOutcome, ShotTarget, Strategy, StrategyState};
+
+fn bench_loss_reaction(c: &mut Criterion) {
+    let grid = Grid::new(10, 10);
+    let program = Benchmark::Cnu.generate(30, 0);
+    let mut group = c.benchmark_group("loss_reaction");
+    group.sample_size(20);
+    for strategy in [
+        Strategy::VirtualRemap,
+        Strategy::MinorReroute,
+        Strategy::CompileSmallReroute,
+        Strategy::FullRecompile,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |bench, &strategy| {
+                bench.iter_batched(
+                    || StrategyState::new(&program, &grid, 4.0, strategy, None).unwrap(),
+                    |mut state| {
+                        let victim = state
+                            .grid()
+                            .usable_sites()
+                            .find(|&s| state.is_interfering(s))
+                            .unwrap();
+                        let out = state.apply_loss(victim);
+                        assert!(out != LossOutcome::Spare);
+                        out
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_campaign_throughput(c: &mut Criterion) {
+    let grid = Grid::new(10, 10);
+    let program = Benchmark::Cnu.generate(30, 0);
+    let mut group = c.benchmark_group("campaign_100_shots");
+    group.sample_size(10);
+    for strategy in [Strategy::AlwaysReload, Strategy::CompileSmallReroute] {
+        let cfg = CampaignConfig::new(4.0, strategy)
+            .with_target(ShotTarget::Attempts(100))
+            .with_two_qubit_error(1e-3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &cfg,
+            |bench, cfg| {
+                bench.iter(|| run_campaign(&program, &grid, LossModel::new(1), cfg).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_loss_reaction, bench_campaign_throughput);
+criterion_main!(benches);

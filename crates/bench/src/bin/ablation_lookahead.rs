@@ -1,0 +1,34 @@
+//! Ablation — lookahead window size.
+//!
+//! The lookahead weight `w(u,v) = Σ e^{-|ℓc-ℓ|}` decays exponentially,
+//! so the window can be truncated. This harness sweeps the window from
+//! 0 layers (frontier-only, no lookahead) upward and reports compiled
+//! gate count and depth, showing where the quality saturates.
+
+use na_bench::{paper_grid, Table};
+use na_benchmarks::Benchmark;
+use na_core::{compile, CompilerConfig};
+
+fn main() {
+    let grid = paper_grid();
+    let windows = [0usize, 1, 2, 5, 10, 20, 50];
+    println!("== Ablation: lookahead window (MID 3, native, size 40) ==\n");
+    let mut table = Table::new(&["benchmark", "window", "gates", "swaps", "depth"]);
+    for b in Benchmark::ALL {
+        let circuit = b.generate(40, 0);
+        for &w in &windows {
+            let cfg = CompilerConfig::new(3.0).with_lookahead_depth(w);
+            let compiled = compile(&circuit, &grid, &cfg)
+                .unwrap_or_else(|e| panic!("{b} window {w}: {e}"));
+            let m = compiled.metrics();
+            table.row(vec![
+                b.name().into(),
+                w.to_string(),
+                m.total_gates().to_string(),
+                m.swaps.to_string(),
+                m.depth.to_string(),
+            ]);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,45 @@
+//! Ablation — restriction-radius function.
+//!
+//! The paper models the blocked radius as `f(d) = d/2` but notes real
+//! devices may differ. This harness compares `f(d) = 0` (ideal),
+//! `d/2`, `d`, and constant radii on the parallel benchmarks, showing
+//! how the zone model trades depth for crosstalk safety.
+
+use na_arch::RestrictionPolicy;
+use na_bench::{paper_grid, Table};
+use na_benchmarks::Benchmark;
+use na_core::{compile, CompilerConfig};
+
+fn main() {
+    let grid = paper_grid();
+    let policies: Vec<(&str, RestrictionPolicy)> = vec![
+        ("none", RestrictionPolicy::None),
+        ("d/2 (paper)", RestrictionPolicy::HalfDistance),
+        ("d", RestrictionPolicy::FullDistance),
+        ("const 1.0", RestrictionPolicy::Constant(1.0)),
+        ("const 2.0", RestrictionPolicy::Constant(2.0)),
+    ];
+    println!("== Ablation: restriction radius f(d) (size 50, 2q gate set) ==\n");
+    let mut table = Table::new(&["benchmark", "MID", "policy", "gates", "depth"]);
+    for b in [Benchmark::Qaoa, Benchmark::QftAdder, Benchmark::Cnu] {
+        let circuit = b.generate(50, 0);
+        for mid in [3.0, 5.0] {
+            for (name, policy) in &policies {
+                let cfg = CompilerConfig::new(mid)
+                    .with_native_multiqubit(false)
+                    .with_restriction(*policy);
+                let compiled = compile(&circuit, &grid, &cfg)
+                    .unwrap_or_else(|e| panic!("{b} {name} MID {mid}: {e}"));
+                let m = compiled.metrics();
+                table.row(vec![
+                    b.name().into(),
+                    format!("{mid}"),
+                    name.to_string(),
+                    m.total_gates().to_string(),
+                    m.depth.to_string(),
+                ]);
+            }
+        }
+    }
+    table.print();
+}

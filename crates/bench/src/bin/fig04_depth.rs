@@ -1,0 +1,63 @@
+//! Fig. 4 — Post-compilation depth vs. maximum interaction distance.
+//!
+//! Left panel: percent depth savings over the MID-1 baseline, averaged
+//! over sizes. Right panel: the QFT-Adder depth series (the paper
+//! highlights it to show restriction zones eroding the benefit at
+//! large MIDs). Programs are lowered to 1- and 2-qubit gates.
+
+use na_bench::{mean_std, paper_grid, paper_mids, paper_sizes, pct, two_qubit_cfg, Table};
+use na_benchmarks::Benchmark;
+use na_core::compile;
+
+fn main() {
+    let grid = paper_grid();
+    let mids = paper_mids();
+    let sizes = paper_sizes();
+
+    println!("== Fig. 4 (left): depth savings over MID=1, mean over sizes ==\n");
+    let mut headers: Vec<String> = vec!["benchmark".into()];
+    headers.extend(mids.iter().skip(1).map(|m| format!("MID {m}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    let mut depths = std::collections::HashMap::new();
+    for b in Benchmark::ALL {
+        for &size in &sizes {
+            for &mid in &mids {
+                let circuit = b.generate(size, 0);
+                let compiled = compile(&circuit, &grid, &two_qubit_cfg(mid))
+                    .unwrap_or_else(|e| panic!("{b} size {size} MID {mid}: {e}"));
+                depths.insert((b, size, mid as u32), compiled.metrics().depth);
+            }
+        }
+        let mut row = vec![b.name().to_string()];
+        for &mid in mids.iter().skip(1) {
+            let savings: Vec<f64> = sizes
+                .iter()
+                .map(|&s| {
+                    let base = f64::from(depths[&(b, s, 1)]);
+                    let now = f64::from(depths[&(b, s, mid as u32)]);
+                    (base - now) / base
+                })
+                .collect();
+            let (mean, std) = mean_std(&savings);
+            row.push(format!("{} (σ {:.1})", pct(mean), std * 100.0));
+        }
+        table.row(row);
+    }
+    table.print();
+
+    println!("\n== Fig. 4 (right): QFT-Adder depth by size and MID ==\n");
+    let mut headers: Vec<String> = vec!["size".into()];
+    headers.extend(mids.iter().map(|m| format!("MID {m}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut series = Table::new(&header_refs);
+    for &size in &sizes {
+        let mut row = vec![size.to_string()];
+        for &mid in &mids {
+            row.push(depths[&(Benchmark::QftAdder, size, mid as u32)].to_string());
+        }
+        series.row(row);
+    }
+    series.print();
+}

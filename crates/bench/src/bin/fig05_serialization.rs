@@ -1,0 +1,66 @@
+//! Fig. 5 — Depth increase due to restriction-zone serialization.
+//!
+//! Each program is compiled twice at the same MID: once with the
+//! realistic `f(d) = d/2` zones and once with no zones (mimicking an
+//! ideal architecture that only forbids overlapping operands). Both
+//! compilations have similar gate counts; the depth gap is the price
+//! of the zones. Left: percent depth increase per benchmark/MID.
+//! Right: the QAOA series the paper highlights (solid = zones,
+//! dashed = ideal).
+
+use na_bench::{
+    mean_std, paper_grid, paper_mids, paper_sizes, pct, two_qubit_cfg, two_qubit_cfg_no_zones,
+    Table,
+};
+use na_benchmarks::Benchmark;
+use na_core::compile;
+
+fn main() {
+    let grid = paper_grid();
+    let mids: Vec<f64> = paper_mids().into_iter().skip(1).collect(); // zones at MID 1 are trivial
+    let sizes = paper_sizes();
+
+    println!("== Fig. 5 (left): depth increase from restriction zones, mean over sizes ==\n");
+    let mut headers: Vec<String> = vec!["benchmark".into()];
+    headers.extend(mids.iter().map(|m| format!("MID {m}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    let mut qaoa_series: Vec<(u32, f64, u32, u32)> = Vec::new(); // (size, mid, with, without)
+    for b in Benchmark::ALL {
+        let mut row = vec![b.name().to_string()];
+        for &mid in &mids {
+            let mut increases = Vec::new();
+            for &size in &sizes {
+                let circuit = b.generate(size, 0);
+                let with = compile(&circuit, &grid, &two_qubit_cfg(mid))
+                    .unwrap_or_else(|e| panic!("{b} size {size} MID {mid}: {e}"));
+                let without = compile(&circuit, &grid, &two_qubit_cfg_no_zones(mid))
+                    .unwrap_or_else(|e| panic!("{b} size {size} MID {mid} (ideal): {e}"));
+                let dw = f64::from(with.metrics().depth);
+                let dn = f64::from(without.metrics().depth);
+                increases.push((dw - dn) / dn);
+                if b == Benchmark::Qaoa && (size % 20 == 0 || size == 50) {
+                    qaoa_series.push((size, mid, with.metrics().depth, without.metrics().depth));
+                }
+            }
+            let (mean, std) = mean_std(&increases);
+            row.push(format!("{} (σ {:.1})", pct(mean), std * 100.0));
+        }
+        table.row(row);
+    }
+    table.print();
+
+    println!("\n== Fig. 5 (right): QAOA depth, zones (solid) vs ideal (dashed) ==\n");
+    let mut series = Table::new(&["size", "MID", "depth zones", "depth ideal", "gap"]);
+    for (size, mid, with, without) in qaoa_series {
+        series.row(vec![
+            size.to_string(),
+            format!("{mid}"),
+            with.to_string(),
+            without.to_string(),
+            pct((f64::from(with) - f64::from(without)) / f64::from(without)),
+        ]);
+    }
+    series.print();
+}

@@ -1,0 +1,56 @@
+//! Fig. 6 — Native three-qubit gates vs. decomposition.
+//!
+//! CNU and Cuccaro (the Toffoli-built benchmarks) compiled two ways at
+//! each MID: solid = native Toffolis, dashed = every Toffoli lowered
+//! to the 6-CNOT network before mapping. Reports both gate count and
+//! depth across sizes. Native compilation requires MID ≥ √2, so the
+//! native column starts at MID 2.
+
+use na_bench::{paper_grid, paper_mids, two_qubit_cfg, Table};
+use na_benchmarks::Benchmark;
+use na_core::{compile, CompilerConfig};
+
+fn main() {
+    let grid = paper_grid();
+    let mids = paper_mids();
+    let sizes: Vec<u32> = vec![5, 10, 20, 40, 60, 80, 100];
+
+    for b in [Benchmark::Cnu, Benchmark::Cuccaro] {
+        for metric in ["gate count", "depth"] {
+            println!("\n== Fig. 6: {} {metric}, native (n) vs decomposed (d) ==\n", b.name());
+            let mut headers: Vec<String> = vec!["size".into()];
+            for &mid in &mids {
+                if mid >= 2.0 {
+                    headers.push(format!("n MID {mid}"));
+                }
+                headers.push(format!("d MID {mid}"));
+            }
+            let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let mut table = Table::new(&header_refs);
+            for &size in &sizes {
+                let circuit = b.generate(size, 0);
+                let mut row = vec![b.actual_size(size).to_string()];
+                for &mid in &mids {
+                    if mid >= 2.0 {
+                        let native = compile(&circuit, &grid, &CompilerConfig::new(mid))
+                            .unwrap_or_else(|e| panic!("{b} native MID {mid}: {e}"));
+                        let m = native.metrics();
+                        row.push(match metric {
+                            "gate count" => m.total_gates().to_string(),
+                            _ => m.depth.to_string(),
+                        });
+                    }
+                    let lowered = compile(&circuit, &grid, &two_qubit_cfg(mid))
+                        .unwrap_or_else(|e| panic!("{b} decomposed MID {mid}: {e}"));
+                    let m = lowered.metrics();
+                    row.push(match metric {
+                        "gate count" => m.total_gates().to_string(),
+                        _ => m.depth.to_string(),
+                    });
+                }
+                table.row(row);
+            }
+            table.print();
+        }
+    }
+}

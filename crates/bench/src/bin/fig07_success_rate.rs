@@ -1,0 +1,68 @@
+//! Fig. 7 — Program error rate vs. two-qubit gate error, NA vs SC.
+//!
+//! 50-qubit programs (49 for CNU) compiled once per architecture:
+//! NA at MID 3 with native multiqubit gates and f(d)=d/2 zones; SC at
+//! MID 1, no zones, everything lowered to 2-qubit gates. The two-qubit
+//! error is swept from 1e-5 to 1e-1 and the predicted *sample error
+//! rate* (1 − success probability) is reported — lower is better, and
+//! the divergence point from 1.0 is where a device becomes usable.
+
+use na_bench::{paper_grid, Table};
+use na_benchmarks::Benchmark;
+use na_core::{compile, CompiledCircuit, CompilerConfig};
+use na_noise::{log_spaced_errors, success_probability, NoiseParams};
+
+fn main() {
+    let grid = paper_grid();
+    let size = 50;
+    let na_cfg = CompilerConfig::new(3.0);
+    let sc_cfg = CompilerConfig::new(1.0)
+        .with_native_multiqubit(false)
+        .with_restriction(na_arch::RestrictionPolicy::None);
+
+    let compiled: Vec<(Benchmark, CompiledCircuit, CompiledCircuit)> = Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let c = b.generate(size, 0);
+            let na = compile(&c, &grid, &na_cfg).unwrap_or_else(|e| panic!("{b} NA: {e}"));
+            let sc = compile(&c, &grid, &sc_cfg).unwrap_or_else(|e| panic!("{b} SC: {e}"));
+            (b, na, sc)
+        })
+        .collect();
+
+    println!("== Fig. 7: sample error rate (1 - success) on 50-qubit programs ==");
+    println!("   NA: MID 3, native multiqubit, f(d)=d/2; SC: MID 1, 2q gates\n");
+    let mut headers: Vec<String> = vec!["2q error".into()];
+    for (b, _, _) in &compiled {
+        headers.push(format!("{} NA", b.name()));
+        headers.push(format!("{} SC", b.name()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    for e in log_spaced_errors(-5, -1, 2) {
+        let mut row = vec![format!("{e:.1e}")];
+        for (_, na, sc) in &compiled {
+            let p_na = success_probability(na, &NoiseParams::neutral_atom(e)).probability();
+            let p_sc = success_probability(sc, &NoiseParams::superconducting(e)).probability();
+            row.push(format!("{:.3e}", 1.0 - p_na));
+            row.push(format!("{:.3e}", 1.0 - p_sc));
+        }
+        table.row(row);
+    }
+    table.print();
+
+    println!("\n-- markers --");
+    let rome = NoiseParams::superconducting_rome();
+    let na_now = NoiseParams::neutral_atom_current();
+    for (b, na, sc) in &compiled {
+        let p_sc = success_probability(sc, &rome).probability();
+        let p_na = success_probability(na, &na_now).probability();
+        println!(
+            "{:<10} current SC (e=1.2e-2): error {:.3}; current NA (e=3.5e-2): error {:.3}",
+            b.name(),
+            1.0 - p_sc,
+            1.0 - p_na
+        );
+    }
+}

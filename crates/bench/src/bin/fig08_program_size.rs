@@ -1,0 +1,63 @@
+//! Fig. 8 — Largest runnable program size vs. two-qubit gate error.
+//!
+//! For each benchmark and architecture (NA MID-3 native vs SC MID-1
+//! two-qubit), find the largest program size whose predicted success
+//! probability exceeds 2/3 at each swept error rate. Compilations are
+//! cached per size; only the analytic success model is re-evaluated
+//! per error point.
+
+use na_bench::{paper_grid, Table};
+use na_benchmarks::Benchmark;
+use na_core::{compile, CompiledCircuit, CompilerConfig};
+use na_noise::{largest_passing_size, log_spaced_errors, success_probability, NoiseParams};
+
+fn main() {
+    let grid = paper_grid();
+    let sizes: Vec<u32> = (5..=100).step_by(5).collect();
+    let threshold = 2.0 / 3.0;
+    let na_cfg = CompilerConfig::new(3.0);
+    let sc_cfg = CompilerConfig::new(1.0)
+        .with_native_multiqubit(false)
+        .with_restriction(na_arch::RestrictionPolicy::None);
+
+    // Compile each (benchmark, size) once per architecture.
+    let mut by_bench: Vec<(Benchmark, Vec<(u32, CompiledCircuit, CompiledCircuit)>)> = Vec::new();
+    for b in Benchmark::ALL {
+        let mut v = Vec::new();
+        for &size in &sizes {
+            let c = b.generate(size, 0);
+            let na = compile(&c, &grid, &na_cfg).unwrap_or_else(|e| panic!("{b} NA {size}: {e}"));
+            let sc = compile(&c, &grid, &sc_cfg).unwrap_or_else(|e| panic!("{b} SC {size}: {e}"));
+            v.push((b.actual_size(size), na, sc));
+        }
+        by_bench.push((b, v));
+    }
+
+    println!("== Fig. 8: largest runnable size at success >= 2/3 ==");
+    println!("   NA: MID 3, native multiqubit; SC: MID 1, 2q gates\n");
+    let mut headers: Vec<String> = vec!["2q error".into()];
+    for (b, _) in &by_bench {
+        headers.push(format!("{} NA", b.name()));
+        headers.push(format!("{} SC", b.name()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    for e in log_spaced_errors(-5, -1, 2) {
+        let mut row = vec![format!("{e:.1e}")];
+        for (_, compiled) in &by_bench {
+            let na_points = compiled.iter().map(|(s, na, _)| {
+                (*s, success_probability(na, &NoiseParams::neutral_atom(e)).probability())
+            });
+            let sc_points = compiled.iter().map(|(s, _, sc)| {
+                (*s, success_probability(sc, &NoiseParams::superconducting(e)).probability())
+            });
+            let na_best = largest_passing_size(na_points, threshold);
+            let sc_best = largest_passing_size(sc_points, threshold);
+            row.push(na_best.map_or("-".into(), |s| s.to_string()));
+            row.push(sc_best.map_or("-".into(), |s| s.to_string()));
+        }
+        table.row(row);
+    }
+    table.print();
+}

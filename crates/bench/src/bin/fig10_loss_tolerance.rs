@@ -1,0 +1,54 @@
+//! Fig. 10 — Maximum atom loss sustainable before an array reload.
+//!
+//! A 30-qubit Cuccaro adder and a 29-qubit CNU on a 100-atom device.
+//! Atoms are lost uniformly at random one at a time; the run ends when
+//! the strategy can no longer cope (architectural limits only — no
+//! SWAP-budget cutoff). Reported: mean lost fraction of the device
+//! (±1σ over seeds) per strategy and MID. Compile-small strategies
+//! have no MID-2 entry (the paper never compiles to MID 1).
+
+use na_bench::{paper_grid, Table};
+use na_benchmarks::Benchmark;
+use na_loss::{mean_loss_tolerance, Strategy};
+
+fn main() {
+    let grid = paper_grid();
+    let mids = [2.0, 3.0, 4.0, 5.0, 6.0];
+    let strategies = [
+        Strategy::VirtualRemap,
+        Strategy::MinorReroute,
+        Strategy::CompileSmall,
+        Strategy::CompileSmallReroute,
+        Strategy::FullRecompile,
+    ];
+    let trials = 10;
+
+    for b in [Benchmark::Cnu, Benchmark::Cuccaro] {
+        let program = b.generate(30, 0);
+        println!(
+            "\n== Fig. 10: max atom loss tolerance, {} ({} qubits on {} atoms) ==\n",
+            b.name(),
+            b.actual_size(30),
+            grid.num_sites()
+        );
+        let mut headers: Vec<String> = vec!["strategy".into()];
+        headers.extend(mids.iter().map(|m| format!("MID {m}")));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(&header_refs);
+        for strategy in strategies {
+            let mut row = vec![strategy.name().to_string()];
+            for &mid in &mids {
+                if !strategy.supports_mid(mid) {
+                    row.push("-".into());
+                    continue;
+                }
+                let (mean, std) =
+                    mean_loss_tolerance(&program, &grid, mid, strategy, trials, 1000)
+                        .unwrap_or_else(|e| panic!("{b} {strategy} MID {mid}: {e}"));
+                row.push(format!("{:.1}% (σ {:.1})", mean * 100.0, std * 100.0));
+            }
+            table.row(row);
+        }
+        table.print();
+    }
+}

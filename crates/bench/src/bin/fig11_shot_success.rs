@@ -1,0 +1,111 @@
+//! Fig. 11 — Shot success rate vs. number of holes.
+//!
+//! For the three program-modifying strategies (reroute,
+//! compile-small+reroute, full recompile) the estimated shot success
+//! is traced as atoms are lost one by one. The two-qubit error rate is
+//! tuned per benchmark so the loss-free program succeeds with
+//! probability ≈ 0.6 (the paper's choice, to make the drop visible).
+//! Entries become "-" once the strategy would require a reload.
+
+use na_bench::{mean_std, paper_grid, Table};
+use na_benchmarks::Benchmark;
+use na_core::compile;
+use na_core::CompilerConfig;
+use na_loss::{LossOutcome, Strategy, StrategyState};
+use na_noise::{success_probability, NoiseParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Binary-search the two-qubit error rate giving ~0.6 success for the
+/// MID-3 native compilation of `b` at 30 qubits.
+fn tune_error(b: Benchmark) -> f64 {
+    let grid = paper_grid();
+    let compiled = compile(&b.generate(30, 0), &grid, &CompilerConfig::new(3.0)).unwrap();
+    let (mut lo, mut hi) = (1e-6f64, 0.2f64);
+    for _ in 0..60 {
+        let mid = (lo * hi).sqrt();
+        let p = success_probability(&compiled, &NoiseParams::neutral_atom(mid)).probability();
+        if p > 0.6 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo * hi).sqrt()
+}
+
+fn main() {
+    let grid = paper_grid();
+    let max_holes = 20usize;
+    let seeds = 5u64;
+    let cases: Vec<(Strategy, f64)> = vec![
+        (Strategy::MinorReroute, 2.0),
+        (Strategy::MinorReroute, 3.0),
+        (Strategy::MinorReroute, 5.0),
+        (Strategy::CompileSmallReroute, 3.0),
+        (Strategy::CompileSmallReroute, 5.0),
+        (Strategy::FullRecompile, 2.0),
+        (Strategy::FullRecompile, 3.0),
+        (Strategy::FullRecompile, 5.0),
+    ];
+
+    for b in [Benchmark::Cnu, Benchmark::Cuccaro] {
+        let program = b.generate(30, 0);
+        let e = tune_error(b);
+        let params = NoiseParams::neutral_atom(e);
+        println!(
+            "\n== Fig. 11: shot success vs holes, {} (2q error tuned to {:.2e}) ==\n",
+            b.name(),
+            e
+        );
+        let mut headers: Vec<String> = vec!["holes".into()];
+        for (s, m) in &cases {
+            headers.push(format!("{} MID {m}", s.name()));
+        }
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(&header_refs);
+
+        // success[case][k] collects per-seed success at k holes.
+        let mut success: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); max_holes + 1]; cases.len()];
+        for (ci, &(strategy, mid)) in cases.iter().enumerate() {
+            for seed in 0..seeds {
+                let mut state = StrategyState::new(&program, &grid, mid, strategy, None)
+                    .unwrap_or_else(|err| panic!("{b} {strategy} MID {mid}: {err}"));
+                let mut rng = StdRng::seed_from_u64(4000 + seed);
+                let base =
+                    success_probability(state.compiled(), &params).probability();
+                success[ci][0].push(base);
+                for k in 1..=max_holes {
+                    let usable: Vec<_> = state.grid().usable_sites().collect();
+                    let victim = usable[rng.gen_range(0..usable.len())];
+                    match state.apply_loss(victim) {
+                        LossOutcome::NeedsReload => break,
+                        LossOutcome::Recompiled { .. } => {
+                            let p = success_probability(state.compiled(), &params).probability();
+                            success[ci][k].push(p);
+                        }
+                        LossOutcome::Spare | LossOutcome::Tolerated { .. } => {
+                            let p = success_probability(state.compiled(), &params).probability()
+                                * state.swap_penalty(params.p2);
+                            success[ci][k].push(p);
+                        }
+                    }
+                }
+            }
+        }
+
+        for k in 0..=max_holes {
+            let mut row = vec![k.to_string()];
+            for case in success.iter() {
+                if case[k].is_empty() {
+                    row.push("-".into());
+                } else {
+                    let (mean, std) = mean_std(&case[k]);
+                    row.push(format!("{mean:.3} (σ {std:.2})"));
+                }
+            }
+            table.row(row);
+        }
+        table.print();
+    }
+}

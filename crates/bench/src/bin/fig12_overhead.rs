@@ -1,0 +1,82 @@
+//! Fig. 12 — Overhead time for 500 shots (CNU).
+//!
+//! A 29-qubit CNU runs 500 shots per strategy and MID under the paper's
+//! loss rates (2% measured loss, 6.8e-5 vacuum). Overhead decomposes
+//! into reload (dominant), fluorescence, remap/fixup, and — for the
+//! recompile strategy, shown for reference as the paper excludes it —
+//! compilation. Reloads cost 0.3 s, fluorescence 6 ms.
+
+use na_bench::{paper_grid, Table};
+use na_benchmarks::Benchmark;
+use na_loss::{run_campaign, CampaignConfig, LossModel, ShotTarget, Strategy};
+
+fn main() {
+    let grid = paper_grid();
+    let program = Benchmark::Cnu.generate(30, 0);
+    let mids = [2.0, 3.0, 4.0, 5.0, 6.0];
+    let strategies = [
+        Strategy::VirtualRemap,
+        Strategy::CompileSmall,
+        Strategy::AlwaysReload,
+        Strategy::MinorReroute,
+        Strategy::CompileSmallReroute,
+        Strategy::FullRecompile,
+    ];
+
+    println!("== Fig. 12: overhead time for 500 shots, 29-qubit CNU ==");
+    println!("   columns: total overhead s (reload s / fluorescence s / other s) [reload count]\n");
+    let mut headers: Vec<String> = vec!["strategy".into()];
+    headers.extend(mids.iter().map(|m| format!("MID {m}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    // The paper's Python compiler took >0.3 s per recompile, making
+    // recompilation slower than always reloading; our Rust compiler
+    // recompiles in milliseconds. Show both cost models.
+    let fixed_recompile = na_loss::OverheadTimes {
+        recompile: na_loss::RecompileCost::Fixed(1.5),
+        ..na_loss::OverheadTimes::default()
+    };
+    for strategy in strategies {
+        for (label, overheads) in [
+            (strategy.name().to_string(), na_loss::OverheadTimes::default()),
+            ("recompile @1.5s (paper-era)".to_string(), fixed_recompile),
+        ] {
+            if overheads.recompile != na_loss::RecompileCost::Measured
+                && strategy != Strategy::FullRecompile
+            {
+                continue;
+            }
+            let mut row = vec![label];
+            for &mid in &mids {
+                if !strategy.supports_mid(mid) {
+                    row.push("-".into());
+                    continue;
+                }
+                let mut cfg = CampaignConfig::new(mid, strategy)
+                    .with_target(ShotTarget::Attempts(500))
+                    .with_two_qubit_error(0.035)
+                    .with_seed(12);
+                cfg.overheads = overheads;
+                let result = run_campaign(&program, &grid, LossModel::new(12), &cfg)
+                    .unwrap_or_else(|e| panic!("{strategy} MID {mid}: {e}"));
+                let l = &result.ledger;
+                let other = l.remap_time + l.fixup_time + l.recompile_time;
+                row.push(format!(
+                    "{:7.2} ({:6.2}/{:4.2}/{:6.4}) [{}]",
+                    l.overhead_time(),
+                    l.reload_time,
+                    l.fluorescence_time,
+                    other,
+                    l.reloads
+                ));
+            }
+            table.row(row);
+        }
+    }
+    table.print();
+
+    println!("\nNote: 'recompile' is charged at the measured Rust compile time; the");
+    println!("paper's Python compiler exceeded the 0.3 s reload, ours does not —");
+    println!("see EXPERIMENTS.md for the discussion.");
+}

@@ -1,0 +1,51 @@
+//! §III-A validation — MID-1 sanity check against a standard compiler.
+//!
+//! The paper validated its compiler by setting MID = 1 with no
+//! restriction zones and comparing against Qiskit's lookahead SWAP
+//! pass. Qiskit is not available offline, so this harness reports the
+//! quantities such a comparison checks: compiled gate count, SWAP
+//! overhead, and depth for one serial (BV) and one parallel (CNU)
+//! benchmark, alongside the pre-routing circuit metrics. SWAP overhead
+//! on a 2D grid should sit well below one SWAP per gate for local-ish
+//! circuits and the schedule must verify.
+
+use na_bench::{paper_grid, two_qubit_cfg_no_zones, Table};
+use na_benchmarks::Benchmark;
+use na_core::{compile, verify};
+
+fn main() {
+    let grid = paper_grid();
+    println!("== Validation: MID 1, no restriction zones (Qiskit-equivalent setup) ==\n");
+    let mut table = Table::new(&[
+        "benchmark",
+        "size",
+        "source gates",
+        "source depth",
+        "compiled gates",
+        "swaps",
+        "depth",
+        "swap/gate",
+    ]);
+    for b in [Benchmark::Bv, Benchmark::Cnu] {
+        for size in [10u32, 30, 50] {
+            let circuit = b.generate(size, 0);
+            let src = na_circuit::decompose_circuit(&circuit, na_circuit::DecomposeLevel::TwoQubit)
+                .metrics();
+            let compiled = compile(&circuit, &grid, &two_qubit_cfg_no_zones(1.0))
+                .unwrap_or_else(|e| panic!("{b} {size}: {e}"));
+            verify(&compiled, &grid).expect("schedule must verify");
+            let m = compiled.metrics();
+            table.row(vec![
+                b.name().into(),
+                b.actual_size(size).to_string(),
+                src.total_gates().to_string(),
+                src.depth.to_string(),
+                m.total_gates().to_string(),
+                m.swaps.to_string(),
+                m.depth.to_string(),
+                format!("{:.2}", m.swaps as f64 / src.total_gates() as f64),
+            ]);
+        }
+    }
+    table.print();
+}

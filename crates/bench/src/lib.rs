@@ -1,0 +1,160 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Every figure of the paper's evaluation has a binary in `src/bin`
+//! that prints the corresponding rows/series (see DESIGN.md §5 for the
+//! experiment index). This library centralizes the sweep parameters so
+//! all harnesses agree with the paper's experimental setup (§III-C):
+//! a 10×10 device, MIDs from 1 to the full-diagonal ≈13, program sizes
+//! up to 100 qubits, ±1σ error bars where sampling is involved.
+
+use na_arch::{Grid, RestrictionPolicy};
+use na_core::CompilerConfig;
+
+/// The paper's device: a 10×10 atom array.
+pub fn paper_grid() -> Grid {
+    Grid::new(10, 10)
+}
+
+/// The MID sweep of Figs. 3–5: 1 … full-diagonal (≈13).
+pub fn paper_mids() -> Vec<f64> {
+    vec![1.0, 2.0, 3.0, 4.0, 5.0, 8.0, 13.0]
+}
+
+/// Program-size sweep (qubits) used by the gate-count/depth figures.
+pub fn paper_sizes() -> Vec<u32> {
+    (10..=100).step_by(10).collect()
+}
+
+/// The compiler configuration used by the connectivity studies
+/// (Figs. 3–5): everything lowered to 1- and 2-qubit gates so gate
+/// counts isolate the SWAP effect.
+pub fn two_qubit_cfg(mid: f64) -> CompilerConfig {
+    CompilerConfig::new(mid).with_native_multiqubit(false)
+}
+
+/// Like [`two_qubit_cfg`] but with restriction zones disabled (the
+/// "ideal parallel" baseline of Fig. 5).
+pub fn two_qubit_cfg_no_zones(mid: f64) -> CompilerConfig {
+    two_qubit_cfg(mid).with_restriction(RestrictionPolicy::None)
+}
+
+/// Mean and ±1σ of a sample (population σ, like the paper's plots).
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// A fixed-width text table writer for figure output.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a fraction as a signed percent string.
+pub fn pct(frac: f64) -> String {
+    format!("{:+.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_match_paper_setup() {
+        assert_eq!(paper_grid().num_sites(), 100);
+        assert_eq!(paper_mids().first(), Some(&1.0));
+        assert_eq!(paper_mids().last(), Some(&13.0));
+        assert_eq!(paper_sizes().len(), 10);
+        assert!(!two_qubit_cfg(3.0).native_multiqubit);
+        assert!(two_qubit_cfg_no_zones(3.0).restriction.is_none());
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0]);
+        assert!((m - 3.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["mid", "gates"]);
+        t.row(vec!["1".into(), "592".into()]);
+        t.row(vec!["13".into(), "299".into()]);
+        let s = t.render();
+        assert!(s.contains("mid"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn pct_formats_signed() {
+        assert_eq!(pct(0.251), "+25.1%");
+        assert_eq!(pct(-0.5), "-50.0%");
+    }
+}

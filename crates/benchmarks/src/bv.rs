@@ -1,0 +1,77 @@
+//! Bernstein–Vazirani with the all-1s oracle.
+
+use na_circuit::{Circuit, Qubit};
+
+/// Builds an `n`-qubit Bernstein–Vazirani circuit with the all-1s
+/// hidden string (the oracle with the most gates, as the paper uses).
+///
+/// Qubits `0..n-1` are the input register; qubit `n-1` is the phase
+/// ancilla. Every input CNOTs into the ancilla, so the oracle is a
+/// fully serial chain — the paper's "not parallel" benchmark.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Example
+///
+/// ```
+/// use na_benchmarks::bv;
+///
+/// let c = bv(5);
+/// assert_eq!(c.num_qubits(), 5);
+/// // 4 input H + (X+H) ancilla prep + 4 oracle CNOTs + 4 closing H.
+/// let m = c.metrics();
+/// assert_eq!(m.two_qubit, 4);
+/// assert_eq!(m.one_qubit, 4 + 2 + 4);
+/// ```
+pub fn bv(n: u32) -> Circuit {
+    assert!(n >= 2, "Bernstein-Vazirani needs at least 2 qubits");
+    let mut c = Circuit::new(n);
+    let anc = Qubit(n - 1);
+    // Prepare |-> on the ancilla and |+> on the inputs.
+    c.x(anc);
+    c.h(anc);
+    for i in 0..n - 1 {
+        c.h(Qubit(i));
+    }
+    // All-1s oracle: phase kickback from every input.
+    for i in 0..n - 1 {
+        c.cnot(Qubit(i), anc);
+    }
+    // Undo the input Hadamards to read the hidden string.
+    for i in 0..n - 1 {
+        c.h(Qubit(i));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_counts_scale_linearly() {
+        for n in 2..20 {
+            let c = bv(n);
+            let m = c.metrics();
+            assert_eq!(m.two_qubit, (n - 1) as usize, "n = {n}");
+            assert_eq!(m.one_qubit, (2 * (n - 1) + 2) as usize, "n = {n}");
+            assert_eq!(m.three_qubit, 0);
+        }
+    }
+
+    #[test]
+    fn oracle_is_serial_on_the_ancilla() {
+        let c = bv(6);
+        // Depth: X,H on ancilla (2) then 5 serial CNOTs then closing H
+        // in parallel with nothing on the ancilla path: >= 2 + 5.
+        assert!(c.metrics().depth >= 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn too_small_panics() {
+        bv(1);
+    }
+}

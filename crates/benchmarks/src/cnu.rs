@@ -1,0 +1,97 @@
+//! The CNU benchmark: an n-controlled NOT via the logarithmic-depth
+//! ancilla tree.
+
+use na_circuit::decompose::cnx_with_ancilla;
+use na_circuit::{Circuit, Qubit};
+
+/// Builds an n-controlled-NOT over `controls` control qubits using the
+/// logarithmic-depth, O(n)-ancilla Toffoli-tree decomposition (Barenco
+/// et al.), the paper's highly parallel benchmark.
+///
+/// Qubit layout: controls are `0..controls`, the target is qubit
+/// `controls`, and `controls - 2` clean ancillas follow (for
+/// `controls ≥ 3`), giving `2·controls - 1` qubits total.
+///
+/// # Panics
+///
+/// Panics if `controls < 2`.
+///
+/// # Example
+///
+/// ```
+/// use na_benchmarks::cnu;
+///
+/// let c = cnu(8);
+/// assert_eq!(c.num_qubits(), 15);
+/// assert_eq!(c.metrics().three_qubit, 2 * (8 - 2) + 1);
+/// ```
+pub fn cnu(controls: u32) -> Circuit {
+    assert!(controls >= 2, "CNU needs at least 2 controls");
+    let n_anc = controls.saturating_sub(2);
+    let total = controls + 1 + n_anc;
+    let mut c = Circuit::new(total);
+    let ctrl: Vec<Qubit> = (0..controls).map(Qubit).collect();
+    let target = Qubit(controls);
+    let ancilla: Vec<Qubit> = (0..n_anc).map(|i| Qubit(controls + 1 + i)).collect();
+    for g in cnx_with_ancilla(&ctrl, target, &ancilla) {
+        c.push(g);
+    }
+    c
+}
+
+/// Largest control count whose CNU fits in `size` qubits
+/// (`2·controls - 1 ≤ size`), matching how the paper reports "49-qubit
+/// CNU" for the 50-qubit sweep point.
+pub fn cnu_controls_for_size(size: u32) -> u32 {
+    size.div_ceil(2).max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_count_is_2c_minus_1() {
+        for c in 2..30 {
+            assert_eq!(cnu(c).num_qubits(), 2 * c - 1, "controls = {c}");
+        }
+    }
+
+    #[test]
+    fn toffoli_tree_depth_is_logarithmic() {
+        // Depth ~ 2 log2(c) + 1; check it grows much slower than c.
+        let d8 = cnu(8).metrics().depth;
+        let d64 = cnu(64).metrics().depth;
+        assert!(d64 <= d8 + 7, "tree depth must be logarithmic: {d8} -> {d64}");
+    }
+
+    #[test]
+    fn gate_count_formula() {
+        for c in 3u32..20 {
+            let m = cnu(c).metrics();
+            assert_eq!(m.three_qubit, (2 * (c - 2) + 1) as usize);
+            assert_eq!(m.total_gates(), m.three_qubit);
+        }
+    }
+
+    #[test]
+    fn two_controls_is_a_single_toffoli() {
+        let c = cnu(2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.num_qubits(), 3);
+    }
+
+    #[test]
+    fn size_mapping_round_trips() {
+        assert_eq!(cnu_controls_for_size(49), 25);
+        assert_eq!(cnu(25).num_qubits(), 49);
+        assert_eq!(cnu_controls_for_size(50), 25);
+        assert_eq!(cnu_controls_for_size(3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn one_control_panics() {
+        cnu(1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Cuccaro ripple-carry adder.
+
+use na_circuit::{Circuit, Qubit};
+
+/// Builds the Cuccaro et al. ripple-carry adder on two `bits`-bit
+/// registers: `|a>|b> -> |a>|a+b>` with an input carry and an output
+/// carry qubit — `2·bits + 2` qubits total.
+///
+/// Register layout: qubit 0 is the input carry `c0`; for bit `i`,
+/// `b_i = 1 + 2i` and `a_i = 2 + 2i`; the last qubit is the output
+/// carry `z`. The circuit is the MAJ…CNOT…UMA cascade of
+/// quant-ph/0410184 written directly in Toffoli form, which makes it
+/// the paper's serial, Toffoli-built benchmark.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+///
+/// # Example
+///
+/// ```
+/// use na_benchmarks::cuccaro;
+///
+/// let c = cuccaro(4);
+/// assert_eq!(c.num_qubits(), 10);
+/// assert_eq!(c.metrics().three_qubit, 8); // 2 Toffolis per bit
+/// ```
+pub fn cuccaro(bits: u32) -> Circuit {
+    assert!(bits > 0, "adder width must be positive");
+    let n = 2 * bits + 2;
+    let mut c = Circuit::new(n);
+    let a = |i: u32| Qubit(2 + 2 * i);
+    let b = |i: u32| Qubit(1 + 2 * i);
+    let c0 = Qubit(0);
+    let z = Qubit(n - 1);
+
+    // MAJ(x, y, z): carry-in x, sum bit y, next-carry z.
+    let maj = |c: &mut Circuit, x: Qubit, y: Qubit, t: Qubit| {
+        c.cnot(t, y);
+        c.cnot(t, x);
+        c.toffoli(x, y, t);
+    };
+    // UMA(x, y, z): the 2-CNOT + Toffoli un-majority-and-add block.
+    let uma = |c: &mut Circuit, x: Qubit, y: Qubit, t: Qubit| {
+        c.toffoli(x, y, t);
+        c.cnot(t, x);
+        c.cnot(x, y);
+    };
+
+    // Forward MAJ ripple.
+    maj(&mut c, c0, b(0), a(0));
+    for i in 1..bits {
+        maj(&mut c, a(i - 1), b(i), a(i));
+    }
+    // Copy the final carry out.
+    c.cnot(a(bits - 1), z);
+    // Backward UMA ripple.
+    for i in (1..bits).rev() {
+        uma(&mut c, a(i - 1), b(i), a(i));
+    }
+    uma(&mut c, c0, b(0), a(0));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_and_gate_counts() {
+        for bits in 1..16 {
+            let c = cuccaro(bits);
+            assert_eq!(c.num_qubits(), 2 * bits + 2);
+            let m = c.metrics();
+            // One MAJ + one UMA per bit, each with one Toffoli.
+            assert_eq!(m.three_qubit, 2 * bits as usize);
+            // Two CNOTs per MAJ, two per UMA, plus the carry-out copy.
+            assert_eq!(m.two_qubit, (4 * bits + 1) as usize);
+            assert_eq!(m.one_qubit, 0);
+        }
+    }
+
+    #[test]
+    fn ripple_is_serial() {
+        // The carry chain makes depth linear in width.
+        let d8 = cuccaro(8).metrics().depth;
+        let d16 = cuccaro(16).metrics().depth;
+        assert!(d16 > d8 + 8, "depth must grow with the ripple chain");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bits_panics() {
+        cuccaro(0);
+    }
+}

@@ -1,0 +1,134 @@
+//! QAOA for MAX-CUT on random graphs.
+
+use na_circuit::{Circuit, Qubit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples an Erdős–Rényi-style graph over `n` vertices where each of
+/// the `n·(n-1)/2` candidate edges is present independently with
+/// probability `density`. Deterministic in `seed`.
+///
+/// If the draw produces no edges at all (likely for tiny `n` at density
+/// 0.1), the edge `(0, 1)` is added so the ansatz is never empty.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `density` is outside `[0, 1]`.
+pub fn random_graph(n: u32, density: f64, seed: u64) -> Vec<(u32, u32)> {
+    assert!(n >= 2, "a graph needs at least 2 vertices");
+    assert!(
+        (0.0..=1.0).contains(&density),
+        "edge density must be in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(density) {
+                edges.push((i, j));
+            }
+        }
+    }
+    if edges.is_empty() {
+        edges.push((0, 1));
+    }
+    edges
+}
+
+/// Builds a depth-1 QAOA MAX-CUT ansatz over `n` qubits on a random
+/// graph of the given edge `density` (the paper fixes 0.1).
+///
+/// Per edge `(u, v)` the cost layer applies
+/// `CNOT(u,v) · Rz(2γ, v) · CNOT(u,v)`; the mixer applies `Rx(2β)` to
+/// every qubit. Angles are fixed representative values — the compiler
+/// study only cares about circuit *structure*.
+///
+/// Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `density` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use na_benchmarks::qaoa_maxcut;
+///
+/// let a = qaoa_maxcut(20, 0.1, 7);
+/// let b = qaoa_maxcut(20, 0.1, 7);
+/// assert_eq!(a, b); // seeded: reproducible
+/// ```
+pub fn qaoa_maxcut(n: u32, density: f64, seed: u64) -> Circuit {
+    let edges = random_graph(n, density, seed);
+    let gamma = 0.8;
+    let beta = 0.4;
+    let mut c = Circuit::new(n);
+    for i in 0..n {
+        c.h(Qubit(i));
+    }
+    for &(u, v) in &edges {
+        let (qu, qv) = (Qubit(u), Qubit(v));
+        c.cnot(qu, qv);
+        c.rz(qv, 2.0 * gamma);
+        c.cnot(qu, qv);
+    }
+    for i in 0..n {
+        c.rx(Qubit(i), 2.0 * beta);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn graph_is_deterministic_in_seed() {
+        assert_eq!(random_graph(30, 0.1, 1), random_graph(30, 0.1, 1));
+        assert_ne!(random_graph(30, 0.1, 1), random_graph(30, 0.1, 2));
+    }
+
+    #[test]
+    fn graph_density_is_roughly_honored() {
+        let n = 60u32;
+        let pairs = (n * (n - 1) / 2) as f64;
+        let edges = random_graph(n, 0.1, 42).len() as f64;
+        let ratio = edges / pairs;
+        assert!((0.05..0.2).contains(&ratio), "observed density {ratio}");
+    }
+
+    #[test]
+    fn empty_draw_gets_a_fallback_edge() {
+        // Density 0 forces the fallback.
+        assert_eq!(random_graph(5, 0.0, 0), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn circuit_structure_per_edge() {
+        let n = 25u32;
+        let seed = 9;
+        let edges = random_graph(n, 0.1, seed);
+        let c = qaoa_maxcut(n, 0.1, seed);
+        let m = c.metrics();
+        assert_eq!(m.two_qubit, 2 * edges.len());
+        assert_eq!(m.one_qubit, (2 * n) as usize + edges.len());
+        assert_eq!(m.three_qubit, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn bad_density_panics() {
+        random_graph(5, 1.5, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_edges_are_canonical_and_in_range(n in 2u32..40, seed in 0u64..100) {
+            for (u, v) in random_graph(n, 0.1, seed) {
+                prop_assert!(u < v);
+                prop_assert!(v < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Quantum Fourier transform and the QFT (Draper/Ruiz-Perez) adder.
+
+use na_circuit::{Circuit, Gate, Qubit};
+use std::f64::consts::PI;
+
+/// Appends an `m`-qubit QFT over `qubits[0..m]` (qubit 0 = most
+/// significant in the standard circuit picture). The final bit-reversal
+/// SWAPs are omitted, as is conventional when the QFT is immediately
+/// inverted (the adder relabels instead).
+fn qft_gates(c: &mut Circuit, qubits: &[Qubit]) {
+    let m = qubits.len();
+    for i in 0..m {
+        c.h(qubits[i]);
+        for j in (i + 1)..m {
+            let angle = PI / 2f64.powi((j - i) as i32);
+            c.cphase(qubits[j], qubits[i], angle);
+        }
+    }
+}
+
+fn inverse_qft_gates(c: &mut Circuit, qubits: &[Qubit]) {
+    let m = qubits.len();
+    for i in (0..m).rev() {
+        for j in ((i + 1)..m).rev() {
+            let angle = -PI / 2f64.powi((j - i) as i32);
+            c.cphase(qubits[j], qubits[i], angle);
+        }
+        c.h(qubits[i]);
+    }
+}
+
+/// Builds an `m`-qubit QFT circuit.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+///
+/// # Example
+///
+/// ```
+/// use na_benchmarks::qft;
+///
+/// let c = qft(4);
+/// let metrics = c.metrics();
+/// assert_eq!(metrics.one_qubit, 4);        // one H per qubit
+/// assert_eq!(metrics.two_qubit, 6);        // m(m-1)/2 controlled phases
+/// ```
+pub fn qft(m: u32) -> Circuit {
+    assert!(m > 0, "QFT width must be positive");
+    let mut c = Circuit::new(m);
+    let qs: Vec<Qubit> = (0..m).map(Qubit).collect();
+    qft_gates(&mut c, &qs);
+    c
+}
+
+/// Builds an `m`-qubit inverse QFT circuit.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn inverse_qft(m: u32) -> Circuit {
+    assert!(m > 0, "QFT width must be positive");
+    let mut c = Circuit::new(m);
+    let qs: Vec<Qubit> = (0..m).map(Qubit).collect();
+    inverse_qft_gates(&mut c, &qs);
+    c
+}
+
+/// Builds the Ruiz-Perez/Draper QFT adder `|a>|b> → |a>|a+b>` on two
+/// `bits`-bit registers (`2·bits` qubits total).
+///
+/// Structure: QFT on the `b` register, a dense cascade of controlled
+/// phases from `a` onto `b` (the highly parallel middle the paper
+/// highlights in Fig. 4), then the inverse QFT.
+///
+/// Register layout: `a_i = i`, `b_i = bits + i`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+///
+/// # Example
+///
+/// ```
+/// use na_benchmarks::qft_adder;
+///
+/// let c = qft_adder(5);
+/// assert_eq!(c.num_qubits(), 10);
+/// ```
+pub fn qft_adder(bits: u32) -> Circuit {
+    assert!(bits > 0, "adder width must be positive");
+    let mut c = Circuit::new(2 * bits);
+    let a: Vec<Qubit> = (0..bits).map(Qubit).collect();
+    let b: Vec<Qubit> = (0..bits).map(|i| Qubit(bits + i)).collect();
+
+    qft_gates(&mut c, &b);
+
+    // Phase-addition cascade: each a_j rotates every b_i with i ≥ j
+    // (indices in the MSB-first convention used by qft_gates).
+    for i in 0..bits as usize {
+        for j in i..bits as usize {
+            let angle = PI / 2f64.powi((j - i) as i32);
+            c.push(Gate::Cphase(a[j], b[i], angle));
+        }
+    }
+
+    inverse_qft_gates(&mut c, &b);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qft_gate_counts() {
+        for m in 1u32..12 {
+            let c = qft(m);
+            let metrics = c.metrics();
+            assert_eq!(metrics.one_qubit, m as usize);
+            assert_eq!(metrics.two_qubit, (m * (m - 1) / 2) as usize);
+        }
+    }
+
+    #[test]
+    fn inverse_qft_mirrors_qft() {
+        let f = qft(5);
+        let inv = inverse_qft(5);
+        assert_eq!(f.len(), inv.len());
+        // Gate-by-gate: reversed order, negated phases.
+        let fw: Vec<_> = f.gates().iter().collect();
+        let bw: Vec<_> = inv.gates().iter().rev().collect();
+        for (g1, g2) in fw.iter().zip(bw.iter()) {
+            match (g1, g2) {
+                (Gate::Cphase(a1, b1, t1), Gate::Cphase(a2, b2, t2)) => {
+                    assert_eq!((a1, b1), (a2, b2));
+                    assert!((t1 + t2).abs() < 1e-12);
+                }
+                (Gate::H(q1), Gate::H(q2)) => assert_eq!(q1, q2),
+                _ => panic!("unexpected gate pair {g1} / {g2}"),
+            }
+        }
+    }
+
+    #[test]
+    fn adder_qubits_and_structure() {
+        let bits = 4;
+        let c = qft_adder(bits);
+        assert_eq!(c.num_qubits(), 2 * bits);
+        let metrics = c.metrics();
+        // 2 QFT blocks (m H + m(m-1)/2 CP each) + m(m+1)/2 cascade CPs.
+        let m = bits as usize;
+        assert_eq!(metrics.one_qubit, 2 * m);
+        assert_eq!(metrics.two_qubit, m * (m - 1) + m * (m + 1) / 2);
+        assert_eq!(metrics.three_qubit, 0);
+    }
+
+    #[test]
+    fn adder_middle_is_parallel() {
+        // The cascade touches disjoint (a_j, b_i) pairs in waves, so the
+        // adder's depth grows sub-quadratically even though its gate
+        // count is quadratic.
+        let c = qft_adder(8);
+        let metrics = c.metrics();
+        assert!(metrics.depth < metrics.total_gates());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_panics() {
+        qft(0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The benchmark suite behind the paper's figures.
+
+use crate::{bv, cnu, cnu_controls_for_size, cuccaro, qaoa_maxcut, qft_adder};
+use na_circuit::Circuit;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the paper's five benchmark families, sweepable by *program
+/// size* (total qubit budget).
+///
+/// # Example
+///
+/// ```
+/// use na_benchmarks::Benchmark;
+///
+/// for b in Benchmark::ALL {
+///     let c = b.generate(30, 0);
+///     assert!(c.num_qubits() <= 30, "{b} overflows its size budget");
+///     assert!(!c.is_empty());
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// Bernstein–Vazirani, all-1s oracle. Serial, CNOT-only.
+    Bv,
+    /// n-controlled NOT via the log-depth ancilla tree. Parallel,
+    /// Toffoli-built.
+    Cnu,
+    /// Cuccaro ripple-carry adder. Serial, Toffoli-built.
+    Cuccaro,
+    /// QFT adder. Parallel middle between two QFT blocks.
+    QftAdder,
+    /// QAOA MAX-CUT on random graphs of edge density 0.1.
+    Qaoa,
+}
+
+impl Benchmark {
+    /// All five benchmarks in the order the paper's figures list them.
+    pub const ALL: [Benchmark; 5] = [
+        Benchmark::Bv,
+        Benchmark::Cnu,
+        Benchmark::Cuccaro,
+        Benchmark::QftAdder,
+        Benchmark::Qaoa,
+    ];
+
+    /// The display name used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Bv => "BV",
+            Benchmark::Cnu => "CNU",
+            Benchmark::Cuccaro => "Cuccaro",
+            Benchmark::QftAdder => "QFT-Adder",
+            Benchmark::Qaoa => "QAOA",
+        }
+    }
+
+    /// `true` for benchmarks natively expressed in Toffoli gates
+    /// (the Fig. 6 native-vs-decomposed comparison applies to these).
+    pub fn uses_toffoli(self) -> bool {
+        matches!(self, Benchmark::Cnu | Benchmark::Cuccaro)
+    }
+
+    /// Generates the family member that fits within `size` qubits.
+    ///
+    /// Every family rounds down to its structural parameter:
+    /// BV uses all `size` qubits; CNU picks the largest control count
+    /// with `2c - 1 ≤ size`; the adders use `⌊(size-2)/2⌋`- and
+    /// `⌊size/2⌋`-bit registers; QAOA uses all `size` vertices.
+    /// `seed` only affects QAOA's random graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size < 4` (the smallest size every family supports).
+    pub fn generate(self, size: u32, seed: u64) -> Circuit {
+        assert!(size >= 4, "benchmark size must be at least 4 qubits");
+        match self {
+            Benchmark::Bv => bv(size),
+            Benchmark::Cnu => cnu(cnu_controls_for_size(size)),
+            Benchmark::Cuccaro => cuccaro((size - 2) / 2),
+            Benchmark::QftAdder => qft_adder(size / 2),
+            Benchmark::Qaoa => qaoa_maxcut(size, 0.1, seed),
+        }
+    }
+
+    /// The number of qubits [`Benchmark::generate`] actually uses for a
+    /// given size budget.
+    pub fn actual_size(self, size: u32) -> u32 {
+        match self {
+            Benchmark::Bv | Benchmark::Qaoa => size,
+            Benchmark::Cnu => 2 * cnu_controls_for_size(size) - 1,
+            Benchmark::Cuccaro => 2 * ((size - 2) / 2) + 2,
+            Benchmark::QftAdder => 2 * (size / 2),
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_fits_budget_for_all_families() {
+        for b in Benchmark::ALL {
+            for size in [4u32, 10, 30, 50, 100] {
+                let c = b.generate(size, 3);
+                assert_eq!(c.num_qubits(), b.actual_size(size), "{b} size {size}");
+                assert!(c.num_qubits() <= size, "{b} size {size}");
+                assert!(!c.is_empty(), "{b} size {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_sweep_point_cnu_is_49_qubits() {
+        assert_eq!(Benchmark::Cnu.actual_size(50), 49);
+    }
+
+    #[test]
+    fn toffoli_families_flagged() {
+        assert!(Benchmark::Cnu.uses_toffoli());
+        assert!(Benchmark::Cuccaro.uses_toffoli());
+        assert!(!Benchmark::Bv.uses_toffoli());
+        assert!(!Benchmark::QftAdder.uses_toffoli());
+        assert!(!Benchmark::Qaoa.uses_toffoli());
+    }
+
+    #[test]
+    fn toffoli_families_emit_three_qubit_gates() {
+        for b in Benchmark::ALL {
+            let c = b.generate(20, 0);
+            let has3q = c.metrics().three_qubit > 0;
+            assert_eq!(has3q, b.uses_toffoli(), "{b}");
+        }
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        let names: Vec<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["BV", "CNU", "Cuccaro", "QFT-Adder", "QAOA"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_size_panics() {
+        Benchmark::Cuccaro.generate(3, 0);
+    }
+}

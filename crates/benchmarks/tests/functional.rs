@@ -1,0 +1,177 @@
+//! Functional correctness of the benchmark generators, checked with
+//! the dense state-vector simulator: the adders must add, BV must
+//! recover its hidden string, CNU must behave as an n-controlled NOT.
+
+use na_benchmarks::{bv, cnu, cuccaro, qaoa_maxcut, qft, qft_adder};
+use na_circuit::sim::StateVector;
+use na_circuit::{Circuit, Qubit};
+
+const TOL: f64 = 1e-9;
+
+/// Builds the Cuccaro input basis state for `a + b` with carry-in
+/// `cin` using the generator's register layout (c0=0, b_i=1+2i,
+/// a_i=2+2i, z=2m+1).
+fn cuccaro_input(bits: u32, a: u64, b: u64, cin: u64) -> u64 {
+    let mut basis = cin; // c0 is qubit 0
+    for i in 0..bits {
+        if b >> i & 1 == 1 {
+            basis |= 1 << (1 + 2 * i);
+        }
+        if a >> i & 1 == 1 {
+            basis |= 1 << (2 + 2 * i);
+        }
+    }
+    basis
+}
+
+/// Reads (a, b, carry_out) from a Cuccaro basis index.
+fn cuccaro_output(bits: u32, basis: u64) -> (u64, u64, u64) {
+    let mut a = 0u64;
+    let mut b = 0u64;
+    for i in 0..bits {
+        b |= (basis >> (1 + 2 * i) & 1) << i;
+        a |= (basis >> (2 + 2 * i) & 1) << i;
+    }
+    let z = basis >> (2 * bits + 1) & 1;
+    (a, b, z)
+}
+
+#[test]
+fn cuccaro_adds_every_input_pair() {
+    for bits in [1u32, 2, 3] {
+        let circuit = cuccaro(bits);
+        let m = 1u64 << bits;
+        for a in 0..m {
+            for b in 0..m {
+                for cin in 0..2u64 {
+                    let s = StateVector::run_from(&circuit, cuccaro_input(bits, a, b, cin));
+                    // The output must be a single basis state.
+                    let (idx, _) = s
+                        .amplitudes()
+                        .iter()
+                        .enumerate()
+                        .find(|(_, amp)| amp.norm_sq() > 0.5)
+                        .expect("classical output");
+                    let (a_out, b_out, carry) = cuccaro_output(bits, idx as u64);
+                    let sum = a + b + cin;
+                    assert_eq!(a_out, a, "a register preserved ({bits} bits, {a}+{b}+{cin})");
+                    assert_eq!(b_out, sum % m, "sum ({bits} bits, {a}+{b}+{cin})");
+                    assert_eq!(carry, sum / m, "carry ({bits} bits, {a}+{b}+{cin})");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn qft_adder_adds_mod_2n() {
+    // Layout: a_i = i, b_i = bits + i, MSB-first within each register
+    // (qubit 0 of a register is its most significant bit).
+    for bits in [2u32, 3] {
+        let circuit = qft_adder(bits);
+        let m = 1u64 << bits;
+        for a in 0..m {
+            for b in 0..m {
+                let mut basis = 0u64;
+                for i in 0..bits {
+                    // Bit (bits-1-i) of the value goes to register qubit i.
+                    if a >> (bits - 1 - i) & 1 == 1 {
+                        basis |= 1 << i;
+                    }
+                    if b >> (bits - 1 - i) & 1 == 1 {
+                        basis |= 1 << (bits + i);
+                    }
+                }
+                let s = StateVector::run_from(&circuit, basis);
+                let (idx, amp) = s
+                    .amplitudes()
+                    .iter()
+                    .enumerate()
+                    .max_by(|x, y| x.1.norm_sq().partial_cmp(&y.1.norm_sq()).unwrap())
+                    .unwrap();
+                assert!(amp.norm_sq() > 1.0 - 1e-6, "classical output for {a}+{b}");
+                let mut a_out = 0u64;
+                let mut b_out = 0u64;
+                for i in 0..bits {
+                    a_out |= (idx as u64 >> i & 1) << (bits - 1 - i);
+                    b_out |= (idx as u64 >> (bits + i) & 1) << (bits - 1 - i);
+                }
+                assert_eq!(a_out, a, "a preserved ({a}+{b})");
+                assert_eq!(b_out, (a + b) % m, "sum mod 2^{bits} ({a}+{b})");
+            }
+        }
+    }
+}
+
+#[test]
+fn bv_recovers_the_all_ones_string() {
+    for n in [3u32, 5, 8] {
+        let circuit = bv(n);
+        let s = StateVector::run(&circuit);
+        // Inputs must read all 1s with certainty; the ancilla stays in
+        // |-> so both ancilla values are equally likely.
+        for i in 0..n - 1 {
+            assert!(
+                (s.prob_one(Qubit(i)) - 1.0).abs() < TOL,
+                "input {i} of {n}-qubit BV"
+            );
+        }
+        assert!((s.prob_one(Qubit(n - 1)) - 0.5).abs() < TOL, "ancilla in |->");
+    }
+}
+
+#[test]
+fn cnu_is_an_n_controlled_not() {
+    for controls in [3u32, 5] {
+        let circuit = cnu(controls);
+        let all_set = (1u64 << controls) - 1;
+        for pattern in 0..=all_set {
+            let s = StateVector::run_from(&circuit, pattern);
+            let expected = if pattern == all_set {
+                pattern | (1 << controls)
+            } else {
+                pattern
+            };
+            assert!(
+                (s.probability(expected) - 1.0).abs() < TOL,
+                "{controls} controls, pattern {pattern:b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn qft_of_zero_is_uniform() {
+    let circuit = qft(4);
+    let s = StateVector::run(&circuit);
+    for b in 0..16u64 {
+        assert!((s.probability(b) - 1.0 / 16.0).abs() < TOL, "basis {b}");
+    }
+}
+
+#[test]
+fn qft_inverse_composes_to_identity() {
+    let m = 4u32;
+    let mut c = Circuit::new(m);
+    // Prepare a nontrivial state.
+    c.h(Qubit(0));
+    c.cnot(Qubit(0), Qubit(2));
+    c.rz(Qubit(2), 0.7);
+    let reference = StateVector::run(&c);
+    c.extend_from(&qft(m));
+    c.extend_from(&na_benchmarks::inverse_qft(m));
+    let round_trip = StateVector::run(&c);
+    assert!((reference.fidelity(&round_trip) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn qaoa_preserves_norm_and_entangles() {
+    let circuit = qaoa_maxcut(8, 0.3, 5);
+    let s = StateVector::run(&circuit);
+    assert!((s.norm() - 1.0).abs() < 1e-9);
+    // The state must not be a computational basis state.
+    let max_p = (0..(1u64 << 8))
+        .map(|b| s.probability(b))
+        .fold(0.0f64, f64::max);
+    assert!(max_p < 0.9, "QAOA state collapsed to a basis state");
+}

@@ -1,0 +1,496 @@
+//! Gate-decomposition passes.
+//!
+//! Neutral-atom hardware can run Toffoli-class gates natively; every
+//! competing platform must lower them to one- and two-qubit gates first.
+//! This module provides both directions of that comparison (paper §IV-B):
+//!
+//! * [`toffoli_gates`] — the standard 6-CNOT + 9 single-qubit network;
+//! * [`ccz_gates`], [`cphase_gates`], [`swap_gates`] — auxiliary
+//!   lowerings;
+//! * [`cnx_with_ancilla`] — the logarithmic-depth Barenco-style
+//!   decomposition of an n-controlled X using a clean-ancilla Toffoli
+//!   tree (the paper's CNU benchmark);
+//! * [`decompose_circuit`] — whole-circuit lowering to a chosen
+//!   [`DecomposeLevel`].
+
+use crate::{Circuit, Gate, Qubit};
+
+/// Target gate-set arity for [`decompose_circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecomposeLevel {
+    /// Lower everything to one- and two-qubit gates (SC-style target).
+    TwoQubit,
+    /// Keep three-qubit gates (Toffoli/CCZ) native; lower only larger
+    /// gates (NA-style target).
+    ThreeQubit,
+}
+
+/// The textbook Toffoli network: 6 CNOTs and 9 single-qubit gates.
+///
+/// # Example
+///
+/// ```
+/// use na_circuit::decompose::toffoli_gates;
+/// use na_circuit::Qubit;
+///
+/// let gates = toffoli_gates(Qubit(0), Qubit(1), Qubit(2));
+/// let cnots = gates.iter().filter(|g| g.name() == "cnot").count();
+/// assert_eq!(cnots, 6);
+/// assert_eq!(gates.len(), 15);
+/// ```
+pub fn toffoli_gates(c0: Qubit, c1: Qubit, target: Qubit) -> Vec<Gate> {
+    vec![
+        Gate::H(target),
+        Gate::Cnot {
+            control: c1,
+            target,
+        },
+        Gate::Tdg(target),
+        Gate::Cnot {
+            control: c0,
+            target,
+        },
+        Gate::T(target),
+        Gate::Cnot {
+            control: c1,
+            target,
+        },
+        Gate::Tdg(target),
+        Gate::Cnot {
+            control: c0,
+            target,
+        },
+        Gate::T(c1),
+        Gate::T(target),
+        Gate::H(target),
+        Gate::Cnot {
+            control: c0,
+            target: c1,
+        },
+        Gate::T(c0),
+        Gate::Tdg(c1),
+        Gate::Cnot {
+            control: c0,
+            target: c1,
+        },
+    ]
+}
+
+/// CCZ as a Hadamard-conjugated Toffoli network.
+pub fn ccz_gates(a: Qubit, b: Qubit, c: Qubit) -> Vec<Gate> {
+    let mut gates = vec![Gate::H(c)];
+    gates.extend(toffoli_gates(a, b, c));
+    gates.push(Gate::H(c));
+    gates
+}
+
+/// Controlled-phase via two CNOTs and three Rz rotations.
+pub fn cphase_gates(a: Qubit, b: Qubit, angle: f64) -> Vec<Gate> {
+    vec![
+        Gate::Rz(a, angle / 2.0),
+        Gate::Rz(b, angle / 2.0),
+        Gate::Cnot {
+            control: a,
+            target: b,
+        },
+        Gate::Rz(b, -angle / 2.0),
+        Gate::Cnot {
+            control: a,
+            target: b,
+        },
+    ]
+}
+
+/// SWAP as three alternating CNOTs.
+pub fn swap_gates(a: Qubit, b: Qubit) -> Vec<Gate> {
+    vec![
+        Gate::Cnot {
+            control: a,
+            target: b,
+        },
+        Gate::Cnot {
+            control: b,
+            target: a,
+        },
+        Gate::Cnot {
+            control: a,
+            target: b,
+        },
+    ]
+}
+
+/// Logarithmic-depth n-controlled-X using a clean-ancilla Toffoli tree.
+///
+/// With `n` controls the tree ANDs controls pairwise into ancillas until
+/// two wires remain, applies one Toffoli onto `target`, then uncomputes.
+/// It emits `2·(n-2) + 1` Toffolis and needs `n - 2` clean ancillas (for
+/// `n ≥ 3`); depth is `O(log n)` on each side of the middle Toffoli.
+/// This is the decomposition behind the paper's CNU benchmark (§III-B).
+///
+/// For `n = 1` this is a single CNOT, for `n = 2` a single Toffoli.
+///
+/// # Panics
+///
+/// Panics if fewer than `n - 2` ancillas are supplied, if `controls` is
+/// empty, or if any ancilla collides with a control or the target.
+pub fn cnx_with_ancilla(controls: &[Qubit], target: Qubit, ancilla: &[Qubit]) -> Vec<Gate> {
+    assert!(!controls.is_empty(), "cnx requires at least one control");
+    match controls.len() {
+        1 => {
+            return vec![Gate::Cnot {
+                control: controls[0],
+                target,
+            }]
+        }
+        2 => {
+            return vec![Gate::Toffoli {
+                controls: [controls[0], controls[1]],
+                target,
+            }]
+        }
+        _ => {}
+    }
+    let needed = controls.len() - 2;
+    assert!(
+        ancilla.len() >= needed,
+        "cnx over {} controls needs {} ancillas, got {}",
+        controls.len(),
+        needed,
+        ancilla.len()
+    );
+    for a in &ancilla[..needed] {
+        assert!(
+            !controls.contains(a) && *a != target,
+            "ancilla {a} collides with an operand"
+        );
+    }
+
+    let mut compute: Vec<Gate> = Vec::new();
+    let mut wires: Vec<Qubit> = controls.to_vec();
+    let mut next_anc = 0usize;
+
+    // Pairwise AND layers until only two wires remain.
+    while wires.len() > 2 {
+        let mut next: Vec<Qubit> = Vec::with_capacity(wires.len().div_ceil(2));
+        let mut i = 0;
+        while i + 1 < wires.len() {
+            let a = ancilla[next_anc];
+            next_anc += 1;
+            compute.push(Gate::Toffoli {
+                controls: [wires[i], wires[i + 1]],
+                target: a,
+            });
+            next.push(a);
+            i += 2;
+        }
+        if i < wires.len() {
+            next.push(wires[i]);
+        }
+        wires = next;
+    }
+
+    let mut gates = compute.clone();
+    gates.push(Gate::Toffoli {
+        controls: [wires[0], wires[1]],
+        target,
+    });
+    // Uncompute in reverse (Toffoli is self-inverse).
+    gates.extend(compute.into_iter().rev());
+    gates
+}
+
+/// Lowers a whole circuit to the requested gate-set arity.
+///
+/// * At [`DecomposeLevel::ThreeQubit`], `Cnx` gates with more than two
+///   controls are lowered with [`cnx_with_ancilla`]; ancillas are fresh
+///   qubits appended to the register. All other gates pass through.
+/// * At [`DecomposeLevel::TwoQubit`], additionally every `Toffoli` and
+///   `Ccz` becomes its 6-CNOT network.
+///
+/// SWAPs are left intact at both levels: the router reasons about them
+/// as single communication operations, and the error model prices them
+/// as three two-qubit gates.
+///
+/// # Example
+///
+/// ```
+/// use na_circuit::{decompose_circuit, Circuit, DecomposeLevel, Qubit};
+///
+/// let mut c = Circuit::new(3);
+/// c.toffoli(Qubit(0), Qubit(1), Qubit(2));
+/// let native = decompose_circuit(&c, DecomposeLevel::ThreeQubit);
+/// let lowered = decompose_circuit(&c, DecomposeLevel::TwoQubit);
+/// assert_eq!(native.len(), 1);
+/// assert_eq!(lowered.len(), 15);
+/// ```
+pub fn decompose_circuit(circuit: &Circuit, level: DecomposeLevel) -> Circuit {
+    // First pass: count the ancillas needed by large Cnx gates so the new
+    // register can be sized up front. Ancillas are reused across gates
+    // because each Cnx uncomputes them back to |0>.
+    let max_anc = circuit
+        .iter()
+        .filter_map(|g| match g {
+            Gate::Cnx { controls, .. } if controls.len() > 2 => Some(controls.len() - 2),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+
+    let n = circuit.num_qubits();
+    let mut out = Circuit::new(n + max_anc as u32);
+    let ancilla: Vec<Qubit> = (0..max_anc as u32).map(|i| Qubit(n + i)).collect();
+
+    for gate in circuit.iter() {
+        let lowered: Vec<Gate> = match (gate, level) {
+            (Gate::Cnx { controls, target }, _) if controls.len() > 2 => {
+                let tree = cnx_with_ancilla(controls, *target, &ancilla);
+                match level {
+                    DecomposeLevel::ThreeQubit => tree,
+                    DecomposeLevel::TwoQubit => tree
+                        .into_iter()
+                        .flat_map(|g| lower_to_two_qubit(&g))
+                        .collect(),
+                }
+            }
+            (Gate::Cnx { controls, target }, _) if controls.len() == 2 => {
+                let t = Gate::Toffoli {
+                    controls: [controls[0], controls[1]],
+                    target: *target,
+                };
+                match level {
+                    DecomposeLevel::ThreeQubit => vec![t],
+                    DecomposeLevel::TwoQubit => lower_to_two_qubit(&t),
+                }
+            }
+            (Gate::Cnx { controls, target }, _) => vec![Gate::Cnot {
+                control: controls[0],
+                target: *target,
+            }],
+            (g, DecomposeLevel::TwoQubit) => lower_to_two_qubit(g),
+            (g, DecomposeLevel::ThreeQubit) => vec![g.clone()],
+        };
+        for g in lowered {
+            out.push(g);
+        }
+    }
+    out
+}
+
+fn lower_to_two_qubit(gate: &Gate) -> Vec<Gate> {
+    match gate {
+        Gate::Toffoli { controls, target } => toffoli_gates(controls[0], controls[1], *target),
+        Gate::Ccz(a, b, c) => ccz_gates(*a, *b, *c),
+        g => vec![g.clone()],
+    }
+}
+
+/// Lowers a circuit so that no gate exceeds `max_arity` operands —
+/// the generalization of [`decompose_circuit`] used by the large
+/// native-gate extension (paper §IV-B).
+///
+/// * `max_arity ≤ 2` behaves like [`DecomposeLevel::TwoQubit`];
+/// * `max_arity == 3` behaves like [`DecomposeLevel::ThreeQubit`];
+/// * `max_arity ≥ 4` keeps `Cnx` gates of up to `max_arity` operands
+///   native and lowers only larger ones to the ancilla Toffoli tree.
+pub fn decompose_to_max_arity(circuit: &Circuit, max_arity: usize) -> Circuit {
+    match max_arity {
+        0..=2 => decompose_circuit(circuit, DecomposeLevel::TwoQubit),
+        3 => decompose_circuit(circuit, DecomposeLevel::ThreeQubit),
+        _ => {
+            // Ancillas only for Cnx gates that are still too large.
+            let max_anc = circuit
+                .iter()
+                .filter_map(|g| match g {
+                    Gate::Cnx { controls, .. } if controls.len() + 1 > max_arity => {
+                        Some(controls.len() - 2)
+                    }
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+            let n = circuit.num_qubits();
+            let mut out = Circuit::new(n + max_anc as u32);
+            let ancilla: Vec<Qubit> = (0..max_anc as u32).map(|i| Qubit(n + i)).collect();
+            for gate in circuit.iter() {
+                match gate {
+                    Gate::Cnx { controls, target } if controls.len() + 1 > max_arity => {
+                        for g in cnx_with_ancilla(controls, *target, &ancilla) {
+                            out.push(g);
+                        }
+                    }
+                    g => out.push(g.clone()),
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn toffoli_network_shape() {
+        let g = toffoli_gates(Qubit(0), Qubit(1), Qubit(2));
+        assert_eq!(g.len(), 15);
+        assert_eq!(g.iter().filter(|g| g.name() == "cnot").count(), 6);
+        assert!(g.iter().all(|g| g.arity() <= 2));
+    }
+
+    #[test]
+    fn ccz_is_h_conjugated_toffoli() {
+        let g = ccz_gates(Qubit(0), Qubit(1), Qubit(2));
+        assert_eq!(g.len(), 17);
+        assert_eq!(g.first().unwrap().name(), "h");
+        assert_eq!(g.last().unwrap().name(), "h");
+    }
+
+    #[test]
+    fn cphase_uses_two_cnots() {
+        let g = cphase_gates(Qubit(0), Qubit(1), 1.0);
+        assert_eq!(g.iter().filter(|g| g.name() == "cnot").count(), 2);
+        assert_eq!(g.iter().filter(|g| g.name() == "rz").count(), 3);
+    }
+
+    #[test]
+    fn swap_is_three_cnots() {
+        let g = swap_gates(Qubit(0), Qubit(1));
+        assert_eq!(g.len(), 3);
+        assert!(g.iter().all(|g| g.name() == "cnot"));
+    }
+
+    #[test]
+    fn cnx_small_cases() {
+        assert_eq!(cnx_with_ancilla(&[Qubit(0)], Qubit(1), &[]).len(), 1);
+        let two = cnx_with_ancilla(&[Qubit(0), Qubit(1)], Qubit(2), &[]);
+        assert_eq!(two.len(), 1);
+        assert_eq!(two[0].name(), "toffoli");
+    }
+
+    #[test]
+    fn cnx_tree_toffoli_count() {
+        // n controls -> 2(n-2)+1 Toffolis.
+        for n in 3u32..=9 {
+            let controls: Vec<Qubit> = (0..n).map(Qubit).collect();
+            let target = Qubit(n);
+            let ancilla: Vec<Qubit> = (0..n - 2).map(|i| Qubit(n + 1 + i)).collect();
+            let gates = cnx_with_ancilla(&controls, target, &ancilla);
+            assert_eq!(gates.len(), (2 * (n as usize - 2)) + 1, "n = {n}");
+            assert!(gates.iter().all(|g| g.name() == "toffoli"));
+        }
+    }
+
+    #[test]
+    fn cnx_tree_is_palindromic_around_middle() {
+        let controls: Vec<Qubit> = (0..5).map(Qubit).collect();
+        let ancilla: Vec<Qubit> = (6..9).map(Qubit).collect();
+        let gates = cnx_with_ancilla(&controls, Qubit(5), &ancilla);
+        let k = gates.len();
+        for i in 0..k / 2 {
+            assert_eq!(gates[i], gates[k - 1 - i], "mirror position {i}");
+        }
+        // Middle gate targets the real target.
+        assert!(gates[k / 2].qubits().contains(&Qubit(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn cnx_missing_ancilla_panics() {
+        let controls: Vec<Qubit> = (0..4).map(Qubit).collect();
+        cnx_with_ancilla(&controls, Qubit(4), &[Qubit(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn cnx_colliding_ancilla_panics() {
+        let controls: Vec<Qubit> = (0..3).map(Qubit).collect();
+        cnx_with_ancilla(&controls, Qubit(3), &[Qubit(0)]);
+    }
+
+    #[test]
+    fn decompose_circuit_two_qubit_lowers_everything() {
+        let mut c = Circuit::new(4);
+        c.toffoli(Qubit(0), Qubit(1), Qubit(2));
+        c.ccz(Qubit(1), Qubit(2), Qubit(3));
+        c.cnot(Qubit(0), Qubit(3));
+        let low = decompose_circuit(&c, DecomposeLevel::TwoQubit);
+        assert!(low.iter().all(|g| g.arity() <= 2));
+        assert_eq!(low.num_qubits(), 4);
+    }
+
+    #[test]
+    fn decompose_circuit_three_qubit_keeps_toffoli() {
+        let mut c = Circuit::new(3);
+        c.toffoli(Qubit(0), Qubit(1), Qubit(2));
+        let out = decompose_circuit(&c, DecomposeLevel::ThreeQubit);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.gates()[0].name(), "toffoli");
+    }
+
+    #[test]
+    fn decompose_circuit_allocates_ancilla_for_cnx() {
+        let mut c = Circuit::new(6);
+        c.cnx((0..5).map(Qubit).collect(), Qubit(5));
+        let out = decompose_circuit(&c, DecomposeLevel::ThreeQubit);
+        // 5 controls -> 3 ancillas appended.
+        assert_eq!(out.num_qubits(), 9);
+        assert_eq!(out.len(), 2 * 3 + 1);
+        assert!(out.iter().all(|g| g.name() == "toffoli"));
+    }
+
+    #[test]
+    fn decompose_to_max_arity_keeps_small_cnx_native() {
+        let mut c = Circuit::new(5);
+        c.cnx((0..4).map(Qubit).collect(), Qubit(4));
+        let kept = decompose_to_max_arity(&c, 5);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept.gates()[0].arity(), 5);
+        assert_eq!(kept.num_qubits(), 5, "no ancilla needed");
+
+        let lowered = decompose_to_max_arity(&c, 4);
+        assert!(lowered.iter().all(|g| g.arity() <= 3));
+        assert_eq!(lowered.num_qubits(), 7, "tree ancillas appended");
+    }
+
+    #[test]
+    fn decompose_to_max_arity_small_caps_match_levels() {
+        let mut c = Circuit::new(4);
+        c.toffoli(Qubit(0), Qubit(1), Qubit(2));
+        c.cnot(Qubit(2), Qubit(3));
+        assert_eq!(
+            decompose_to_max_arity(&c, 2),
+            decompose_circuit(&c, DecomposeLevel::TwoQubit)
+        );
+        assert_eq!(
+            decompose_to_max_arity(&c, 3),
+            decompose_circuit(&c, DecomposeLevel::ThreeQubit)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cnx_gate_count_formula(n in 3u32..12) {
+            let controls: Vec<Qubit> = (0..n).map(Qubit).collect();
+            let ancilla: Vec<Qubit> = (0..n).map(|i| Qubit(n + 1 + i)).collect();
+            let gates = cnx_with_ancilla(&controls, Qubit(n), &ancilla);
+            prop_assert_eq!(gates.len(), 2 * (n as usize - 2) + 1);
+        }
+
+        #[test]
+        fn prop_cnx_uses_each_ancilla_twice(n in 3u32..12) {
+            let controls: Vec<Qubit> = (0..n).map(Qubit).collect();
+            let ancilla: Vec<Qubit> = (0..n - 2).map(|i| Qubit(n + 1 + i)).collect();
+            let gates = cnx_with_ancilla(&controls, Qubit(n), &ancilla);
+            for a in &ancilla {
+                let writes = gates
+                    .iter()
+                    .filter(|g| matches!(g, Gate::Toffoli { target, .. } if target == a))
+                    .count();
+                // Written once during compute, once during uncompute.
+                prop_assert_eq!(writes, 2);
+            }
+        }
+    }
+}

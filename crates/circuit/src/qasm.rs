@@ -1,0 +1,177 @@
+//! OpenQASM 2.0 export.
+//!
+//! Lets circuits and compiled programs leave the toolkit for
+//! cross-checking against mainstream stacks (the paper validated its
+//! compiler against Qiskit the same way). Only export is provided —
+//! the architecture study never consumes external circuits.
+
+use crate::{Circuit, Gate};
+use std::fmt::Write;
+
+/// Renders a circuit as an OpenQASM 2.0 program.
+///
+/// `Cnx` gates with more than two controls have no single QASM-2
+/// primitive; lower them first with
+/// [`decompose_circuit`](crate::decompose_circuit).
+///
+/// # Errors
+///
+/// Returns the offending gate's index if the circuit still contains a
+/// `Cnx` with more than two controls.
+///
+/// # Example
+///
+/// ```
+/// use na_circuit::{qasm::to_qasm, Circuit, Qubit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(Qubit(0));
+/// c.cnot(Qubit(0), Qubit(1));
+/// let text = to_qasm(&c).unwrap();
+/// assert!(text.contains("h q[0];"));
+/// assert!(text.contains("cx q[0],q[1];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> Result<String, usize> {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    let needs_creg = circuit.iter().any(Gate::is_measure);
+    if needs_creg {
+        let _ = writeln!(out, "creg c[{}];", circuit.num_qubits());
+    }
+    for (i, gate) in circuit.iter().enumerate() {
+        match gate {
+            Gate::X(q) => writeln!(out, "x q[{}];", q.0),
+            Gate::Y(q) => writeln!(out, "y q[{}];", q.0),
+            Gate::Z(q) => writeln!(out, "z q[{}];", q.0),
+            Gate::H(q) => writeln!(out, "h q[{}];", q.0),
+            Gate::S(q) => writeln!(out, "s q[{}];", q.0),
+            Gate::Sdg(q) => writeln!(out, "sdg q[{}];", q.0),
+            Gate::T(q) => writeln!(out, "t q[{}];", q.0),
+            Gate::Tdg(q) => writeln!(out, "tdg q[{}];", q.0),
+            Gate::Rx(q, a) => writeln!(out, "rx({a}) q[{}];", q.0),
+            Gate::Ry(q, a) => writeln!(out, "ry({a}) q[{}];", q.0),
+            Gate::Rz(q, a) => writeln!(out, "rz({a}) q[{}];", q.0),
+            Gate::Cnot { control, target } => {
+                writeln!(out, "cx q[{}],q[{}];", control.0, target.0)
+            }
+            Gate::Cz(a, b) => writeln!(out, "cz q[{}],q[{}];", a.0, b.0),
+            Gate::Cphase(a, b, t) => writeln!(out, "cu1({t}) q[{}],q[{}];", a.0, b.0),
+            Gate::Swap(a, b) => writeln!(out, "swap q[{}],q[{}];", a.0, b.0),
+            Gate::Toffoli { controls, target } => writeln!(
+                out,
+                "ccx q[{}],q[{}],q[{}];",
+                controls[0].0, controls[1].0, target.0
+            ),
+            Gate::Ccz(a, b, c) => {
+                // CCZ = H(c) CCX H(c); qelib1 has no ccz primitive.
+                let _ = writeln!(out, "h q[{}];", c.0);
+                let _ = writeln!(out, "ccx q[{}],q[{}],q[{}];", a.0, b.0, c.0);
+                writeln!(out, "h q[{}];", c.0)
+            }
+            Gate::Cnx { controls, target } => match controls.len() {
+                1 => writeln!(out, "cx q[{}],q[{}];", controls[0].0, target.0),
+                2 => writeln!(
+                    out,
+                    "ccx q[{}],q[{}],q[{}];",
+                    controls[0].0, controls[1].0, target.0
+                ),
+                _ => return Err(i),
+            },
+            Gate::Measure(q) => writeln!(out, "measure q[{0}] -> c[{0}];", q.0),
+        }
+        .expect("writing to String cannot fail");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decompose_circuit, DecomposeLevel, Qubit};
+
+    #[test]
+    fn header_and_register() {
+        let c = Circuit::new(3);
+        let q = to_qasm(&c).unwrap();
+        assert!(q.starts_with("OPENQASM 2.0;"));
+        assert!(q.contains("qreg q[3];"));
+        assert!(!q.contains("creg"), "no creg without measurements");
+    }
+
+    #[test]
+    fn all_gate_kinds_render() {
+        let mut c = Circuit::new(4);
+        c.x(Qubit(0))
+            .y(Qubit(1))
+            .z(Qubit(2))
+            .h(Qubit(0))
+            .s(Qubit(0))
+            .sdg(Qubit(0))
+            .t(Qubit(0))
+            .tdg(Qubit(0))
+            .rx(Qubit(1), 0.5)
+            .ry(Qubit(1), 0.5)
+            .rz(Qubit(1), 0.5)
+            .cnot(Qubit(0), Qubit(1))
+            .cz(Qubit(1), Qubit(2))
+            .cphase(Qubit(0), Qubit(3), 0.25)
+            .swap(Qubit(2), Qubit(3))
+            .toffoli(Qubit(0), Qubit(1), Qubit(2))
+            .ccz(Qubit(1), Qubit(2), Qubit(3))
+            .measure(Qubit(0));
+        let q = to_qasm(&c).unwrap();
+        for needle in [
+            "x q[0];",
+            "rx(0.5) q[1];",
+            "cx q[0],q[1];",
+            "cu1(0.25) q[0],q[3];",
+            "swap q[2],q[3];",
+            "ccx q[0],q[1],q[2];",
+            "creg c[4];",
+            "measure q[0] -> c[0];",
+        ] {
+            assert!(q.contains(needle), "missing {needle:?} in:\n{q}");
+        }
+    }
+
+    #[test]
+    fn ccz_renders_as_h_conjugated_ccx() {
+        let mut c = Circuit::new(3);
+        c.ccz(Qubit(0), Qubit(1), Qubit(2));
+        let q = to_qasm(&c).unwrap();
+        assert_eq!(q.matches("h q[2];").count(), 2);
+        assert_eq!(q.matches("ccx").count(), 1);
+    }
+
+    #[test]
+    fn large_cnx_is_rejected_until_lowered() {
+        let mut c = Circuit::new(6);
+        c.cnx((0..4).map(Qubit).collect(), Qubit(4));
+        assert_eq!(to_qasm(&c), Err(0));
+        let lowered = decompose_circuit(&c, DecomposeLevel::ThreeQubit);
+        assert!(to_qasm(&lowered).is_ok());
+    }
+
+    #[test]
+    fn small_cnx_maps_to_primitives() {
+        let mut c = Circuit::new(3);
+        c.cnx(vec![Qubit(0)], Qubit(1));
+        c.cnx(vec![Qubit(0), Qubit(1)], Qubit(2));
+        let q = to_qasm(&c).unwrap();
+        assert!(q.contains("cx q[0],q[1];"));
+        assert!(q.contains("ccx q[0],q[1],q[2];"));
+    }
+
+    #[test]
+    fn benchmark_circuits_export() {
+        // Every line ends with a semicolon: a cheap well-formedness
+        // check across a real generator output.
+        let mut c = Circuit::new(4);
+        c.h(Qubit(0)).cnot(Qubit(0), Qubit(1)).toffoli(Qubit(1), Qubit(2), Qubit(3));
+        let q = to_qasm(&c).unwrap();
+        for line in q.lines().skip(1) {
+            assert!(line.ends_with(';'), "unterminated line {line:?}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Program-qubit indices.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A program (logical) qubit index.
+///
+/// `Qubit` identifies a wire in a [`Circuit`](crate::Circuit); it says
+/// nothing about *where* the qubit lives on hardware. The compiler maps
+/// `Qubit`s onto `na_arch` grid sites.
+///
+/// # Example
+///
+/// ```
+/// use na_circuit::Qubit;
+///
+/// let q = Qubit(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(format!("{q}"), "q3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Qubit(pub u32);
+
+impl Qubit {
+    /// The raw index of this qubit.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Qubit {
+    fn from(v: u32) -> Self {
+        Qubit(v)
+    }
+}
+
+impl From<Qubit> for u32 {
+    fn from(q: Qubit) -> Self {
+        q.0
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        let q = Qubit(42);
+        assert_eq!(q.index(), 42);
+        assert_eq!(u32::from(q), 42);
+        assert_eq!(Qubit::from(42u32), q);
+    }
+
+    #[test]
+    fn display_is_q_prefixed() {
+        assert_eq!(Qubit(0).to_string(), "q0");
+        assert_eq!(Qubit(99).to_string(), "q99");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(Qubit(1) < Qubit(2));
+        let mut v = vec![Qubit(3), Qubit(1), Qubit(2)];
+        v.sort();
+        assert_eq!(v, vec![Qubit(1), Qubit(2), Qubit(3)]);
+    }
+}

@@ -1,0 +1,592 @@
+//! A dense state-vector simulator for correctness checking.
+//!
+//! The architecture study never needs amplitudes — but the test suite
+//! does: it is how we prove the Toffoli network, the CNX ancilla tree,
+//! the Cuccaro adder, and the QFT adder actually implement the
+//! unitaries their gate counts claim. The simulator is deliberately
+//! simple (dense `2^n` vector, ≤ 20 qubits) and has no role in the
+//! compiler pipeline.
+//!
+//! Qubit `q` is bit `q` of the basis index (little-endian).
+//!
+//! # Example
+//!
+//! ```
+//! use na_circuit::sim::StateVector;
+//! use na_circuit::{Circuit, Qubit};
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(Qubit(0));
+//! bell.cnot(Qubit(0), Qubit(1));
+//! let state = StateVector::run(&bell);
+//! assert!((state.probability(0b00) - 0.5).abs() < 1e-12);
+//! assert!((state.probability(0b11) - 0.5).abs() < 1e-12);
+//! ```
+
+use crate::{Circuit, Gate, Qubit};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A complex amplitude.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The complex number `re + i·im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Zero.
+    pub const ZERO: Complex = Complex::new(0.0, 0.0);
+    /// One.
+    pub const ONE: Complex = Complex::new(1.0, 0.0);
+    /// The imaginary unit.
+    pub const I: Complex = Complex::new(0.0, 1.0);
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared modulus.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// `e^{iθ}`.
+    pub fn from_phase(theta: f64) -> Complex {
+        Complex::new(theta.cos(), theta.sin())
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.4}{:+.4}i", self.re, self.im)
+    }
+}
+
+/// Maximum simulable register width (dense vector of `2^20` amplitudes
+/// ≈ 16 MiB).
+pub const MAX_QUBITS: u32 = 20;
+
+/// A dense quantum state over `n` qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: u32,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// The all-zeros state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_QUBITS`.
+    pub fn new(n: u32) -> Self {
+        Self::from_basis(n, 0)
+    }
+
+    /// The computational basis state with the given bit pattern
+    /// (qubit `q` = bit `q`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_QUBITS` or `basis >= 2^n`.
+    pub fn from_basis(n: u32, basis: u64) -> Self {
+        assert!(n <= MAX_QUBITS, "at most {MAX_QUBITS} qubits");
+        let dim = 1usize << n;
+        assert!((basis as usize) < dim, "basis state out of range");
+        let mut amps = vec![Complex::ZERO; dim];
+        amps[basis as usize] = Complex::ONE;
+        StateVector {
+            num_qubits: n,
+            amps,
+        }
+    }
+
+    /// Runs a whole circuit from `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is wider than [`MAX_QUBITS`].
+    pub fn run(circuit: &Circuit) -> Self {
+        let mut s = StateVector::new(circuit.num_qubits());
+        for g in circuit.iter() {
+            s.apply(g);
+        }
+        s
+    }
+
+    /// Runs a circuit starting from a basis state.
+    ///
+    /// # Panics
+    ///
+    /// See [`StateVector::from_basis`].
+    pub fn run_from(circuit: &Circuit, basis: u64) -> Self {
+        let mut s = StateVector::from_basis(circuit.num_qubits(), basis);
+        for g in circuit.iter() {
+            s.apply(g);
+        }
+        s
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The raw amplitudes (length `2^n`).
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Probability of measuring the given basis state.
+    pub fn probability(&self, basis: u64) -> f64 {
+        self.amps[basis as usize].norm_sq()
+    }
+
+    /// Probability that qubit `q` reads 1.
+    pub fn prob_one(&self, q: Qubit) -> f64 {
+        let bit = 1usize << q.index();
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sq())
+            .sum()
+    }
+
+    /// Total norm (should stay 1 within float error).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sq()).sum::<f64>().sqrt()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on register-width mismatch.
+    pub fn inner(&self, other: &StateVector) -> Complex {
+        assert_eq!(self.num_qubits, other.num_qubits, "width mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .fold(Complex::ZERO, |acc, (a, b)| acc + a.conj() * *b)
+    }
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner(other).norm_sq()
+    }
+
+    /// Applies one gate in place. Measurements are ignored (the
+    /// architecture pipeline defers them to the loss model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate operand exceeds the register.
+    pub fn apply(&mut self, gate: &Gate) {
+        use std::f64::consts::FRAC_1_SQRT_2;
+        let ii = Complex::I;
+        let one = Complex::ONE;
+        let zero = Complex::ZERO;
+        match gate {
+            Gate::X(q) => self.apply_1q(*q, [[zero, one], [one, zero]]),
+            Gate::Y(q) => self.apply_1q(*q, [[zero, Complex::new(0.0, -1.0)], [ii, zero]]),
+            Gate::Z(q) => self.apply_1q(*q, [[one, zero], [zero, Complex::new(-1.0, 0.0)]]),
+            Gate::H(q) => {
+                let h = Complex::new(FRAC_1_SQRT_2, 0.0);
+                let nh = Complex::new(-FRAC_1_SQRT_2, 0.0);
+                self.apply_1q(*q, [[h, h], [h, nh]])
+            }
+            Gate::S(q) => self.apply_1q(*q, [[one, zero], [zero, ii]]),
+            Gate::Sdg(q) => self.apply_1q(*q, [[one, zero], [zero, Complex::new(0.0, -1.0)]]),
+            Gate::T(q) => self.apply_1q(
+                *q,
+                [[one, zero], [zero, Complex::from_phase(std::f64::consts::FRAC_PI_4)]],
+            ),
+            Gate::Tdg(q) => self.apply_1q(
+                *q,
+                [[one, zero], [zero, Complex::from_phase(-std::f64::consts::FRAC_PI_4)]],
+            ),
+            Gate::Rx(q, t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                self.apply_1q(
+                    *q,
+                    [
+                        [Complex::new(c, 0.0), Complex::new(0.0, -s)],
+                        [Complex::new(0.0, -s), Complex::new(c, 0.0)],
+                    ],
+                )
+            }
+            Gate::Ry(q, t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                self.apply_1q(
+                    *q,
+                    [
+                        [Complex::new(c, 0.0), Complex::new(-s, 0.0)],
+                        [Complex::new(s, 0.0), Complex::new(c, 0.0)],
+                    ],
+                )
+            }
+            Gate::Rz(q, t) => self.apply_1q(
+                *q,
+                [
+                    [Complex::from_phase(-t / 2.0), zero],
+                    [zero, Complex::from_phase(t / 2.0)],
+                ],
+            ),
+            Gate::Cnot { control, target } => {
+                self.apply_controlled_x(&[*control], *target);
+            }
+            Gate::Cz(a, b) => self.apply_phase_if(&[*a, *b], std::f64::consts::PI),
+            Gate::Cphase(a, b, t) => self.apply_phase_if(&[*a, *b], *t),
+            Gate::Swap(a, b) => self.apply_swap(*a, *b),
+            Gate::Toffoli { controls, target } => {
+                self.apply_controlled_x(&controls[..], *target);
+            }
+            Gate::Ccz(a, b, c) => self.apply_phase_if(&[*a, *b, *c], std::f64::consts::PI),
+            Gate::Cnx { controls, target } => {
+                self.apply_controlled_x(controls, *target);
+            }
+            Gate::Measure(_) => {}
+        }
+    }
+
+    fn check(&self, q: Qubit) -> usize {
+        assert!(
+            (q.0) < self.num_qubits,
+            "qubit {q} outside {}-qubit register",
+            self.num_qubits
+        );
+        1usize << q.index()
+    }
+
+    fn apply_1q(&mut self, q: Qubit, m: [[Complex; 2]; 2]) {
+        let bit = self.check(q);
+        for i in 0..self.amps.len() {
+            if i & bit == 0 {
+                let j = i | bit;
+                let (a0, a1) = (self.amps[i], self.amps[j]);
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    fn apply_controlled_x(&mut self, controls: &[Qubit], target: Qubit) {
+        let tbit = self.check(target);
+        let cmask: usize = controls.iter().map(|&c| self.check(c)).sum();
+        for i in 0..self.amps.len() {
+            if i & cmask == cmask && i & tbit == 0 {
+                self.amps.swap(i, i | tbit);
+            }
+        }
+    }
+
+    fn apply_phase_if(&mut self, qubits: &[Qubit], theta: f64) {
+        let mask: usize = qubits.iter().map(|&q| self.check(q)).sum();
+        let phase = Complex::from_phase(theta);
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if i & mask == mask {
+                *a = *a * phase;
+            }
+        }
+    }
+
+    fn apply_swap(&mut self, a: Qubit, b: Qubit) {
+        let abit = self.check(a);
+        let bbit = self.check(b);
+        for i in 0..self.amps.len() {
+            if i & abit != 0 && i & bbit == 0 {
+                self.amps.swap(i, (i & !abit) | bbit);
+            }
+        }
+    }
+}
+
+/// `true` if two circuits over the same register implement the same
+/// unitary up to one global phase, checked exactly by comparing their
+/// action on every computational basis state.
+///
+/// # Panics
+///
+/// Panics if the circuits have different register widths or exceed
+/// [`MAX_QUBITS`].
+pub fn circuits_equivalent(a: &Circuit, b: &Circuit, tol: f64) -> bool {
+    assert_eq!(a.num_qubits(), b.num_qubits(), "register width mismatch");
+    let n = a.num_qubits();
+    let dim = 1u64 << n;
+    // The global phase is fixed by the first basis column with nonzero
+    // amplitude; all columns must then agree with the SAME phase.
+    let mut phase: Option<Complex> = None;
+    for basis in 0..dim {
+        let sa = StateVector::run_from(a, basis);
+        let sb = StateVector::run_from(b, basis);
+        let ip = sa.inner(&sb);
+        // Columns must be parallel unit vectors: |<a|b>| = 1.
+        if (ip.norm_sq() - 1.0).abs() > tol {
+            return false;
+        }
+        match phase {
+            None => phase = Some(ip),
+            Some(p) => {
+                if (ip - p).norm_sq() > tol {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::{ccz_gates, cnx_with_ancilla, cphase_gates, swap_gates, toffoli_gates};
+
+    const TOL: f64 = 1e-9;
+
+    fn circuit_of(n: u32, gates: Vec<Gate>) -> Circuit {
+        Circuit::from_gates(n, gates).unwrap()
+    }
+
+    #[test]
+    fn x_flips_basis() {
+        let mut c = Circuit::new(2);
+        c.x(Qubit(1));
+        let s = StateVector::run(&c);
+        assert!((s.probability(0b10) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn h_makes_uniform_superposition() {
+        let mut c = Circuit::new(3);
+        for i in 0..3 {
+            c.h(Qubit(i));
+        }
+        let s = StateVector::run(&c);
+        for b in 0..8u64 {
+            assert!((s.probability(b) - 0.125).abs() < TOL);
+        }
+        assert!((s.norm() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn cnot_truth_table() {
+        for (input, expected) in [(0b00u64, 0b00u64), (0b01, 0b11), (0b10, 0b10), (0b11, 0b01)] {
+            let mut c = Circuit::new(2);
+            c.cnot(Qubit(0), Qubit(1));
+            let s = StateVector::run_from(&c, input);
+            assert!(
+                (s.probability(expected) - 1.0).abs() < TOL,
+                "input {input:02b}"
+            );
+        }
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        let mut c = Circuit::new(3);
+        c.toffoli(Qubit(0), Qubit(1), Qubit(2));
+        for input in 0..8u64 {
+            let expected = if input & 0b11 == 0b11 { input ^ 0b100 } else { input };
+            let s = StateVector::run_from(&c, input);
+            assert!((s.probability(expected) - 1.0).abs() < TOL, "input {input:03b}");
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_states() {
+        let mut prep = Circuit::new(2);
+        prep.x(Qubit(0));
+        prep.swap(Qubit(0), Qubit(1));
+        let s = StateVector::run(&prep);
+        assert!((s.probability(0b10) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn rz_is_phase_only() {
+        let mut c = Circuit::new(1);
+        c.h(Qubit(0));
+        c.rz(Qubit(0), 1.234);
+        let s = StateVector::run(&c);
+        assert!((s.prob_one(Qubit(0)) - 0.5).abs() < TOL);
+    }
+
+    // --- decomposition equivalence ----------------------------------
+
+    #[test]
+    fn toffoli_network_is_exact() {
+        let native = circuit_of(
+            3,
+            vec![Gate::Toffoli {
+                controls: [Qubit(0), Qubit(1)],
+                target: Qubit(2),
+            }],
+        );
+        let lowered = circuit_of(3, toffoli_gates(Qubit(0), Qubit(1), Qubit(2)));
+        assert!(circuits_equivalent(&native, &lowered, TOL));
+    }
+
+    #[test]
+    fn ccz_network_is_exact() {
+        let native = circuit_of(3, vec![Gate::Ccz(Qubit(0), Qubit(1), Qubit(2))]);
+        let lowered = circuit_of(3, ccz_gates(Qubit(0), Qubit(1), Qubit(2)));
+        assert!(circuits_equivalent(&native, &lowered, TOL));
+    }
+
+    #[test]
+    fn cphase_network_is_exact() {
+        for theta in [0.3, 1.0, std::f64::consts::PI, -0.7] {
+            let native = circuit_of(2, vec![Gate::Cphase(Qubit(0), Qubit(1), theta)]);
+            let lowered = circuit_of(2, cphase_gates(Qubit(0), Qubit(1), theta));
+            assert!(circuits_equivalent(&native, &lowered, TOL), "theta {theta}");
+        }
+    }
+
+    #[test]
+    fn swap_network_is_exact() {
+        let native = circuit_of(2, vec![Gate::Swap(Qubit(0), Qubit(1))]);
+        let lowered = circuit_of(2, swap_gates(Qubit(0), Qubit(1)));
+        assert!(circuits_equivalent(&native, &lowered, TOL));
+    }
+
+    #[test]
+    fn cnx_tree_flips_target_iff_all_controls_set() {
+        for n_controls in [3u32, 4, 5] {
+            let controls: Vec<Qubit> = (0..n_controls).map(Qubit).collect();
+            let target = Qubit(n_controls);
+            let n_anc = n_controls - 2;
+            let ancilla: Vec<Qubit> = (0..n_anc).map(|i| Qubit(n_controls + 1 + i)).collect();
+            let total = n_controls + 1 + n_anc;
+            let c = circuit_of(total, cnx_with_ancilla(&controls, target, &ancilla));
+            for pattern in 0..(1u64 << n_controls) {
+                let s = StateVector::run_from(&c, pattern);
+                let all_set = pattern == (1 << n_controls) - 1;
+                let expected = if all_set {
+                    pattern | (1 << n_controls)
+                } else {
+                    pattern
+                };
+                assert!(
+                    (s.probability(expected) - 1.0).abs() < TOL,
+                    "{n_controls} controls, pattern {pattern:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cnx_tree_restores_ancillas_even_in_superposition() {
+        // Controls in superposition: ancillas must disentangle back to
+        // |0> or the tree would corrupt the computation.
+        let controls: Vec<Qubit> = (0..4).map(Qubit).collect();
+        let target = Qubit(4);
+        let ancilla: Vec<Qubit> = vec![Qubit(5), Qubit(6)];
+        let mut c = Circuit::new(7);
+        for &q in &controls {
+            c.h(q);
+        }
+        for g in cnx_with_ancilla(&controls, target, &ancilla) {
+            c.push(g);
+        }
+        let s = StateVector::run(&c);
+        for &a in &ancilla {
+            assert!(s.prob_one(a) < TOL, "ancilla {a} not restored");
+        }
+    }
+
+    #[test]
+    fn decompose_circuit_preserves_semantics() {
+        use crate::{decompose_circuit, DecomposeLevel};
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0));
+        c.cnot(Qubit(0), Qubit(1));
+        c.toffoli(Qubit(0), Qubit(1), Qubit(2));
+        c.ccz(Qubit(0), Qubit(1), Qubit(2));
+        let lowered = decompose_circuit(&c, DecomposeLevel::TwoQubit);
+        assert!(circuits_equivalent(&c, &lowered, TOL));
+    }
+
+    // --- equivalence checker sanity ----------------------------------
+
+    #[test]
+    fn global_phase_is_forgiven() {
+        // Rz(2π) = -I: differs from identity by a global phase only.
+        let mut a = Circuit::new(1);
+        a.rz(Qubit(0), 2.0 * std::f64::consts::PI);
+        let b = Circuit::new(1);
+        assert!(circuits_equivalent(&a, &b, TOL));
+    }
+
+    #[test]
+    fn relative_phase_is_not_forgiven() {
+        // Z vs identity differ by a relative phase.
+        let mut a = Circuit::new(1);
+        a.z(Qubit(0));
+        let b = Circuit::new(1);
+        assert!(!circuits_equivalent(&a, &b, TOL));
+    }
+
+    #[test]
+    fn different_permutations_are_detected() {
+        let mut a = Circuit::new(2);
+        a.x(Qubit(0));
+        let mut b = Circuit::new(2);
+        b.x(Qubit(1));
+        assert!(!circuits_equivalent(&a, &b, TOL));
+    }
+
+    #[test]
+    fn measure_is_a_no_op_in_simulation() {
+        let mut a = Circuit::new(1);
+        a.h(Qubit(0));
+        a.measure(Qubit(0));
+        let s = StateVector::run(&a);
+        assert!((s.prob_one(Qubit(0)) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn oversized_register_panics() {
+        StateVector::new(MAX_QUBITS + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_register_gate_panics() {
+        let mut s = StateVector::new(1);
+        s.apply(&Gate::X(Qubit(3)));
+    }
+}

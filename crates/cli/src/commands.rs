@@ -1,0 +1,324 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use na_arch::{AssemblySimulator, Grid, RestrictionPolicy};
+use na_benchmarks::Benchmark;
+use na_core::{compile, verify, CompiledCircuit, CompilerConfig};
+use na_loss::{
+    mean_loss_tolerance, render_timeline, run_campaign, CampaignConfig, LossModel, ShotTarget,
+    Strategy,
+};
+use na_noise::{success_probability, NoiseParams};
+use std::error::Error;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+fn parse_benchmark(name: &str) -> Result<Benchmark, ArgError> {
+    match name.to_ascii_lowercase().as_str() {
+        "bv" => Ok(Benchmark::Bv),
+        "cnu" => Ok(Benchmark::Cnu),
+        "cuccaro" => Ok(Benchmark::Cuccaro),
+        "qft-adder" | "qftadder" | "qft_adder" => Ok(Benchmark::QftAdder),
+        "qaoa" => Ok(Benchmark::Qaoa),
+        other => Err(ArgError(format!(
+            "unknown benchmark {other:?} (bv|cnu|cuccaro|qft-adder|qaoa)"
+        ))),
+    }
+}
+
+fn parse_strategy(name: &str) -> Result<Strategy, ArgError> {
+    match name.to_ascii_lowercase().as_str() {
+        "always-reload" | "reload" => Ok(Strategy::AlwaysReload),
+        "recompile" => Ok(Strategy::FullRecompile),
+        "virtual-remap" | "remap" => Ok(Strategy::VirtualRemap),
+        "reroute" => Ok(Strategy::MinorReroute),
+        "compile-small" | "c-small" => Ok(Strategy::CompileSmall),
+        "c-small-reroute" | "compile-small-reroute" => Ok(Strategy::CompileSmallReroute),
+        other => Err(ArgError(format!(
+            "unknown strategy {other:?} (reload|recompile|remap|reroute|c-small|c-small-reroute)"
+        ))),
+    }
+}
+
+fn parse_grid(spec: &str) -> Result<Grid, ArgError> {
+    let (w, h) = spec
+        .split_once('x')
+        .ok_or_else(|| ArgError(format!("grid spec {spec:?} must look like 10x10")))?;
+    let w: u32 = w
+        .parse()
+        .map_err(|_| ArgError(format!("bad grid width {w:?}")))?;
+    let h: u32 = h
+        .parse()
+        .map_err(|_| ArgError(format!("bad grid height {h:?}")))?;
+    if w == 0 || h == 0 {
+        return Err(ArgError("grid dimensions must be positive".into()));
+    }
+    Ok(Grid::new(w, h))
+}
+
+struct Common {
+    benchmark: Benchmark,
+    size: u32,
+    grid: Grid,
+    config: CompilerConfig,
+    seed: u64,
+}
+
+fn common(args: &Args) -> Result<Common, ArgError> {
+    let benchmark = parse_benchmark(args.get_or("benchmark", "bv"))?;
+    let size = args.parse_or("size", 30u32)?;
+    let grid = parse_grid(args.get_or("grid", "10x10"))?;
+    let mid: f64 = args.parse_or("mid", 3.0)?;
+    if mid < 1.0 {
+        return Err(ArgError("--mid must be at least 1".into()));
+    }
+    let mut config = CompilerConfig::new(mid);
+    if args.flag("no-native") {
+        config = config.with_native_multiqubit(false);
+    }
+    if args.flag("no-zones") {
+        config = config.with_restriction(RestrictionPolicy::None);
+    }
+    let seed = args.parse_or("seed", 0u64)?;
+    Ok(Common {
+        benchmark,
+        size,
+        grid,
+        config,
+        seed,
+    })
+}
+
+fn compile_common(c: &Common) -> Result<CompiledCircuit, Box<dyn Error>> {
+    let program = c.benchmark.generate(c.size, c.seed);
+    let compiled = compile(&program, &c.grid, &c.config)?;
+    verify(&compiled, &c.grid)?;
+    Ok(compiled)
+}
+
+/// `natoms compile`
+pub fn compile_cmd(args: &Args) -> CmdResult {
+    let c = common(args)?;
+    let compiled = compile_common(&c)?;
+    let m = compiled.metrics();
+    println!(
+        "{} size {} on {}x{} at MID {}",
+        c.benchmark,
+        c.benchmark.actual_size(c.size),
+        c.grid.width(),
+        c.grid.height(),
+        c.config.mid
+    );
+    println!("  {m}");
+    println!("  timesteps: {}", compiled.num_timesteps());
+    if args.flag("qasm") {
+        let qasm = na_circuit::qasm::to_qasm(compiled.circuit())
+            .map_err(|i| ArgError(format!("gate {i} has no QASM primitive")))?;
+        println!("\n{qasm}");
+    }
+    Ok(())
+}
+
+/// `natoms sweep`
+pub fn sweep_cmd(args: &Args) -> CmdResult {
+    let c = common(args)?;
+    let mids: Vec<f64> = args
+        .get_or("mids", "1,2,3,5,8,13")
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| ArgError(format!("bad MID {s:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    println!("{:>6} {:>8} {:>7} {:>7}", "MID", "gates", "swaps", "depth");
+    for &mid in &mids {
+        let mut cfg = c.config;
+        cfg.mid = mid;
+        if mid * mid < 2.0 {
+            cfg = cfg.with_native_multiqubit(false);
+        }
+        let program = c.benchmark.generate(c.size, c.seed);
+        let compiled = compile(&program, &c.grid, &cfg)?;
+        let m = compiled.metrics();
+        println!("{mid:>6} {:>8} {:>7} {:>7}", m.total_gates(), m.swaps, m.depth);
+    }
+    Ok(())
+}
+
+/// `natoms success`
+pub fn success_cmd(args: &Args) -> CmdResult {
+    let c = common(args)?;
+    let error: f64 = args.parse_or("error", 1e-3)?;
+    let compiled = compile_common(&c)?;
+    let na = success_probability(&compiled, &NoiseParams::neutral_atom(error));
+    println!("NA  MID {}: success {:.4} (gates {:.4}, coherence {:.6}, {:.1} us/shot)",
+        c.config.mid, na.probability(), na.gate_success, na.coherence, na.duration * 1e6);
+
+    let sc_cfg = CompilerConfig::new(1.0)
+        .with_native_multiqubit(false)
+        .with_restriction(RestrictionPolicy::None);
+    let program = c.benchmark.generate(c.size, c.seed);
+    let sc_compiled = compile(&program, &c.grid, &sc_cfg)?;
+    let sc = success_probability(&sc_compiled, &NoiseParams::superconducting(error));
+    println!("SC  MID 1: success {:.4} (gates {:.4}, coherence {:.6}, {:.1} us/shot)",
+        sc.probability(), sc.gate_success, sc.coherence, sc.duration * 1e6);
+    Ok(())
+}
+
+/// `natoms tolerance`
+pub fn tolerance_cmd(args: &Args) -> CmdResult {
+    let c = common(args)?;
+    let strategy = parse_strategy(args.get_or("strategy", "c-small-reroute"))?;
+    let trials: u32 = args.parse_or("trials", 10)?;
+    if !strategy.supports_mid(c.config.mid) {
+        return Err(Box::new(ArgError(format!(
+            "{strategy} needs a hardware MID of at least 3"
+        ))));
+    }
+    let program = c.benchmark.generate(c.size, c.seed);
+    let (mean, std) =
+        mean_loss_tolerance(&program, &c.grid, c.config.mid, strategy, trials, c.seed)?;
+    println!(
+        "{strategy} on {} ({} qubits, MID {}): sustains {:.1}% +/- {:.1}% of the device",
+        c.benchmark,
+        c.benchmark.actual_size(c.size),
+        c.config.mid,
+        mean * 100.0,
+        std * 100.0
+    );
+    Ok(())
+}
+
+/// `natoms campaign`
+pub fn campaign_cmd(args: &Args) -> CmdResult {
+    let c = common(args)?;
+    let strategy = parse_strategy(args.get_or("strategy", "c-small-reroute"))?;
+    let shots: u32 = args.parse_or("shots", 500)?;
+    let error: f64 = args.parse_or("error", 0.035)?;
+    let factor: f64 = args.parse_or("loss-factor", 1.0)?;
+    let mut cfg = CampaignConfig::new(c.config.mid, strategy)
+        .with_target(ShotTarget::Attempts(shots))
+        .with_two_qubit_error(error)
+        .with_seed(c.seed);
+    if args.flag("timeline") {
+        cfg = cfg.with_timeline();
+    }
+    let loss = LossModel::new(c.seed).with_improvement_factor(factor);
+    let program = c.benchmark.generate(c.size, c.seed);
+    let result = run_campaign(&program, &c.grid, loss, &cfg)?;
+    println!(
+        "{} shots: {} successful, {} lost to atom loss, {} to noise",
+        result.shots_attempted,
+        result.shots_successful,
+        result.discarded_by_loss,
+        result.failed_by_noise
+    );
+    let l = &result.ledger;
+    println!(
+        "overhead {:.2} s (reload {:.2} s x{}, fluorescence {:.2} s, remap/fixup/recompile {:.4} s)",
+        l.overhead_time(),
+        l.reload_time,
+        l.reloads,
+        l.fluorescence_time,
+        l.remap_time + l.fixup_time + l.recompile_time
+    );
+    println!(
+        "mean successful shots per reload interval: {:.1}",
+        result.mean_shots_before_reload()
+    );
+    if args.flag("timeline") {
+        println!("\n{}", render_timeline(&result.timeline));
+    }
+    Ok(())
+}
+
+/// `natoms reload-time`
+pub fn reload_time_cmd(args: &Args) -> CmdResult {
+    let width: u32 = args.parse_or("width", 10)?;
+    let height: u32 = args.parse_or("height", 10)?;
+    let margin: u32 = args.parse_or("margin", 3)?;
+    let trials: u32 = args.parse_or("trials", 10)?;
+    let seed: u64 = args.parse_or("seed", 0u64)?;
+    let mut sim = AssemblySimulator::with_defaults(seed);
+    let mean = sim.mean_reload_time(width, height, margin, trials);
+    println!(
+        "defect-free {width}x{height} assembly (reservoir margin {margin}): {mean:.3} s mean over {trials} trials"
+    );
+    println!("(the paper's 0.3 s reload constant, derived from loading physics)");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_names_parse() {
+        assert_eq!(parse_benchmark("qaoa").unwrap(), Benchmark::Qaoa);
+        assert_eq!(parse_benchmark("QFT-Adder").unwrap(), Benchmark::QftAdder);
+        assert!(parse_benchmark("ghz").is_err());
+    }
+
+    #[test]
+    fn strategy_names_parse() {
+        assert_eq!(parse_strategy("reroute").unwrap(), Strategy::MinorReroute);
+        assert_eq!(
+            parse_strategy("c-small-reroute").unwrap(),
+            Strategy::CompileSmallReroute
+        );
+        assert!(parse_strategy("magic").is_err());
+    }
+
+    #[test]
+    fn grid_spec_parses() {
+        let g = parse_grid("8x12").unwrap();
+        assert_eq!((g.width(), g.height()), (8, 12));
+        assert!(parse_grid("8by12").is_err());
+        assert!(parse_grid("0x5").is_err());
+    }
+
+    #[test]
+    fn compile_command_runs() {
+        let args = Args::parse(
+            ["compile", "--benchmark", "qaoa", "--size", "12", "--mid", "2"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        compile_cmd(&args).unwrap();
+    }
+
+    #[test]
+    fn sweep_command_runs() {
+        let args = Args::parse(
+            ["sweep", "--benchmark", "bv", "--size", "12", "--mids", "1,3"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        sweep_cmd(&args).unwrap();
+    }
+
+    #[test]
+    fn campaign_command_runs() {
+        let args = Args::parse(
+            ["campaign", "--size", "12", "--shots", "20", "--strategy", "remap"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        campaign_cmd(&args).unwrap();
+    }
+
+    #[test]
+    fn tolerance_rejects_unsupported_mid() {
+        let args = Args::parse(
+            ["tolerance", "--mid", "2", "--strategy", "c-small"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(tolerance_cmd(&args).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! `natoms` — command-line interface to the neutral-atom toolkit.
+//!
+//! ```console
+//! natoms compile  --benchmark qaoa --size 30 --mid 3 [--no-native] [--no-zones] [--qasm]
+//! natoms sweep    --benchmark bv --max-size 100 --mids 1,2,3,5,13
+//! natoms success  --benchmark cuccaro --size 50 --mid 3 --error 1e-3
+//! natoms tolerance --benchmark cnu --size 30 --mid 4 --strategy reroute --trials 10
+//! natoms campaign --benchmark cnu --size 30 --mid 4 --strategy c-small-reroute \
+//!                 --shots 500 --error 0.035 --loss-factor 1 [--timeline]
+//! natoms reload-time --width 10 --height 10 --margin 3 --trials 10
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+natoms — neutral-atom quantum architecture toolkit
+
+USAGE: natoms <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+  compile      compile one benchmark and print schedule metrics
+  sweep        gate count/depth across MIDs and sizes
+  success      predicted shot success, NA vs SC
+  tolerance    max atom loss before reload, per strategy
+  campaign     multi-shot campaign under atom loss
+  reload-time  derive the array reload time from assembly physics
+
+COMMON OPTIONS:
+  --benchmark bv|cnu|cuccaro|qft-adder|qaoa   (default bv)
+  --size N          program qubit budget        (default 30)
+  --grid WxH        device dimensions           (default 10x10)
+  --mid D           max interaction distance    (default 3)
+  --seed N          RNG seed                    (default 0)
+  --no-native       lower Toffolis to 2q gates
+  --no-zones        disable restriction zones
+
+Run `natoms <SUBCOMMAND> --help` fields in the README for the full list.";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.subcommand() {
+        Some("compile") => commands::compile_cmd(&args),
+        Some("sweep") => commands::sweep_cmd(&args),
+        Some("success") => commands::success_cmd(&args),
+        Some("tolerance") => commands::tolerance_cmd(&args),
+        Some("campaign") => commands::campaign_cmd(&args),
+        Some("reload-time") => commands::reload_time_cmd(&args),
+        Some(other) => {
+            eprintln!("error: unknown subcommand {other:?}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        None => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Compiler configuration and error types.
+
+use na_arch::RestrictionPolicy;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Configuration of one compilation run.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::RestrictionPolicy;
+/// use na_core::CompilerConfig;
+///
+/// // Paper defaults: f(d) = d/2 zones, native Toffoli enabled.
+/// let cfg = CompilerConfig::new(3.0);
+/// assert_eq!(cfg.mid, 3.0);
+/// assert!(cfg.native_multiqubit);
+///
+/// // An SC-style baseline: MID 1, no zones, 2q gate set.
+/// let sc = CompilerConfig::new(1.0)
+///     .with_restriction(RestrictionPolicy::None)
+///     .with_native_multiqubit(false);
+/// assert!(!sc.native_multiqubit);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompilerConfig {
+    /// Maximum interaction distance (Euclidean, in grid units).
+    pub mid: f64,
+    /// Restriction-zone policy; the paper uses `f(d) = d/2`.
+    pub restriction: RestrictionPolicy,
+    /// Whether Toffoli/CCZ execute natively. When `false`, the driver
+    /// lowers them to the 6-CNOT network before mapping.
+    pub native_multiqubit: bool,
+    /// Largest gate arity executed as a single Rydberg interaction
+    /// when `native_multiqubit` is on. The paper evaluates 3; larger
+    /// values implement its §IV-B extension ("larger control gates
+    /// will require increasingly larger interaction distances"):
+    /// an arity-k gate needs all k atoms pairwise within the MID.
+    pub max_native_arity: usize,
+    /// Number of future DAG layers the lookahead weight considers.
+    /// The exponential decay `e^{-ℓ}` makes layers beyond ~20
+    /// numerically irrelevant.
+    pub lookahead_depth: usize,
+    /// Hard cap on scheduler timesteps per gate, a backstop against
+    /// routing livelock. The default is generous; hitting it returns
+    /// [`CompileError::RoutingStuck`].
+    pub max_steps_per_gate: usize,
+}
+
+impl CompilerConfig {
+    /// Paper-default configuration at the given MID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid < 1.0` (atoms closer than one lattice site apart
+    /// do not exist).
+    pub fn new(mid: f64) -> Self {
+        assert!(mid >= 1.0, "maximum interaction distance must be >= 1");
+        CompilerConfig {
+            mid,
+            restriction: RestrictionPolicy::HalfDistance,
+            native_multiqubit: true,
+            max_native_arity: 3,
+            lookahead_depth: 20,
+            max_steps_per_gate: 64,
+        }
+    }
+
+    /// Replaces the largest native gate arity (≥ 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity < 3` (use `with_native_multiqubit(false)` for
+    /// a two-qubit gate set).
+    pub fn with_max_native_arity(mut self, arity: usize) -> Self {
+        assert!(arity >= 3, "native arity below 3 means a 2q gate set");
+        self.max_native_arity = arity;
+        self
+    }
+
+    /// Replaces the restriction policy.
+    pub fn with_restriction(mut self, policy: RestrictionPolicy) -> Self {
+        self.restriction = policy;
+        self
+    }
+
+    /// Enables or disables native multiqubit gates.
+    pub fn with_native_multiqubit(mut self, native: bool) -> Self {
+        self.native_multiqubit = native;
+        self
+    }
+
+    /// Replaces the lookahead window.
+    pub fn with_lookahead_depth(mut self, layers: usize) -> Self {
+        self.lookahead_depth = layers;
+        self
+    }
+}
+
+impl Default for CompilerConfig {
+    /// MID 3 — the mid-range point the paper's error analysis uses.
+    fn default() -> Self {
+        CompilerConfig::new(3.0)
+    }
+}
+
+/// Errors produced by [`compile`](crate::compile).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// More program qubits than usable atoms.
+    ProgramTooLarge {
+        /// Program qubits required.
+        program: u32,
+        /// Usable atoms available.
+        usable: usize,
+    },
+    /// Two qubits that must interact sit in different connected
+    /// components of the interaction graph.
+    Disconnected,
+    /// The router exceeded its step budget without finishing (should
+    /// only occur on adversarial topologies; see
+    /// [`CompilerConfig::max_steps_per_gate`]).
+    RoutingStuck {
+        /// Timesteps executed before giving up.
+        steps: usize,
+    },
+    /// A gate's operands can never be brought within the MID (e.g. a
+    /// 3-qubit gate at MID 1, where no three distinct sites are
+    /// pairwise within distance 1).
+    UnroutableGate {
+        /// Arity of the offending gate.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::ProgramTooLarge { program, usable } => {
+                write!(f, "program needs {program} qubits but only {usable} atoms are usable")
+            }
+            CompileError::Disconnected => {
+                write!(f, "interaction graph is disconnected at this interaction distance")
+            }
+            CompileError::RoutingStuck { steps } => {
+                write!(f, "router made no progress after {steps} timesteps")
+            }
+            CompileError::UnroutableGate { arity } => {
+                write!(f, "no placement can bring a {arity}-qubit gate within interaction distance")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let cfg = CompilerConfig::new(5.0)
+            .with_restriction(RestrictionPolicy::None)
+            .with_native_multiqubit(false)
+            .with_lookahead_depth(7);
+        assert_eq!(cfg.mid, 5.0);
+        assert!(cfg.restriction.is_none());
+        assert!(!cfg.native_multiqubit);
+        assert_eq!(cfg.lookahead_depth, 7);
+    }
+
+    #[test]
+    fn default_is_paper_midpoint() {
+        let cfg = CompilerConfig::default();
+        assert_eq!(cfg.mid, 3.0);
+        assert_eq!(cfg.restriction, RestrictionPolicy::HalfDistance);
+        assert!(cfg.native_multiqubit);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn sub_unit_mid_panics() {
+        CompilerConfig::new(0.5);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = CompileError::ProgramTooLarge { program: 30, usable: 20 };
+        assert!(e.to_string().contains("30"));
+        assert!(CompileError::Disconnected.to_string().contains("disconnected"));
+        assert!(CompileError::RoutingStuck { steps: 9 }.to_string().contains('9'));
+        assert!(CompileError::UnroutableGate { arity: 3 }.to_string().contains('3'));
+    }
+}

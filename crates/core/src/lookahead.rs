@@ -1,0 +1,221 @@
+//! The lookahead interaction-weight function.
+//!
+//! Mapping and routing decisions are driven by the weighted interaction
+//! graph of paper §III-A: nodes are program qubits and the edge weight
+//! between `u` and `v` is
+//!
+//! ```text
+//! w(u, v) = Σ_{ℓ ≥ ℓc} e^{-|ℓc - ℓ|}
+//! ```
+//!
+//! summed over the remaining DAG layers in which `u` and `v` share a
+//! gate (multiqubit gates contribute to every operand pair). Gates far
+//! in the future matter exponentially less.
+
+use na_circuit::Qubit;
+use std::collections::HashMap;
+
+/// The weighted interaction graph over program qubits.
+///
+/// Built either from a whole circuit (initial mapping, `ℓc = 0`) or
+/// from the scheduler's live frontier (`remaining_layers`).
+#[derive(Debug, Clone)]
+pub struct InteractionWeights {
+    /// Symmetric adjacency: `adj[q]` lists `(partner, weight)` pairs.
+    adj: Vec<Vec<(Qubit, f64)>>,
+}
+
+impl InteractionWeights {
+    /// Builds weights from per-gate relative layers.
+    ///
+    /// `gates` yields `(operands, relative_layer)` for every pending
+    /// gate; gates beyond `lookahead_depth` layers are ignored.
+    pub fn from_layered_gates<'a, I>(num_qubits: u32, gates: I, lookahead_depth: usize) -> Self
+    where
+        I: IntoIterator<Item = (&'a [Qubit], usize)>,
+    {
+        let mut pair_weights: HashMap<(Qubit, Qubit), f64> = HashMap::new();
+        for (operands, layer) in gates {
+            if layer > lookahead_depth {
+                continue;
+            }
+            let w = (-(layer as f64)).exp();
+            for i in 0..operands.len() {
+                for j in (i + 1)..operands.len() {
+                    let key = if operands[i] < operands[j] {
+                        (operands[i], operands[j])
+                    } else {
+                        (operands[j], operands[i])
+                    };
+                    *pair_weights.entry(key).or_insert(0.0) += w;
+                }
+            }
+        }
+        let mut adj: Vec<Vec<(Qubit, f64)>> = vec![Vec::new(); num_qubits as usize];
+        let mut entries: Vec<_> = pair_weights.into_iter().collect();
+        entries.sort_by_key(|a| a.0);
+        for ((u, v), w) in entries {
+            adj[u.index()].push((v, w));
+            adj[v.index()].push((u, w));
+        }
+        InteractionWeights { adj }
+    }
+
+    /// The weight between two qubits (0 if they never interact in the
+    /// window).
+    pub fn weight(&self, u: Qubit, v: Qubit) -> f64 {
+        self.adj
+            .get(u.index())
+            .map(|l| {
+                l.iter()
+                    .find(|(q, _)| *q == v)
+                    .map(|(_, w)| *w)
+                    .unwrap_or(0.0)
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// All weighted partners of `u`, in ascending qubit order.
+    pub fn partners(&self, u: Qubit) -> &[(Qubit, f64)] {
+        self.adj.get(u.index()).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total interaction weight of `u` against a set of already-placed
+    /// qubits (the placement-order key of the initial mapper).
+    pub fn weight_to_mapped(&self, u: Qubit, is_mapped: impl Fn(Qubit) -> bool) -> f64 {
+        self.partners(u)
+            .iter()
+            .filter(|(v, _)| is_mapped(*v))
+            .map(|(_, w)| w)
+            .sum()
+    }
+
+    /// The heaviest interacting pair, breaking ties toward smaller
+    /// qubit indices; `None` if nothing interacts.
+    pub fn heaviest_pair(&self) -> Option<(Qubit, Qubit)> {
+        let mut best: Option<((Qubit, Qubit), f64)> = None;
+        for (i, list) in self.adj.iter().enumerate() {
+            let u = Qubit(i as u32);
+            for &(v, w) in list {
+                if u < v {
+                    let better = match best {
+                        None => true,
+                        Some((_, bw)) => w > bw + 1e-15,
+                    };
+                    if better {
+                        best = Some(((u, v), w));
+                    }
+                }
+            }
+        }
+        best.map(|(p, _)| p)
+    }
+
+    /// Qubits with at least one weighted interaction, ascending order.
+    pub fn active_qubits(&self) -> Vec<Qubit> {
+        self.adj
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(i, _)| Qubit(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights_of(gates: &[(Vec<Qubit>, usize)]) -> InteractionWeights {
+        let n = gates
+            .iter()
+            .flat_map(|(ops, _)| ops.iter())
+            .map(|q| q.0 + 1)
+            .max()
+            .unwrap_or(0);
+        InteractionWeights::from_layered_gates(
+            n,
+            gates.iter().map(|(ops, l)| (ops.as_slice(), *l)),
+            20,
+        )
+    }
+
+    #[test]
+    fn single_gate_at_frontier_weighs_one() {
+        let w = weights_of(&[(vec![Qubit(0), Qubit(1)], 0)]);
+        assert!((w.weight(Qubit(0), Qubit(1)) - 1.0).abs() < 1e-12);
+        assert!((w.weight(Qubit(1), Qubit(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_gates_decay_exponentially() {
+        let w = weights_of(&[
+            (vec![Qubit(0), Qubit(1)], 0),
+            (vec![Qubit(0), Qubit(2)], 3),
+        ]);
+        let near = w.weight(Qubit(0), Qubit(1));
+        let far = w.weight(Qubit(0), Qubit(2));
+        assert!((far - (-3.0f64).exp()).abs() < 1e-12);
+        assert!(near > far);
+    }
+
+    #[test]
+    fn repeated_interactions_accumulate() {
+        let w = weights_of(&[
+            (vec![Qubit(0), Qubit(1)], 0),
+            (vec![Qubit(0), Qubit(1)], 1),
+        ]);
+        let expected = 1.0 + (-1.0f64).exp();
+        assert!((w.weight(Qubit(0), Qubit(1)) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiqubit_gates_weight_all_pairs() {
+        let w = weights_of(&[(vec![Qubit(0), Qubit(1), Qubit(2)], 0)]);
+        for (u, v) in [(0, 1), (0, 2), (1, 2)] {
+            assert!((w.weight(Qubit(u), Qubit(v)) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lookahead_window_truncates() {
+        let w = InteractionWeights::from_layered_gates(
+            2,
+            [(&[Qubit(0), Qubit(1)][..], 10usize)],
+            5,
+        );
+        assert_eq!(w.weight(Qubit(0), Qubit(1)), 0.0);
+        assert!(w.heaviest_pair().is_none());
+    }
+
+    #[test]
+    fn heaviest_pair_picks_max() {
+        let w = weights_of(&[
+            (vec![Qubit(0), Qubit(1)], 2),
+            (vec![Qubit(2), Qubit(3)], 0),
+        ]);
+        assert_eq!(w.heaviest_pair(), Some((Qubit(2), Qubit(3))));
+    }
+
+    #[test]
+    fn weight_to_mapped_filters() {
+        let w = weights_of(&[
+            (vec![Qubit(0), Qubit(1)], 0),
+            (vec![Qubit(0), Qubit(2)], 0),
+        ]);
+        let only_q1 = w.weight_to_mapped(Qubit(0), |q| q == Qubit(1));
+        assert!((only_q1 - 1.0).abs() < 1e-12);
+        let both = w.weight_to_mapped(Qubit(0), |_| true);
+        assert!((both - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn active_qubits_excludes_loners() {
+        let w = InteractionWeights::from_layered_gates(
+            4,
+            [(&[Qubit(1), Qubit(3)][..], 0usize)],
+            20,
+        );
+        assert_eq!(w.active_qubits(), vec![Qubit(1), Qubit(3)]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Bidirectional program-qubit ↔ trap-site mapping.
+
+use na_arch::Site;
+use na_circuit::Qubit;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The placement `φ` from program qubits to trap sites, maintained
+/// bidirectionally so the router can ask both "where is qubit u?" and
+/// "who occupies site h?".
+///
+/// # Example
+///
+/// ```
+/// use na_arch::Site;
+/// use na_circuit::Qubit;
+/// use na_core::QubitMap;
+///
+/// let mut map = QubitMap::new(2);
+/// map.assign(Qubit(0), Site::new(0, 0));
+/// map.assign(Qubit(1), Site::new(1, 0));
+/// map.swap_sites(Site::new(0, 0), Site::new(1, 0));
+/// assert_eq!(map.site_of(Qubit(0)), Some(Site::new(1, 0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QubitMap {
+    q2s: Vec<Option<Site>>,
+    s2q: HashMap<Site, Qubit>,
+}
+
+impl QubitMap {
+    /// Creates an empty mapping for `num_qubits` program qubits.
+    pub fn new(num_qubits: u32) -> Self {
+        QubitMap {
+            q2s: vec![None; num_qubits as usize],
+            s2q: HashMap::new(),
+        }
+    }
+
+    /// Number of program qubits this map covers.
+    pub fn num_qubits(&self) -> u32 {
+        self.q2s.len() as u32
+    }
+
+    /// Number of qubits currently placed.
+    pub fn mapped_count(&self) -> usize {
+        self.q2s.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The site holding `q`, if placed.
+    #[inline]
+    pub fn site_of(&self, q: Qubit) -> Option<Site> {
+        self.q2s.get(q.index()).copied().flatten()
+    }
+
+    /// The program qubit at `site`, if occupied.
+    #[inline]
+    pub fn qubit_at(&self, site: Site) -> Option<Qubit> {
+        self.s2q.get(&site).copied()
+    }
+
+    /// `true` if no program qubit occupies `site`.
+    #[inline]
+    pub fn is_free(&self, site: Site) -> bool {
+        !self.s2q.contains_key(&site)
+    }
+
+    /// Places `q` at `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is already placed, `site` is occupied, or `q` is
+    /// out of range.
+    pub fn assign(&mut self, q: Qubit, site: Site) {
+        assert!(q.index() < self.q2s.len(), "qubit {q} out of range");
+        assert!(self.q2s[q.index()].is_none(), "qubit {q} already placed");
+        assert!(self.is_free(site), "site {site} already occupied");
+        self.q2s[q.index()] = Some(site);
+        self.s2q.insert(site, q);
+    }
+
+    /// Exchanges the occupants of two sites (either may be empty); this
+    /// is the mapping effect of a SWAP gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn swap_sites(&mut self, a: Site, b: Site) {
+        assert_ne!(a, b, "cannot swap a site with itself");
+        let qa = self.s2q.remove(&a);
+        let qb = self.s2q.remove(&b);
+        if let Some(q) = qa {
+            self.q2s[q.index()] = Some(b);
+            self.s2q.insert(b, q);
+        }
+        if let Some(q) = qb {
+            self.q2s[q.index()] = Some(a);
+            self.s2q.insert(a, q);
+        }
+    }
+
+    /// The full placement as a `Qubit → Site` table (placed qubits
+    /// only).
+    pub fn to_table(&self) -> HashMap<Qubit, Site> {
+        self.q2s
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|site| (Qubit(i as u32), site)))
+            .collect()
+    }
+
+    /// Rebuilds a map from a placement table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two qubits share a site or a qubit index is out of
+    /// range.
+    pub fn from_table(num_qubits: u32, table: &HashMap<Qubit, Site>) -> Self {
+        let mut map = QubitMap::new(num_qubits);
+        let mut entries: Vec<_> = table.iter().collect();
+        entries.sort();
+        for (&q, &s) in entries {
+            map.assign(q, s);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_and_lookup() {
+        let mut m = QubitMap::new(3);
+        m.assign(Qubit(0), Site::new(2, 2));
+        assert_eq!(m.site_of(Qubit(0)), Some(Site::new(2, 2)));
+        assert_eq!(m.qubit_at(Site::new(2, 2)), Some(Qubit(0)));
+        assert_eq!(m.site_of(Qubit(1)), None);
+        assert!(m.is_free(Site::new(0, 0)));
+        assert!(!m.is_free(Site::new(2, 2)));
+        assert_eq!(m.mapped_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_occupancy_panics() {
+        let mut m = QubitMap::new(2);
+        m.assign(Qubit(0), Site::new(0, 0));
+        m.assign(Qubit(1), Site::new(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already placed")]
+    fn double_placement_panics() {
+        let mut m = QubitMap::new(2);
+        m.assign(Qubit(0), Site::new(0, 0));
+        m.assign(Qubit(0), Site::new(1, 0));
+    }
+
+    #[test]
+    fn swap_occupied_sites() {
+        let mut m = QubitMap::new(2);
+        m.assign(Qubit(0), Site::new(0, 0));
+        m.assign(Qubit(1), Site::new(1, 0));
+        m.swap_sites(Site::new(0, 0), Site::new(1, 0));
+        assert_eq!(m.site_of(Qubit(0)), Some(Site::new(1, 0)));
+        assert_eq!(m.site_of(Qubit(1)), Some(Site::new(0, 0)));
+    }
+
+    #[test]
+    fn swap_with_empty_site_moves_qubit() {
+        let mut m = QubitMap::new(1);
+        m.assign(Qubit(0), Site::new(0, 0));
+        m.swap_sites(Site::new(0, 0), Site::new(5, 5));
+        assert_eq!(m.site_of(Qubit(0)), Some(Site::new(5, 5)));
+        assert!(m.is_free(Site::new(0, 0)));
+    }
+
+    #[test]
+    fn swap_two_empty_sites_is_noop() {
+        let mut m = QubitMap::new(1);
+        m.swap_sites(Site::new(0, 0), Site::new(1, 1));
+        assert_eq!(m.mapped_count(), 0);
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let mut m = QubitMap::new(4);
+        m.assign(Qubit(0), Site::new(0, 0));
+        m.assign(Qubit(2), Site::new(3, 1));
+        let t = m.to_table();
+        let rebuilt = QubitMap::from_table(4, &t);
+        assert_eq!(m, rebuilt);
+    }
+}

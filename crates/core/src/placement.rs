@@ -1,0 +1,277 @@
+//! Initial mapping of program qubits onto the atom array.
+//!
+//! Paper §III-A: the two qubits with the greatest interaction weight
+//! are seeded adjacent at the device center; every subsequent qubit
+//! `u` (in descending weight-to-mapped order) is placed at the free
+//! site `h` minimizing
+//!
+//! ```text
+//! s(u, h) = Σ_{mapped v} d(h, φ(v)) · w(u, v)
+//! ```
+//!
+//! so frequently interacting qubits land near each other and SWAPs are
+//! avoided during routing.
+
+use crate::{CompileError, InteractionWeights, QubitMap};
+use na_arch::{Grid, Site};
+use na_circuit::{Circuit, Qubit};
+
+/// Computes the initial placement for `circuit` on `grid`.
+///
+/// # Errors
+///
+/// Returns [`CompileError::ProgramTooLarge`] if the program has more
+/// qubits than the grid has usable atoms.
+pub fn initial_placement(
+    circuit: &Circuit,
+    grid: &Grid,
+    weights: &InteractionWeights,
+) -> Result<QubitMap, CompileError> {
+    let n = circuit.num_qubits();
+    if (n as usize) > grid.num_usable() {
+        return Err(CompileError::ProgramTooLarge {
+            program: n,
+            usable: grid.num_usable(),
+        });
+    }
+
+    let mut map = QubitMap::new(n);
+    let center = grid.center();
+
+    // Seed: heaviest pair adjacent at the device center.
+    if let Some((u0, v0)) = weights.heaviest_pair() {
+        let s0 = nearest_free_site(grid, &map, center)
+            .expect("usable capacity checked above");
+        map.assign(u0, s0);
+        let s1 = nearest_free_site(grid, &map, s0).expect("capacity");
+        map.assign(v0, s1);
+    }
+
+    // Greedy placement by descending weight to the mapped set.
+    loop {
+        let candidate = next_qubit_to_place(n, weights, &map);
+        let Some(u) = candidate else { break };
+        let h = best_site_for(grid, &map, weights, u);
+        map.assign(u, h);
+    }
+
+    // Qubits with no interactions at all: pack them near the center.
+    for i in 0..n {
+        let q = Qubit(i);
+        if map.site_of(q).is_none() {
+            let s = nearest_free_site(grid, &map, center).expect("capacity");
+            map.assign(q, s);
+        }
+    }
+    Ok(map)
+}
+
+/// The unmapped qubit with the greatest interaction weight. Prefers
+/// qubits connected to the mapped set; falls back to the heaviest
+/// unmapped-to-unmapped endpoint so disconnected interaction components
+/// are still seeded by weight.
+fn next_qubit_to_place(n: u32, weights: &InteractionWeights, map: &QubitMap) -> Option<Qubit> {
+    let mut best: Option<(f64, Qubit)> = None;
+    for i in 0..n {
+        let q = Qubit(i);
+        if map.site_of(q).is_some() {
+            continue;
+        }
+        let w = weights.weight_to_mapped(q, |v| map.site_of(v).is_some());
+        if w > 0.0 && best.is_none_or(|(bw, _)| w > bw + 1e-15) {
+            best = Some((w, q));
+        }
+    }
+    if best.is_none() {
+        // No unmapped qubit touches the mapped set; seed the heaviest
+        // remaining component instead.
+        for i in 0..n {
+            let q = Qubit(i);
+            if map.site_of(q).is_some() {
+                continue;
+            }
+            let w: f64 = weights
+                .partners(q)
+                .iter()
+                .filter(|(v, _)| map.site_of(*v).is_none())
+                .map(|(_, w)| w)
+                .sum();
+            if w > 0.0 && best.is_none_or(|(bw, _)| w > bw + 1e-15) {
+                best = Some((w, q));
+            }
+        }
+    }
+    best.map(|(_, q)| q)
+}
+
+/// The free usable site minimizing the placement score for `u`.
+fn best_site_for(grid: &Grid, map: &QubitMap, weights: &InteractionWeights, u: Qubit) -> Site {
+    let mapped_partners: Vec<(Site, f64)> = weights
+        .partners(u)
+        .iter()
+        .filter_map(|&(v, w)| map.site_of(v).map(|s| (s, w)))
+        .collect();
+    let mut best: Option<(f64, Site)> = None;
+    for h in grid.usable_sites() {
+        if !map.is_free(h) {
+            continue;
+        }
+        let score: f64 = if mapped_partners.is_empty() {
+            // Unconnected component seed: prefer sites away from the
+            // existing block only by deterministic order; score by
+            // distance to center keeps it compact.
+            h.distance(grid.center())
+        } else {
+            mapped_partners
+                .iter()
+                .map(|&(s, w)| h.distance(s) * w)
+                .sum()
+        };
+        if best.is_none_or(|(bs, bsite)| {
+            score + 1e-12 < bs || ((score - bs).abs() <= 1e-12 && h < bsite)
+        }) {
+            best = Some((score, h));
+        }
+    }
+    best.expect("capacity checked: a free usable site exists").1
+}
+
+/// The free usable site nearest `anchor` (ties broken by site order).
+fn nearest_free_site(grid: &Grid, map: &QubitMap, anchor: Site) -> Option<Site> {
+    let mut best: Option<(i64, Site)> = None;
+    for s in grid.usable_sites() {
+        if !map.is_free(s) {
+            continue;
+        }
+        let d = s.distance_sq(anchor);
+        if best.is_none_or(|(bd, bsite)| d < bd || (d == bd && s < bsite)) {
+            best = Some((d, s));
+        }
+    }
+    best.map(|(_, s)| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use na_circuit::Circuit;
+
+    fn weights_for(circuit: &Circuit) -> InteractionWeights {
+        let dag = circuit.dag();
+        let ops: Vec<(Vec<Qubit>, usize)> = circuit
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.qubits(), dag.layer(na_circuit::GateId(i))))
+            .collect();
+        InteractionWeights::from_layered_gates(
+            circuit.num_qubits(),
+            ops.iter().map(|(q, l)| (q.as_slice(), *l)),
+            20,
+        )
+    }
+
+    #[test]
+    fn heaviest_pair_lands_at_center() {
+        let mut c = Circuit::new(4);
+        // (2,3) interact twice at the frontier; (0,1) once, later.
+        c.cnot(Qubit(2), Qubit(3));
+        c.cnot(Qubit(2), Qubit(3));
+        c.cnot(Qubit(0), Qubit(1));
+        let grid = Grid::new(9, 9);
+        let w = weights_for(&c);
+        let map = initial_placement(&c, &grid, &w).unwrap();
+        let center = grid.center();
+        assert_eq!(map.site_of(Qubit(2)), Some(center));
+        let s3 = map.site_of(Qubit(3)).unwrap();
+        assert!(center.distance(s3) <= 1.0, "partner adjacent to center");
+    }
+
+    #[test]
+    fn interacting_qubits_are_placed_close() {
+        let mut c = Circuit::new(6);
+        for i in 0..5u32 {
+            c.cnot(Qubit(i), Qubit(i + 1));
+        }
+        let grid = Grid::new(10, 10);
+        let w = weights_for(&c);
+        let map = initial_placement(&c, &grid, &w).unwrap();
+        for i in 0..5u32 {
+            let a = map.site_of(Qubit(i)).unwrap();
+            let b = map.site_of(Qubit(i + 1)).unwrap();
+            assert!(
+                a.distance(b) <= 3.0,
+                "chain neighbors {i},{} placed {} apart",
+                i + 1,
+                a.distance(b)
+            );
+        }
+    }
+
+    #[test]
+    fn every_qubit_gets_a_distinct_site() {
+        let mut c = Circuit::new(9);
+        c.cnot(Qubit(0), Qubit(1));
+        // Qubits 2..8 never interact.
+        let grid = Grid::new(3, 3);
+        let w = weights_for(&c);
+        let map = initial_placement(&c, &grid, &w).unwrap();
+        assert_eq!(map.mapped_count(), 9);
+    }
+
+    #[test]
+    fn too_large_program_errors() {
+        let c = Circuit::new(10);
+        let grid = Grid::new(3, 3);
+        let w = weights_for(&c);
+        let err = initial_placement(&c, &grid, &w).unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::ProgramTooLarge {
+                program: 10,
+                usable: 9
+            }
+        );
+    }
+
+    #[test]
+    fn holes_are_never_assigned() {
+        let mut grid = Grid::new(3, 3);
+        grid.remove_atom(Site::new(1, 1)); // center is a hole
+        let mut c = Circuit::new(8);
+        c.cnot(Qubit(0), Qubit(1));
+        let w = weights_for(&c);
+        let map = initial_placement(&c, &grid, &w).unwrap();
+        for i in 0..8 {
+            let s = map.site_of(Qubit(i)).unwrap();
+            assert!(grid.is_usable(s), "qubit {i} on hole {s}");
+        }
+    }
+
+    #[test]
+    fn disconnected_interaction_components_all_placed() {
+        let mut c = Circuit::new(8);
+        c.cnot(Qubit(0), Qubit(1));
+        c.cnot(Qubit(4), Qubit(5)); // separate component
+        let grid = Grid::new(5, 5);
+        let w = weights_for(&c);
+        let map = initial_placement(&c, &grid, &w).unwrap();
+        assert_eq!(map.mapped_count(), 8);
+        // Second component's pair should still be near each other.
+        let a = map.site_of(Qubit(4)).unwrap();
+        let b = map.site_of(Qubit(5)).unwrap();
+        assert!(a.distance(b) <= 2.0);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let mut c = Circuit::new(10);
+        for i in (0..8u32).step_by(2) {
+            c.cnot(Qubit(i), Qubit(i + 1));
+        }
+        let grid = Grid::new(6, 6);
+        let w = weights_for(&c);
+        let m1 = initial_placement(&c, &grid, &w).unwrap();
+        let m2 = initial_placement(&c, &grid, &w).unwrap();
+        assert_eq!(m1, m2);
+    }
+}

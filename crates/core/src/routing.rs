@@ -1,0 +1,412 @@
+//! SWAP selection for long-distance frontier gates.
+//!
+//! When a frontier gate's operands are not all pairwise within the MID,
+//! the router moves qubits together with SWAPs. Paper §III-A scores a
+//! candidate SWAP of qubit `u` into site `h` by
+//!
+//! ```text
+//! s(u, h) = Σ_v [d(φ(u), φ(v)) − d(h, φ(v))] · w(u, v)
+//!         + Σ_v [d(h, φ(v)) − d(φ(u), φ(v))] · w(φ⁻¹(h), v)
+//! ```
+//!
+//! — the progress `u` makes toward its weighted future partners, minus
+//! the damage done to the displaced occupant of `h` — subject to `h`
+//! being *strictly closer* to `u`'s most immediate interaction, which
+//! guarantees forward progress.
+//!
+//! A deterministic BFS fallback ([`forced_hop`]) guarantees global
+//! progress even when no scored candidate exists (e.g. routing around
+//! device corners), so compilation always terminates on connected
+//! topologies.
+
+use crate::{InteractionWeights, QubitMap};
+use na_arch::{Grid, Site};
+use na_circuit::Qubit;
+use std::collections::VecDeque;
+
+/// A candidate SWAP: exchange the occupants of `from` and `to`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapMove {
+    /// Site of the qubit being moved.
+    pub from: Site,
+    /// Destination site (its occupant, if any, is displaced to `from`).
+    pub to: Site,
+    /// The lookahead score of this move (higher is better).
+    pub score: f64,
+}
+
+/// The pair of operands at maximum Euclidean distance under the current
+/// mapping.
+///
+/// # Panics
+///
+/// Panics if fewer than two operands are given or any operand is
+/// unmapped.
+pub fn farthest_pair(operands: &[Qubit], map: &QubitMap) -> (Qubit, Qubit) {
+    assert!(operands.len() >= 2, "need at least two operands");
+    let mut best = (operands[0], operands[1], -1.0f64);
+    for i in 0..operands.len() {
+        for j in (i + 1)..operands.len() {
+            let si = map.site_of(operands[i]).expect("operand mapped");
+            let sj = map.site_of(operands[j]).expect("operand mapped");
+            let d = si.distance(sj);
+            if d > best.2 {
+                best = (operands[i], operands[j], d);
+            }
+        }
+    }
+    (best.0, best.1)
+}
+
+/// `true` if every operand pair is within the MID (gate executable as
+/// far as distance is concerned).
+pub fn all_within_mid(operands: &[Qubit], map: &QubitMap, mid: f64) -> bool {
+    for i in 0..operands.len() {
+        for j in (i + 1)..operands.len() {
+            let si = map.site_of(operands[i]).expect("operand mapped");
+            let sj = map.site_of(operands[j]).expect("operand mapped");
+            if !si.within(sj, mid) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The best-scoring SWAP that moves one operand of the gate strictly
+/// closer to its farthest co-operand. Returns `None` when no usable
+/// candidate site satisfies the strictly-closer constraint (the caller
+/// falls back to [`forced_hop`]).
+pub fn best_swap_for_gate(
+    operands: &[Qubit],
+    map: &QubitMap,
+    grid: &Grid,
+    weights: &InteractionWeights,
+    mid: f64,
+) -> Option<SwapMove> {
+    let mut best: Option<SwapMove> = None;
+    for &u in operands {
+        let su = map.site_of(u).expect("operand mapped");
+        // Most immediate interaction for u: the farthest co-operand.
+        let target = operands
+            .iter()
+            .filter(|&&v| v != u)
+            .max_by(|&&a, &&b| {
+                let da = su.distance(map.site_of(a).expect("mapped"));
+                let db = su.distance(map.site_of(b).expect("mapped"));
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .copied()?;
+        let st = map.site_of(target).expect("operand mapped");
+        if su.within(st, mid) && operands.len() == 2 {
+            continue; // this pair is already satisfied
+        }
+        for h in grid.neighbors_within(su, mid) {
+            // Strictly-closer constraint toward the immediate partner.
+            if h.distance(st) + 1e-12 >= su.distance(st) {
+                continue;
+            }
+            // Never displace a co-operand of the same gate; that undoes
+            // progress on another pair.
+            if let Some(q) = map.qubit_at(h) {
+                if operands.contains(&q) {
+                    continue;
+                }
+            }
+            let score = swap_score(u, su, h, map, weights);
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    score > b.score + 1e-12
+                        || ((score - b.score).abs() <= 1e-12 && (su, h) < (b.from, b.to))
+                }
+            };
+            if better {
+                best = Some(SwapMove {
+                    from: su,
+                    to: h,
+                    score,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// The paper's dual-term SWAP score (see module docs).
+pub fn swap_score(
+    u: Qubit,
+    su: Site,
+    h: Site,
+    map: &QubitMap,
+    weights: &InteractionWeights,
+) -> f64 {
+    let mut score = 0.0;
+    for &(v, w) in weights.partners(u) {
+        if let Some(sv) = map.site_of(v) {
+            if sv == h {
+                // v itself is displaced to su by this swap; its term is
+                // covered below.
+                continue;
+            }
+            score += (su.distance(sv) - h.distance(sv)) * w;
+        }
+    }
+    if let Some(displaced) = map.qubit_at(h) {
+        for &(v, w) in weights.partners(displaced) {
+            if v == u {
+                continue;
+            }
+            if let Some(sv) = map.site_of(v) {
+                score += (h.distance(sv) - su.distance(sv)) * w;
+            }
+        }
+    }
+    score
+}
+
+/// The usable site minimizing the maximum Euclidean distance to the
+/// gate's operands — where the operands should congregate.
+///
+/// # Panics
+///
+/// Panics if any operand is unmapped or the grid has no usable site.
+pub fn meeting_point(operands: &[Qubit], map: &QubitMap, grid: &Grid) -> Site {
+    let sites: Vec<Site> = operands
+        .iter()
+        .map(|&q| map.site_of(q).expect("operand mapped"))
+        .collect();
+    let mut best: Option<(f64, Site)> = None;
+    for m in grid.usable_sites() {
+        let worst = sites
+            .iter()
+            .map(|s| s.distance(m))
+            .fold(0.0f64, f64::max);
+        if best.is_none_or(|(bw, bs)| {
+            worst + 1e-12 < bw || ((worst - bw).abs() <= 1e-12 && m < bs)
+        }) {
+            best = Some((worst, m));
+        }
+    }
+    best.expect("grid has a usable site").1
+}
+
+/// One deterministic BFS hop of the atom at `from` toward `goal`,
+/// avoiding `blocked` sites as destinations. Returns the next site on
+/// a shortest hop path, or `None` if `goal` is unreachable or `from`
+/// is already at `goal`.
+pub fn forced_hop(
+    grid: &Grid,
+    from: Site,
+    goal: Site,
+    mid: f64,
+    blocked: &[Site],
+) -> Option<Site> {
+    if from == goal {
+        return None;
+    }
+    // BFS from `from` to `goal` over usable sites, skipping blocked
+    // destinations (the goal itself may be blocked only if it is an
+    // intermediate congregation point — then stop one hop short).
+    let mut prev: std::collections::HashMap<Site, Site> = std::collections::HashMap::new();
+    let mut queue = VecDeque::new();
+    prev.insert(from, from);
+    queue.push_back(from);
+    let mut found = false;
+    while let Some(s) = queue.pop_front() {
+        if s == goal {
+            found = true;
+            break;
+        }
+        for n in grid.neighbors_within(s, mid) {
+            if prev.contains_key(&n) {
+                continue;
+            }
+            if blocked.contains(&n) && n != goal {
+                continue;
+            }
+            prev.insert(n, s);
+            queue.push_back(n);
+        }
+    }
+    if !found {
+        return None;
+    }
+    // Walk back from goal to the hop adjacent to `from`.
+    let mut cur = goal;
+    while prev[&cur] != from {
+        cur = prev[&cur];
+    }
+    if blocked.contains(&cur) {
+        return None;
+    }
+    Some(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_map(positions: &[(i32, i32)]) -> QubitMap {
+        let mut m = QubitMap::new(positions.len() as u32);
+        for (i, &(x, y)) in positions.iter().enumerate() {
+            m.assign(Qubit(i as u32), Site::new(x, y));
+        }
+        m
+    }
+
+    fn weights_pair(n: u32, u: Qubit, v: Qubit) -> InteractionWeights {
+        InteractionWeights::from_layered_gates(n, [(&[u, v][..], 0usize)], 20)
+    }
+
+    #[test]
+    fn farthest_pair_finds_extremes() {
+        let map = line_map(&[(0, 0), (1, 0), (5, 0)]);
+        let ops = [Qubit(0), Qubit(1), Qubit(2)];
+        let (a, b) = farthest_pair(&ops, &map);
+        assert_eq!((a, b), (Qubit(0), Qubit(2)));
+    }
+
+    #[test]
+    fn all_within_mid_checks_every_pair() {
+        let map = line_map(&[(0, 0), (1, 0), (2, 0)]);
+        let ops = [Qubit(0), Qubit(1), Qubit(2)];
+        assert!(all_within_mid(&ops, &map, 2.0));
+        assert!(!all_within_mid(&ops, &map, 1.0)); // (0,2) at distance 2
+    }
+
+    #[test]
+    fn best_swap_moves_toward_partner() {
+        let grid = Grid::new(7, 1);
+        let map = line_map(&[(0, 0), (6, 0)]);
+        let w = weights_pair(2, Qubit(0), Qubit(1));
+        let mv = best_swap_for_gate(&[Qubit(0), Qubit(1)], &map, &grid, &w, 2.0).unwrap();
+        // Either endpoint can move, but the move must make strict progress.
+        let gain_from = mv.from.distance(if mv.from.x == 0 {
+            Site::new(6, 0)
+        } else {
+            Site::new(0, 0)
+        });
+        let gain_to = mv.to.distance(if mv.from.x == 0 {
+            Site::new(6, 0)
+        } else {
+            Site::new(0, 0)
+        });
+        assert!(gain_to < gain_from, "swap must shrink the gap: {mv:?}");
+        assert!(mv.score > 0.0);
+    }
+
+    #[test]
+    fn best_swap_none_when_already_within() {
+        let grid = Grid::new(7, 1);
+        let map = line_map(&[(0, 0), (1, 0)]);
+        let w = weights_pair(2, Qubit(0), Qubit(1));
+        assert_eq!(
+            best_swap_for_gate(&[Qubit(0), Qubit(1)], &map, &grid, &w, 2.0),
+            None
+        );
+    }
+
+    #[test]
+    fn best_swap_never_displaces_co_operand() {
+        // Three operands in a row; moving q0 onto q1's site is banned.
+        let grid = Grid::new(5, 1);
+        let map = line_map(&[(0, 0), (1, 0), (4, 0)]);
+        let w = InteractionWeights::from_layered_gates(
+            3,
+            [(&[Qubit(0), Qubit(1), Qubit(2)][..], 0usize)],
+            20,
+        );
+        if let Some(mv) = best_swap_for_gate(&[Qubit(0), Qubit(1), Qubit(2)], &map, &grid, &w, 1.0)
+        {
+            let displaced = map.qubit_at(mv.to);
+            assert!(
+                displaced.is_none_or(|q| q.0 > 2 || mv.to == Site::new(4, 0)),
+                "co-operand displaced by {mv:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn swap_score_rewards_progress_and_penalizes_damage() {
+        // u at (0,0) wants v at (4,0); a bystander b at (1,0) wants
+        // w at (0,1) (i.e. b prefers staying put).
+        let mut map = QubitMap::new(4);
+        map.assign(Qubit(0), Site::new(0, 0)); // u
+        map.assign(Qubit(1), Site::new(4, 0)); // v
+        map.assign(Qubit(2), Site::new(1, 0)); // bystander b
+        map.assign(Qubit(3), Site::new(0, 1)); // b's partner
+        let w = InteractionWeights::from_layered_gates(
+            4,
+            [
+                (&[Qubit(0), Qubit(1)][..], 0usize),
+                (&[Qubit(2), Qubit(3)][..], 0usize),
+            ],
+            20,
+        );
+        let score = swap_score(Qubit(0), Site::new(0, 0), Site::new(1, 0), &map, &w);
+        // u gains 1.0 toward v; b is pushed from distance sqrt(2) to 1
+        // relative to its partner — actually a small gain for b too.
+        assert!(score > 0.0);
+
+        // Moving u away from v scores negative.
+        let bad = swap_score(Qubit(0), Site::new(0, 0), Site::new(0, 1), &map, &w);
+        assert!(bad < score);
+    }
+
+    #[test]
+    fn meeting_point_centers_operands() {
+        let grid = Grid::new(9, 9);
+        let map = line_map(&[(0, 4), (8, 4)]);
+        let m = meeting_point(&[Qubit(0), Qubit(1)], &map, &grid);
+        assert_eq!(m, Site::new(4, 4));
+    }
+
+    #[test]
+    fn meeting_point_avoids_holes() {
+        let mut grid = Grid::new(9, 1);
+        grid.remove_atom(Site::new(4, 0));
+        let map = line_map(&[(0, 0), (8, 0)]);
+        let m = meeting_point(&[Qubit(0), Qubit(1)], &map, &grid);
+        assert!(grid.is_usable(m));
+        assert!(m == Site::new(3, 0) || m == Site::new(5, 0));
+    }
+
+    #[test]
+    fn forced_hop_advances_along_bfs_path() {
+        let grid = Grid::new(6, 1);
+        let from = Site::new(0, 0);
+        let goal = Site::new(5, 0);
+        let hop = forced_hop(&grid, from, goal, 2.0, &[]).unwrap();
+        assert!(from.within(hop, 2.0), "hop within MID");
+        assert!(hop.distance(goal) < from.distance(goal), "hop makes progress");
+    }
+
+    #[test]
+    fn forced_hop_respects_blocked_sites() {
+        let grid = Grid::new(6, 1);
+        let hop = forced_hop(
+            &grid,
+            Site::new(0, 0),
+            Site::new(5, 0),
+            2.0,
+            &[Site::new(2, 0)],
+        )
+        .unwrap();
+        assert_eq!(hop, Site::new(1, 0));
+    }
+
+    #[test]
+    fn forced_hop_none_at_goal_or_unreachable() {
+        let mut grid = Grid::new(5, 1);
+        assert_eq!(
+            forced_hop(&grid, Site::new(2, 0), Site::new(2, 0), 1.0, &[]),
+            None
+        );
+        grid.remove_atom(Site::new(2, 0));
+        assert_eq!(
+            forced_hop(&grid, Site::new(0, 0), Site::new(4, 0), 1.0, &[]),
+            None
+        );
+    }
+}

@@ -1,0 +1,424 @@
+//! The restriction-zone-aware frontier scheduler.
+//!
+//! Compilation proceeds layer by layer over the program DAG
+//! (paper §III-A). At every timestep the scheduler:
+//!
+//! 1. executes every ready gate whose operands are pairwise within the
+//!    MID and whose restriction zone does not intersect a zone already
+//!    claimed this step (greedy maximal packing, deterministic order);
+//! 2. for each remaining long-distance frontier gate, schedules the
+//!    best-scoring SWAP (see [`crate::routing`]) if its zone fits;
+//! 3. if the step would otherwise be empty, forces one BFS hop toward
+//!    the gate's congregation point so progress is guaranteed.
+//!
+//! SWAPs update the mapping immediately; completed gates unlock their
+//! DAG successors at the end of the step.
+
+use crate::routing::{all_within_mid, best_swap_for_gate, forced_hop, meeting_point};
+use crate::{CompileError, CompilerConfig, InteractionWeights, QubitMap};
+use na_arch::{Grid, RestrictionZone, Site};
+use na_circuit::{Circuit, Frontier, GateId, Qubit};
+
+/// One operation in the compiled schedule.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScheduledOp {
+    /// Timestep (0-based). Ops sharing a timestep run in parallel.
+    pub time: u32,
+    /// The program gate this op executes, or `None` for a router SWAP.
+    pub source: Option<usize>,
+    /// Physical operand sites at execution time (program-gate operand
+    /// order, or the two swapped sites).
+    pub sites: Vec<Site>,
+}
+
+impl ScheduledOp {
+    /// `true` for router-inserted SWAPs.
+    #[inline]
+    pub fn is_swap(&self) -> bool {
+        self.source.is_none()
+    }
+
+    /// Number of atoms the op touches.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Maximum pairwise distance between operand sites.
+    pub fn span(&self) -> f64 {
+        let mut d: f64 = 0.0;
+        for i in 0..self.sites.len() {
+            for j in (i + 1)..self.sites.len() {
+                d = d.max(self.sites[i].distance(self.sites[j]));
+            }
+        }
+        d
+    }
+}
+
+/// Output of [`run`]: the time-stamped ops, the final mapping, and the
+/// number of timesteps used.
+pub(crate) struct ScheduleResult {
+    pub ops: Vec<ScheduledOp>,
+    pub final_map: QubitMap,
+    pub num_timesteps: u32,
+}
+
+/// Schedules a (pre-lowered) circuit starting from `initial` placement.
+pub(crate) fn run(
+    circuit: &Circuit,
+    grid: &Grid,
+    config: &CompilerConfig,
+    initial: QubitMap,
+) -> Result<ScheduleResult, CompileError> {
+    let dag = circuit.dag();
+    let mut frontier = dag.frontier();
+    let mut map = initial;
+    let mut ops: Vec<ScheduledOp> = Vec::new();
+    let mut time: u32 = 0;
+    let step_budget = config
+        .max_steps_per_gate
+        .saturating_mul(circuit.len().max(1))
+        .saturating_add(1024);
+
+    // Lookahead weights change only when gates complete.
+    let mut weights = frontier_weights(circuit, &frontier, config.lookahead_depth);
+
+    while !frontier.is_done() {
+        if time as usize > step_budget {
+            return Err(CompileError::RoutingStuck { steps: time as usize });
+        }
+        let ready: Vec<GateId> = frontier.ready().to_vec();
+        let mut zones: Vec<RestrictionZone> = Vec::new();
+        let mut completed: Vec<GateId> = Vec::new();
+        let mut scheduled = 0usize;
+
+        // Phase A: execute in-range, zone-compatible ready gates.
+        // Packing short-span gates first fits more gates per step: a
+        // long-range gate claims a large zone that can forbid many
+        // small ones, but never the other way around.
+        let mut in_range: Vec<(GateId, Vec<Site>, f64)> = Vec::new();
+        for &id in &ready {
+            let operands = circuit.gates()[id.0].qubits();
+            if operands.len() >= 2 && !all_within_mid(&operands, &map, config.mid) {
+                continue;
+            }
+            let sites: Vec<Site> = operands
+                .iter()
+                .map(|&q| map.site_of(q).expect("all program qubits placed"))
+                .collect();
+            let mut span: f64 = 0.0;
+            for i in 0..sites.len() {
+                for j in (i + 1)..sites.len() {
+                    span = span.max(sites[i].distance(sites[j]));
+                }
+            }
+            in_range.push((id, sites, span));
+        }
+        in_range.sort_by(|a, b| {
+            a.2.partial_cmp(&b.2)
+                .expect("finite spans")
+                .then(a.0.cmp(&b.0))
+        });
+        for (id, sites, _) in in_range {
+            let zone = RestrictionZone::for_gate(&sites, config.restriction);
+            if zones.iter().any(|z| z.intersects(&zone)) {
+                continue;
+            }
+            ops.push(ScheduledOp {
+                time,
+                source: Some(id.0),
+                sites,
+            });
+            zones.push(zone);
+            completed.push(id);
+            scheduled += 1;
+        }
+
+        // Phase B: one routing SWAP per remaining long-distance gate.
+        for &id in &ready {
+            if completed.contains(&id) {
+                continue;
+            }
+            let operands = circuit.gates()[id.0].qubits();
+            if operands.len() < 2 || all_within_mid(&operands, &map, config.mid) {
+                // In range but zone-blocked: just wait.
+                continue;
+            }
+            let Some(mv) = best_swap_for_gate(&operands, &map, grid, &weights, config.mid)
+            else {
+                continue;
+            };
+            let zone = RestrictionZone::for_gate(&[mv.from, mv.to], config.restriction);
+            if zones.iter().any(|z| z.intersects(&zone)) {
+                continue;
+            }
+            ops.push(ScheduledOp {
+                time,
+                source: None,
+                sites: vec![mv.from, mv.to],
+            });
+            zones.push(zone);
+            map.swap_sites(mv.from, mv.to);
+            scheduled += 1;
+        }
+
+        // Fallback: force one BFS hop so the schedule always advances.
+        if scheduled == 0 {
+            let id = ready[0];
+            let operands = circuit.gates()[id.0].qubits();
+            let (from, to) = forced_move(&operands, &map, grid, config.mid)?;
+            ops.push(ScheduledOp {
+                time,
+                source: None,
+                sites: vec![from, to],
+            });
+            map.swap_sites(from, to);
+        }
+
+        for id in completed.iter() {
+            frontier.complete(*id);
+        }
+        if !completed.is_empty() && !frontier.is_done() {
+            weights = frontier_weights(circuit, &frontier, config.lookahead_depth);
+        }
+        time += 1;
+    }
+
+    Ok(ScheduleResult {
+        ops,
+        final_map: map,
+        num_timesteps: time,
+    })
+}
+
+/// Builds lookahead weights from the live frontier.
+pub(crate) fn frontier_weights(
+    circuit: &Circuit,
+    frontier: &Frontier<'_>,
+    lookahead_depth: usize,
+) -> InteractionWeights {
+    let rel = frontier.remaining_layers();
+    let gates: Vec<(Vec<Qubit>, usize)> = circuit
+        .iter()
+        .enumerate()
+        .filter_map(|(i, g)| rel[i].map(|l| (g.qubits(), l)))
+        .collect();
+    InteractionWeights::from_layered_gates(
+        circuit.num_qubits(),
+        gates.iter().map(|(q, l)| (q.as_slice(), *l)),
+        lookahead_depth,
+    )
+}
+
+/// Deterministic forced hop: move the operand farthest from the gate's
+/// congregation point one BFS hop toward it.
+fn forced_move(
+    operands: &[Qubit],
+    map: &QubitMap,
+    grid: &Grid,
+    mid: f64,
+) -> Result<(Site, Site), CompileError> {
+    debug_assert!(operands.len() >= 2);
+    let op_sites: Vec<Site> = operands
+        .iter()
+        .map(|&q| map.site_of(q).expect("placed"))
+        .collect();
+
+    // Congregation goal: the meeting point, displaced to the nearest
+    // usable non-operand site if an operand already sits there.
+    let m = meeting_point(operands, map, grid);
+    let goal = if op_sites.contains(&m) {
+        nearest_usable_excluding(grid, m, &op_sites)
+            .ok_or(CompileError::Disconnected)?
+    } else {
+        m
+    };
+
+    // Move the operand farthest from the goal (ties: operand order).
+    let (mut mover, mut worst) = (op_sites[0], -1.0f64);
+    for &s in &op_sites {
+        let d = s.distance(goal);
+        if d > worst + 1e-12 {
+            mover = s;
+            worst = d;
+        }
+    }
+    let blocked: Vec<Site> = op_sites.iter().copied().filter(|&s| s != mover).collect();
+    let hop = forced_hop(grid, mover, goal, mid, &blocked).ok_or(CompileError::Disconnected)?;
+    Ok((mover, hop))
+}
+
+fn nearest_usable_excluding(grid: &Grid, anchor: Site, excluded: &[Site]) -> Option<Site> {
+    let mut best: Option<(i64, Site)> = None;
+    for s in grid.usable_sites() {
+        if excluded.contains(&s) {
+            continue;
+        }
+        let d = s.distance_sq(anchor);
+        if best.is_none_or(|(bd, bs)| d < bd || (d == bd && s < bs)) {
+            best = Some((d, s));
+        }
+    }
+    best.map(|(_, s)| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::initial_placement;
+    use na_circuit::Circuit;
+
+    fn schedule_circuit(
+        circuit: &Circuit,
+        grid: &Grid,
+        config: &CompilerConfig,
+    ) -> ScheduleResult {
+        let dag = circuit.dag();
+        let frontier = dag.frontier();
+        let w = frontier_weights(circuit, &frontier, config.lookahead_depth);
+        let map = initial_placement(circuit, grid, &w).unwrap();
+        run(circuit, grid, config, map).unwrap()
+    }
+
+    #[test]
+    fn all_gates_get_scheduled_exactly_once() {
+        let mut c = Circuit::new(4);
+        c.h(Qubit(0));
+        c.cnot(Qubit(0), Qubit(1));
+        c.cnot(Qubit(2), Qubit(3));
+        c.cnot(Qubit(1), Qubit(2));
+        let grid = Grid::new(5, 5);
+        let result = schedule_circuit(&c, &grid, &CompilerConfig::new(2.0));
+        let mut seen = vec![0usize; c.len()];
+        for op in &result.ops {
+            if let Some(i) = op.source {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1), "each gate exactly once: {seen:?}");
+    }
+
+    #[test]
+    fn independent_gates_share_timesteps_without_zones() {
+        let mut c = Circuit::new(4);
+        c.cnot(Qubit(0), Qubit(1));
+        c.cnot(Qubit(2), Qubit(3));
+        let grid = Grid::new(8, 8);
+        let cfg = CompilerConfig::new(2.0).with_restriction(na_arch::RestrictionPolicy::None);
+        let result = schedule_circuit(&c, &grid, &cfg);
+        // Both CNOTs should land in timestep 0 when zones are off and
+        // placement keeps pairs adjacent.
+        let times: Vec<u32> = result
+            .ops
+            .iter()
+            .filter(|o| !o.is_swap())
+            .map(|o| o.time)
+            .collect();
+        assert_eq!(times, vec![0, 0]);
+    }
+
+    #[test]
+    fn swaps_appear_when_qubits_start_far_apart() {
+        // Serial chain that the placer cannot keep fully adjacent at
+        // MID 1 on a narrow device.
+        let mut c = Circuit::new(6);
+        for i in 0..5u32 {
+            c.cnot(Qubit(i), Qubit((i + 1) % 6));
+        }
+        c.cnot(Qubit(0), Qubit(5));
+        c.cnot(Qubit(2), Qubit(5));
+        c.cnot(Qubit(0), Qubit(3));
+        let grid = Grid::new(6, 1);
+        let result = schedule_circuit(&c, &grid, &CompilerConfig::new(1.0));
+        let swaps = result.ops.iter().filter(|o| o.is_swap()).count();
+        assert!(swaps > 0, "line topology must need SWAPs");
+    }
+
+    #[test]
+    fn larger_mid_needs_fewer_swaps() {
+        let mut c = Circuit::new(8);
+        // All-to-all-ish interaction pattern.
+        for i in 0..8u32 {
+            for j in (i + 1)..8 {
+                if (i + j) % 3 == 0 {
+                    c.cnot(Qubit(i), Qubit(j));
+                }
+            }
+        }
+        let grid = Grid::new(4, 4);
+        let s1 = schedule_circuit(&c, &grid, &CompilerConfig::new(1.0));
+        let s4 = schedule_circuit(&c, &grid, &CompilerConfig::new(4.4));
+        let swaps1 = s1.ops.iter().filter(|o| o.is_swap()).count();
+        let swaps4 = s4.ops.iter().filter(|o| o.is_swap()).count();
+        assert!(swaps4 < swaps1, "MID 4.4 ({swaps4}) vs MID 1 ({swaps1})");
+        assert_eq!(swaps4, 0, "all-to-all at diagonal MID needs no SWAPs");
+    }
+
+    #[test]
+    fn toffoli_schedules_natively_at_mid_two() {
+        let mut c = Circuit::new(3);
+        c.toffoli(Qubit(0), Qubit(1), Qubit(2));
+        let grid = Grid::new(5, 5);
+        let result = schedule_circuit(&c, &grid, &CompilerConfig::new(2.0));
+        let prog_ops: Vec<_> = result.ops.iter().filter(|o| !o.is_swap()).collect();
+        assert_eq!(prog_ops.len(), 1);
+        assert_eq!(prog_ops[0].arity(), 3);
+        assert!(prog_ops[0].span() <= 2.0);
+    }
+
+    #[test]
+    fn restriction_zones_serialize_nearby_gates() {
+        // Two independent distance-2 CNOTs forced close together on a
+        // tiny device: with f(d)=d/2 zones they cannot share a step.
+        let mut c = Circuit::new(4);
+        c.cnot(Qubit(0), Qubit(1));
+        c.cnot(Qubit(2), Qubit(3));
+        let grid = Grid::new(2, 2);
+        let cfg = CompilerConfig::new(2.0);
+        let result = schedule_circuit(&c, &grid, &cfg);
+        let mut times: Vec<u32> = result
+            .ops
+            .iter()
+            .filter(|o| !o.is_swap())
+            .map(|o| o.time)
+            .collect();
+        times.sort_unstable();
+        // On a 2x2 grid every pair of sites is within distance ~1.41 of
+        // the others, so if either gate spans a diagonal its zone covers
+        // the other pair. Gates must either be adjacent-placed (span 1,
+        // zones radius 0.5 might still clear) — accept either full
+        // parallelism or serialization but require a valid schedule.
+        assert_eq!(times.len(), 2);
+        let zones_off = schedule_circuit(
+            &c,
+            &grid,
+            &CompilerConfig::new(2.0).with_restriction(na_arch::RestrictionPolicy::None),
+        );
+        let depth_off = zones_off.num_timesteps;
+        assert!(result.num_timesteps >= depth_off);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let mut c = Circuit::new(6);
+        for i in 0..5u32 {
+            c.cnot(Qubit(i), Qubit(i + 1));
+        }
+        let grid = Grid::new(4, 4);
+        let cfg = CompilerConfig::new(1.0);
+        let a = schedule_circuit(&c, &grid, &cfg);
+        let b = schedule_circuit(&c, &grid, &cfg);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.num_timesteps, b.num_timesteps);
+    }
+
+    #[test]
+    fn empty_circuit_schedules_to_nothing() {
+        let c = Circuit::new(3);
+        let grid = Grid::new(3, 3);
+        let result = schedule_circuit(&c, &grid, &CompilerConfig::new(1.0));
+        assert!(result.ops.is_empty());
+        assert_eq!(result.num_timesteps, 0);
+    }
+}

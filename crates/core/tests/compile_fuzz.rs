@@ -1,0 +1,133 @@
+//! Property-based compiler fuzzing: random circuits at random MIDs on
+//! randomly damaged grids must always compile to verifiable schedules
+//! (or fail with a declared `CompileError`) — never panic, never emit
+//! an invalid schedule.
+
+use na_arch::{Grid, RestrictionPolicy, Site};
+use na_circuit::{Circuit, Qubit};
+use na_core::{compile, verify, CompilerConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum GateSpec {
+    OneQ(u32),
+    TwoQ(u32, u32),
+    ThreeQ(u32, u32, u32),
+}
+
+fn arb_program(max_qubits: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    (3..=max_qubits, 1..max_gates).prop_flat_map(move |(n, g)| {
+        proptest::collection::vec(
+            prop_oneof![
+                (0..n).prop_map(GateSpec::OneQ),
+                (0..n, 0..n).prop_map(|(a, b)| GateSpec::TwoQ(a, b)),
+                (0..n, 0..n, 0..n).prop_map(|(a, b, c)| GateSpec::ThreeQ(a, b, c)),
+            ],
+            g,
+        )
+        .prop_map(move |specs| {
+            let mut circuit = Circuit::new(n);
+            for spec in specs {
+                match spec {
+                    GateSpec::OneQ(q) => {
+                        circuit.h(Qubit(q));
+                    }
+                    GateSpec::TwoQ(a, b) if a != b => {
+                        circuit.cnot(Qubit(a), Qubit(b));
+                    }
+                    GateSpec::TwoQ(a, _) => {
+                        circuit.x(Qubit(a));
+                    }
+                    GateSpec::ThreeQ(a, b, c) if a != b && b != c && a != c => {
+                        circuit.toffoli(Qubit(a), Qubit(b), Qubit(c));
+                    }
+                    GateSpec::ThreeQ(a, ..) => {
+                        circuit.t(Qubit(a));
+                    }
+                }
+            }
+            circuit
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_compile_and_verify(
+        program in arb_program(10, 40),
+        mid_x2 in 3u32..12,          // MID in [1.5, 6.0] steps of 0.5
+        zones in prop_oneof![Just(RestrictionPolicy::HalfDistance),
+                             Just(RestrictionPolicy::None),
+                             Just(RestrictionPolicy::FullDistance)],
+        native in any::<bool>(),
+    ) {
+        let grid = Grid::new(6, 6);
+        let cfg = CompilerConfig::new(f64::from(mid_x2) / 2.0)
+            .with_restriction(zones)
+            .with_native_multiqubit(native);
+        match compile(&program, &grid, &cfg) {
+            Ok(compiled) => verify(&compiled, &grid).expect("schedule must verify"),
+            Err(e) => {
+                // Only declared failure modes are acceptable here.
+                prop_assert!(
+                    matches!(e, na_core::CompileError::UnroutableGate { .. }),
+                    "unexpected compile error: {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_programs_on_damaged_grids(
+        program in arb_program(8, 25),
+        holes in proptest::collection::hash_set((0i32..6, 0i32..6), 0..8),
+    ) {
+        let mut grid = Grid::new(6, 6);
+        for (x, y) in holes {
+            grid.remove_atom(Site::new(x, y));
+        }
+        let cfg = CompilerConfig::new(2.0);
+        match compile(&program, &grid, &cfg) {
+            Ok(compiled) => {
+                verify(&compiled, &grid).expect("schedule must verify");
+                for op in compiled.ops() {
+                    for s in &op.sites {
+                        prop_assert!(grid.is_usable(*s), "op on hole {s}");
+                    }
+                }
+            }
+            Err(e) => {
+                prop_assert!(
+                    matches!(
+                        e,
+                        na_core::CompileError::ProgramTooLarge { .. }
+                            | na_core::CompileError::Disconnected
+                            | na_core::CompileError::UnroutableGate { .. }
+                    ),
+                    "unexpected compile error: {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swap_count_never_exceeds_budgeted_bound(
+        program in arb_program(8, 30),
+    ) {
+        // A loose sanity bound: routing a gate across a 6x6 grid at MID
+        // 1 needs at most ~10 SWAPs, so total SWAPs stay within a
+        // small multiple of the gate count.
+        let grid = Grid::new(6, 6);
+        let cfg = CompilerConfig::new(1.0).with_native_multiqubit(false);
+        let compiled = compile(&program, &grid, &cfg).expect("compiles");
+        let m = compiled.metrics();
+        prop_assert!(
+            m.swaps <= 12 * m.program_gates + 12,
+            "absurd swap count: {} swaps for {} gates",
+            m.swaps,
+            m.program_gates
+        );
+    }
+}

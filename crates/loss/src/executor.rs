@@ -1,0 +1,457 @@
+//! The multi-shot campaign simulator (paper Figs. 12–14).
+
+use crate::state::{LossOutcome, StrategyState};
+use crate::timeline::{EventKind, TimelineEvent};
+use crate::{LossModel, OverheadLedger, OverheadTimes, Strategy};
+use na_arch::Grid;
+use na_circuit::Circuit;
+use na_core::CompileError;
+use na_noise::{success_probability, NoiseParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// When a campaign stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShotTarget {
+    /// Run exactly this many shots (Fig. 12 runs 500).
+    Attempts(u32),
+    /// Run until this many shots succeed (Fig. 14 traces 20).
+    Successes(u32),
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Hardware maximum interaction distance.
+    pub hardware_mid: f64,
+    /// The coping strategy under test.
+    pub strategy: Strategy,
+    /// Stop condition.
+    pub target: ShotTarget,
+    /// Safety cap on total shots.
+    pub max_attempts: u32,
+    /// Two-qubit gate error of the simulated hardware (drives success
+    /// draws and the reroute SWAP budget).
+    pub two_qubit_error: f64,
+    /// Overhead timing constants.
+    pub overheads: OverheadTimes,
+    /// Reroute strategies force a reload once fixup SWAPs would push
+    /// success below this fraction of the loss-free rate (paper: 0.5).
+    pub success_floor: f64,
+    /// RNG seed for success draws.
+    pub seed: u64,
+    /// Record a full event timeline (Fig. 14).
+    pub record_timeline: bool,
+}
+
+impl CampaignConfig {
+    /// Paper-style defaults: 500 shots, 3.5% two-qubit error, standard
+    /// overheads, 50% success floor.
+    pub fn new(hardware_mid: f64, strategy: Strategy) -> Self {
+        CampaignConfig {
+            hardware_mid,
+            strategy,
+            target: ShotTarget::Attempts(500),
+            max_attempts: 100_000,
+            two_qubit_error: 0.035,
+            overheads: OverheadTimes::default(),
+            success_floor: 0.5,
+            seed: 0,
+            record_timeline: false,
+        }
+    }
+
+    /// Replaces the stop condition.
+    pub fn with_target(mut self, target: ShotTarget) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Replaces the two-qubit error rate.
+    pub fn with_two_qubit_error(mut self, e: f64) -> Self {
+        self.two_qubit_error = e;
+        self
+    }
+
+    /// Replaces the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables timeline recording.
+    pub fn with_timeline(mut self) -> Self {
+        self.record_timeline = true;
+        self
+    }
+
+    /// The SWAP budget implied by the success floor: the largest `n`
+    /// with `p2^{3n} ≥ floor` (six SWAPs at 96.5% two-qubit success,
+    /// matching the paper).
+    pub fn swap_budget(&self) -> u32 {
+        let p2 = 1.0 - self.two_qubit_error;
+        let per_swap = p2.powi(3);
+        if per_swap >= 1.0 {
+            return u32::MAX;
+        }
+        (self.success_floor.ln() / per_swap.ln()).floor() as u32
+    }
+}
+
+/// Campaign outcome: shot statistics, overhead ledger, and optionally
+/// the full timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Total shots run.
+    pub shots_attempted: u32,
+    /// Shots that both avoided interfering loss and passed the noise
+    /// draw.
+    pub shots_successful: u32,
+    /// Shots discarded because an in-use atom was lost.
+    pub discarded_by_loss: u32,
+    /// Shots failed by the gate-error/coherence draw.
+    pub failed_by_noise: u32,
+    /// Overhead accounting.
+    pub ledger: OverheadLedger,
+    /// Successful-shot counts of each inter-reload interval (the last
+    /// entry is the still-open interval).
+    pub shots_between_reloads: Vec<u32>,
+    /// Event trace, if requested.
+    pub timeline: Vec<TimelineEvent>,
+}
+
+impl CampaignResult {
+    /// Mean successful shots per completed reload interval; falls back
+    /// to the open interval when no reload ever happened.
+    pub fn mean_shots_before_reload(&self) -> f64 {
+        let completed = &self.shots_between_reloads[..self.shots_between_reloads.len() - 1];
+        let slice: &[u32] = if completed.is_empty() {
+            &self.shots_between_reloads
+        } else {
+            completed
+        };
+        slice.iter().map(|&s| f64::from(s)).sum::<f64>() / slice.len() as f64
+    }
+}
+
+/// Runs a multi-shot campaign of `program` on a fresh copy of
+/// `grid_template` under atom loss, per shot:
+///
+/// 1. run the circuit (wall-clock from the schedule; success drawn
+///    from the noise model × the current fixup-SWAP penalty);
+/// 2. fluoresce (6 ms) and draw losses — vacuum on every atom,
+///    measurement loss on the program's atoms;
+/// 3. if an in-use atom was lost, discard the shot and let the
+///    strategy absorb the loss (remap / fixup / recompile), reloading
+///    when it cannot.
+///
+/// Deterministic in `cfg.seed` and the `loss` model's seed.
+///
+/// # Errors
+///
+/// Propagates the initial compilation error.
+pub fn run_campaign(
+    program: &Circuit,
+    grid_template: &Grid,
+    mut loss: LossModel,
+    cfg: &CampaignConfig,
+) -> Result<CampaignResult, CompileError> {
+    let budget = if cfg.strategy.reroutes() {
+        Some(cfg.swap_budget())
+    } else {
+        None
+    };
+
+    let t_compile = Instant::now();
+    let mut state = StrategyState::new(
+        program,
+        grid_template,
+        cfg.hardware_mid,
+        cfg.strategy,
+        budget,
+    )?;
+    let compile_secs = t_compile.elapsed().as_secs_f64();
+
+    let params = NoiseParams::neutral_atom(cfg.two_qubit_error);
+    let mut base = success_probability(state.compiled(), &params);
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut ledger = OverheadLedger::default();
+    let mut timeline: Vec<TimelineEvent> = Vec::new();
+    let mut clock = 0.0f64;
+    let record = |timeline: &mut Vec<TimelineEvent>,
+                      clock: &mut f64,
+                      kind: EventKind,
+                      duration: f64,
+                      on: bool| {
+        if on {
+            timeline.push(TimelineEvent {
+                kind,
+                start: *clock,
+                duration,
+            });
+        }
+        *clock += duration;
+    };
+    record(
+        &mut timeline,
+        &mut clock,
+        EventKind::Compile,
+        compile_secs,
+        cfg.record_timeline,
+    );
+
+    let mut result = CampaignResult {
+        shots_attempted: 0,
+        shots_successful: 0,
+        discarded_by_loss: 0,
+        failed_by_noise: 0,
+        ledger: OverheadLedger::default(),
+        shots_between_reloads: Vec::new(),
+        timeline: Vec::new(),
+    };
+    let mut streak = 0u32;
+
+    loop {
+        let done = match cfg.target {
+            ShotTarget::Attempts(n) => result.shots_attempted >= n,
+            ShotTarget::Successes(n) => result.shots_successful >= n,
+        };
+        if done || result.shots_attempted >= cfg.max_attempts {
+            break;
+        }
+        result.shots_attempted += 1;
+
+        // 1. Run the circuit.
+        ledger.add_circuit(base.duration);
+        record(
+            &mut timeline,
+            &mut clock,
+            EventKind::RunCircuit,
+            base.duration,
+            cfg.record_timeline,
+        );
+        let p_shot = base.probability() * state.swap_penalty(params.p2);
+        let noise_ok = p_shot > 0.0 && rng.gen_bool(p_shot.min(1.0));
+
+        // 2. Detect loss.
+        ledger.add_fluorescence(&cfg.overheads);
+        record(
+            &mut timeline,
+            &mut clock,
+            EventKind::Fluorescence,
+            cfg.overheads.fluorescence,
+            cfg.record_timeline,
+        );
+        let measured = state.measured_sites();
+        let losses = loss.draw_losses(state.grid(), &measured);
+        let interfering: Vec<_> = losses
+            .iter()
+            .copied()
+            .filter(|&s| state.is_interfering(s))
+            .collect();
+
+        if interfering.is_empty() && noise_ok {
+            result.shots_successful += 1;
+            streak += 1;
+        } else if !interfering.is_empty() {
+            result.discarded_by_loss += 1;
+        } else {
+            result.failed_by_noise += 1;
+        }
+
+        // 3. Absorb the losses.
+        let mut need_reload = false;
+        for site in losses {
+            if !state.grid().is_usable(site) {
+                continue; // already swallowed by a reload this shot
+            }
+            match state.apply_loss(site) {
+                LossOutcome::Spare => {}
+                LossOutcome::Tolerated { remaps, refixed } => {
+                    for _ in 0..remaps {
+                        ledger.add_remap(&cfg.overheads);
+                        record(
+                            &mut timeline,
+                            &mut clock,
+                            EventKind::Remap,
+                            cfg.overheads.remap,
+                            cfg.record_timeline,
+                        );
+                    }
+                    if refixed {
+                        ledger.add_fixup(&cfg.overheads);
+                        record(
+                            &mut timeline,
+                            &mut clock,
+                            EventKind::Fixup,
+                            cfg.overheads.fixup,
+                            cfg.record_timeline,
+                        );
+                    }
+                }
+                LossOutcome::Recompiled { compile_seconds } => {
+                    ledger.add_recompile(&cfg.overheads, compile_seconds);
+                    record(
+                        &mut timeline,
+                        &mut clock,
+                        EventKind::Compile,
+                        compile_seconds,
+                        cfg.record_timeline,
+                    );
+                    base = success_probability(state.compiled(), &params);
+                }
+                LossOutcome::NeedsReload => {
+                    need_reload = true;
+                    break;
+                }
+            }
+        }
+        if need_reload {
+            state.reload();
+            base = success_probability(state.compiled(), &params);
+            ledger.add_reload(&cfg.overheads);
+            record(
+                &mut timeline,
+                &mut clock,
+                EventKind::Reload,
+                cfg.overheads.reload,
+                cfg.record_timeline,
+            );
+            result.shots_between_reloads.push(streak);
+            streak = 0;
+        }
+    }
+
+    result.shots_between_reloads.push(streak);
+    result.ledger = ledger;
+    result.timeline = timeline;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use na_benchmarks::Benchmark;
+
+    fn grid() -> Grid {
+        Grid::new(10, 10)
+    }
+
+    fn program() -> Circuit {
+        Benchmark::Bv.generate(30, 0)
+    }
+
+    fn quick(strategy: Strategy, shots: u32) -> CampaignConfig {
+        CampaignConfig::new(3.0, strategy)
+            .with_target(ShotTarget::Attempts(shots))
+            .with_two_qubit_error(1e-3)
+            .with_seed(1)
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let cfg = quick(Strategy::CompileSmallReroute, 50);
+        let a = run_campaign(&program(), &grid(), LossModel::new(5), &cfg).unwrap();
+        let b = run_campaign(&program(), &grid(), LossModel::new(5), &cfg).unwrap();
+        assert_eq!(a.shots_successful, b.shots_successful);
+        assert_eq!(a.ledger.reloads, b.ledger.reloads);
+    }
+
+    #[test]
+    fn attempts_target_runs_exactly_n_shots() {
+        let cfg = quick(Strategy::AlwaysReload, 40);
+        let r = run_campaign(&program(), &grid(), LossModel::new(2), &cfg).unwrap();
+        assert_eq!(r.shots_attempted, 40);
+        assert_eq!(r.ledger.fluorescences, 40);
+        assert_eq!(
+            r.shots_successful + r.discarded_by_loss + r.failed_by_noise,
+            40
+        );
+    }
+
+    #[test]
+    fn successes_target_stops_at_n_successes() {
+        let cfg = quick(Strategy::VirtualRemap, 0).with_target(ShotTarget::Successes(10));
+        let r = run_campaign(&program(), &grid(), LossModel::new(3), &cfg).unwrap();
+        assert_eq!(r.shots_successful, 10);
+        assert!(r.shots_attempted >= 10);
+    }
+
+    #[test]
+    fn no_loss_means_no_reloads() {
+        let lossless = LossModel::new(0)
+            .with_vacuum_loss(0.0)
+            .with_measurement_loss(0.0);
+        let cfg = quick(Strategy::AlwaysReload, 30);
+        let r = run_campaign(&program(), &grid(), lossless, &cfg).unwrap();
+        assert_eq!(r.ledger.reloads, 0);
+        assert_eq!(r.discarded_by_loss, 0);
+        assert_eq!(r.shots_between_reloads, vec![r.shots_successful]);
+    }
+
+    #[test]
+    fn always_reload_reloads_per_interfering_loss() {
+        let cfg = quick(Strategy::AlwaysReload, 100);
+        let r = run_campaign(&program(), &grid(), LossModel::new(7), &cfg).unwrap();
+        assert_eq!(r.ledger.reloads, r.discarded_by_loss);
+        assert!(r.ledger.reloads > 0, "2% measurement loss on 30 qubits must hit");
+    }
+
+    #[test]
+    fn remapping_strategies_reload_less_than_always_reload() {
+        let mut reload_counts = Vec::new();
+        for strategy in [Strategy::AlwaysReload, Strategy::CompileSmallReroute] {
+            let cfg = quick(strategy, 200);
+            let r = run_campaign(&program(), &grid(), LossModel::new(11), &cfg).unwrap();
+            reload_counts.push(r.ledger.reloads);
+        }
+        assert!(
+            reload_counts[1] < reload_counts[0],
+            "c.small+reroute {} vs always reload {}",
+            reload_counts[1],
+            reload_counts[0]
+        );
+    }
+
+    #[test]
+    fn timeline_records_all_overheads() {
+        let cfg = quick(Strategy::AlwaysReload, 30).with_timeline();
+        let r = run_campaign(&program(), &grid(), LossModel::new(4), &cfg).unwrap();
+        assert!(!r.timeline.is_empty());
+        assert_eq!(r.timeline[0].kind, EventKind::Compile);
+        // Events are contiguous in time.
+        for w in r.timeline.windows(2) {
+            assert!((w[0].end() - w[1].start).abs() < 1e-9);
+        }
+        let reloads = r
+            .timeline
+            .iter()
+            .filter(|e| e.kind == EventKind::Reload)
+            .count() as u32;
+        assert_eq!(reloads, r.ledger.reloads);
+    }
+
+    #[test]
+    fn swap_budget_matches_paper_constant() {
+        // 96.5% two-qubit success, 50% floor -> six SWAPs.
+        let cfg = CampaignConfig::new(3.0, Strategy::MinorReroute).with_two_qubit_error(0.035);
+        assert_eq!(cfg.swap_budget(), 6);
+    }
+
+    #[test]
+    fn mean_shots_before_reload_uses_completed_intervals() {
+        let r = CampaignResult {
+            shots_attempted: 10,
+            shots_successful: 8,
+            discarded_by_loss: 2,
+            failed_by_noise: 0,
+            ledger: OverheadLedger::default(),
+            shots_between_reloads: vec![3, 5, 0],
+            timeline: Vec::new(),
+        };
+        assert!((r.mean_shots_before_reload() - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,203 @@
+//! The stochastic atom-loss model.
+
+use na_arch::{Grid, Site};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-shot Bernoulli loss processes (paper §VI).
+///
+/// Two mechanisms, both uniform across atoms:
+///
+/// * **vacuum loss** — a background-gas collision ejects the atom
+///   during the shot; rare (default 6.8e-5 per atom per shot, from the
+///   vacuum-limited lifetimes of Covey et al. 2019);
+/// * **measurement loss** — low-loss readout still loses ~2% of
+///   *measured* atoms per shot (Kwon et al. 2017). The destructive
+///   alternative (~50%, state-selective ejection) is available via
+///   [`LossModel::destructive_readout`].
+///
+/// The model owns a seeded RNG so campaigns are reproducible.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::Grid;
+/// use na_loss::LossModel;
+///
+/// let grid = Grid::new(10, 10);
+/// let measured: Vec<_> = grid.usable_sites().take(30).collect();
+/// let mut model = LossModel::new(7);
+/// let losses = model.draw_losses(&grid, &measured);
+/// assert!(losses.len() <= grid.num_usable());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LossModel {
+    vacuum_loss: f64,
+    measurement_loss: f64,
+    rng: StdRng,
+}
+
+impl LossModel {
+    /// Paper-default rates: 6.8e-5 vacuum, 2% low-loss measurement.
+    pub fn new(seed: u64) -> Self {
+        LossModel {
+            vacuum_loss: 6.8e-5,
+            measurement_loss: 0.02,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A model with 50% destructive (state-selective ejection) readout.
+    pub fn destructive_readout(seed: u64) -> Self {
+        LossModel {
+            vacuum_loss: 6.8e-5,
+            measurement_loss: 0.5,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Overrides the vacuum-loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_vacuum_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.vacuum_loss = p;
+        self
+    }
+
+    /// Overrides the measurement-loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn with_measurement_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.measurement_loss = p;
+        self
+    }
+
+    /// Divides both loss rates by `factor` — the x-axis of the paper's
+    /// sensitivity study (Fig. 13), where a 10× rate improvement yields
+    /// ~10× more shots per reload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 0` or a scaled rate leaves `[0, 1]`.
+    pub fn with_improvement_factor(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "improvement factor must be positive");
+        self.vacuum_loss = (self.vacuum_loss / factor).clamp(0.0, 1.0);
+        let m = self.measurement_loss / factor;
+        assert!(m <= 1.0, "scaled measurement loss out of range");
+        self.measurement_loss = m;
+        self
+    }
+
+    /// Current vacuum-loss probability per atom per shot.
+    pub fn vacuum_loss(&self) -> f64 {
+        self.vacuum_loss
+    }
+
+    /// Current measurement-loss probability per measured atom per shot.
+    pub fn measurement_loss(&self) -> f64 {
+        self.measurement_loss
+    }
+
+    /// Draws the atoms lost in one shot: every usable atom risks vacuum
+    /// loss; atoms in `measured` additionally risk measurement loss.
+    /// Returns the lost sites in ascending order.
+    pub fn draw_losses(&mut self, grid: &Grid, measured: &[Site]) -> Vec<Site> {
+        let mut lost = Vec::new();
+        for s in grid.usable_sites() {
+            let p = if measured.contains(&s) {
+                // Loss processes are independent; either suffices.
+                1.0 - (1.0 - self.vacuum_loss) * (1.0 - self.measurement_loss)
+            } else {
+                self.vacuum_loss
+            };
+            if p > 0.0 && self.rng.gen_bool(p) {
+                lost.push(s);
+            }
+        }
+        lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let m = LossModel::new(0);
+        assert!((m.vacuum_loss() - 6.8e-5).abs() < 1e-12);
+        assert!((m.measurement_loss() - 0.02).abs() < 1e-12);
+        assert!((LossModel::destructive_readout(0).measurement_loss() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn draws_are_reproducible_per_seed() {
+        let grid = Grid::new(10, 10);
+        let measured: Vec<Site> = grid.usable_sites().take(50).collect();
+        let mut a = LossModel::destructive_readout(42);
+        let mut b = LossModel::destructive_readout(42);
+        for _ in 0..5 {
+            assert_eq!(a.draw_losses(&grid, &measured), b.draw_losses(&grid, &measured));
+        }
+    }
+
+    #[test]
+    fn measured_atoms_are_lost_more_often() {
+        let grid = Grid::new(10, 10);
+        let measured: Vec<Site> = grid.usable_sites().take(50).collect();
+        let mut m = LossModel::new(1).with_measurement_loss(0.3);
+        let (mut meas_lost, mut spare_lost) = (0usize, 0usize);
+        for _ in 0..200 {
+            for s in m.draw_losses(&grid, &measured) {
+                if measured.contains(&s) {
+                    meas_lost += 1;
+                } else {
+                    spare_lost += 1;
+                }
+            }
+        }
+        assert!(meas_lost > 10 * spare_lost.max(1) / 2, "{meas_lost} vs {spare_lost}");
+    }
+
+    #[test]
+    fn improvement_factor_scales_rates() {
+        let m = LossModel::new(0).with_improvement_factor(10.0);
+        assert!((m.measurement_loss() - 0.002).abs() < 1e-12);
+        assert!((m.vacuum_loss() - 6.8e-6).abs() < 1e-15);
+        // A worsening factor < 1 raises rates.
+        let worse = LossModel::new(0).with_improvement_factor(0.5);
+        assert!((worse.measurement_loss() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rates_lose_nothing() {
+        let grid = Grid::new(5, 5);
+        let measured: Vec<Site> = grid.usable_sites().collect();
+        let mut m = LossModel::new(3)
+            .with_vacuum_loss(0.0)
+            .with_measurement_loss(0.0);
+        assert!(m.draw_losses(&grid, &measured).is_empty());
+    }
+
+    #[test]
+    fn holes_are_never_lost_again() {
+        let mut grid = Grid::new(3, 3);
+        for s in grid.sites().collect::<Vec<_>>() {
+            grid.remove_atom(s);
+        }
+        let mut m = LossModel::destructive_readout(0).with_measurement_loss(1.0);
+        assert!(m.draw_losses(&grid, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_probability_panics() {
+        let _ = LossModel::new(0).with_measurement_loss(1.5);
+    }
+}

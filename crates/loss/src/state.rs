@@ -1,0 +1,357 @@
+//! The per-strategy topology state machine.
+//!
+//! Everything the paper's loss experiments do — tolerance counting
+//! (Fig. 10), success-vs-holes traces (Fig. 11), overhead campaigns
+//! (Figs. 12–14) — reduces to the same loop: *lose an atom, let the
+//! strategy react, ask whether a reload is now required*.
+//! [`StrategyState`] owns that loop body so every harness agrees on
+//! the semantics.
+
+use crate::reroute::{fixup_swaps, resolved_ok};
+use crate::Strategy;
+use na_arch::{Grid, Site, VirtualMap};
+use na_circuit::Circuit;
+use na_core::{compile, CompileError, CompiledCircuit, CompilerConfig};
+use std::time::Instant;
+
+/// How the strategy absorbed one atom loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossOutcome {
+    /// The lost atom was a spare; nothing to do.
+    Spare,
+    /// Absorbed. `remaps` counts virtual-map updates; `refixed` is
+    /// `true` if the reroute fixup was recomputed.
+    Tolerated { remaps: u32, refixed: bool },
+    /// Absorbed by recompiling (FullRecompile only); carries the
+    /// measured compile time in seconds.
+    Recompiled { compile_seconds: f64 },
+    /// The strategy cannot absorb this loss: the caller must reload
+    /// (or, for tolerance analysis, stop counting).
+    NeedsReload,
+}
+
+/// Live topology state for one strategy on one device.
+#[derive(Debug, Clone)]
+pub struct StrategyState {
+    strategy: Strategy,
+    hardware_mid: f64,
+    program: Circuit,
+    compiler_config: CompilerConfig,
+    grid_template: Grid,
+    grid: Grid,
+    vmap: VirtualMap,
+    original: CompiledCircuit,
+    compiled: CompiledCircuit,
+    used_addresses: Vec<Site>,
+    extra_swaps: u32,
+    /// Reroute SWAP budget; `None` disables the success-floor check
+    /// (architectural tolerance analysis).
+    max_fixup_swaps: Option<u32>,
+}
+
+impl StrategyState {
+    /// Compiles `program` for `strategy` on a fresh copy of
+    /// `grid_template` at the given hardware MID (compile-small
+    /// strategies compile one unit tighter).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors from the initial compilation.
+    pub fn new(
+        program: &Circuit,
+        grid_template: &Grid,
+        hardware_mid: f64,
+        strategy: Strategy,
+        max_fixup_swaps: Option<u32>,
+    ) -> Result<Self, CompileError> {
+        let cfg = CompilerConfig::new(strategy.compile_mid(hardware_mid));
+        let compiled = compile(program, grid_template, &cfg)?;
+        let used = compiled.used_sites();
+        Ok(StrategyState {
+            strategy,
+            hardware_mid,
+            program: program.clone(),
+            compiler_config: cfg,
+            grid_template: grid_template.clone(),
+            grid: grid_template.clone(),
+            vmap: VirtualMap::new(),
+            original: compiled.clone(),
+            compiled,
+            used_addresses: used,
+            extra_swaps: 0,
+            max_fixup_swaps,
+        })
+    }
+
+    /// The strategy being simulated.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The current grid (with holes).
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The schedule currently being executed.
+    pub fn compiled(&self) -> &CompiledCircuit {
+        &self.compiled
+    }
+
+    /// SWAPs the reroute fixup currently adds to every shot.
+    pub fn extra_swaps(&self) -> u32 {
+        self.extra_swaps
+    }
+
+    /// Multiplicative success penalty of the current fixup SWAPs
+    /// (each SWAP is three two-qubit gates of success `p2`).
+    pub fn swap_penalty(&self, p2: f64) -> f64 {
+        p2.powi(3 * self.extra_swaps as i32)
+    }
+
+    /// Physical atoms the program currently occupies (addresses
+    /// resolved through the virtual map) — the measured set.
+    pub fn measured_sites(&self) -> Vec<Site> {
+        self.used_addresses
+            .iter()
+            .map(|&a| self.vmap.resolve(a))
+            .collect()
+    }
+
+    /// `true` if losing the atom at `site` would interfere with the
+    /// program as currently mapped.
+    pub fn is_interfering(&self, site: Site) -> bool {
+        if self.strategy.remaps() {
+            self.used_addresses.contains(&self.vmap.address_of(site))
+        } else {
+            self.used_addresses.contains(&site)
+        }
+    }
+
+    /// Removes the atom at `site` and lets the strategy react.
+    ///
+    /// On [`LossOutcome::NeedsReload`] the grid keeps the hole; the
+    /// caller chooses between [`StrategyState::reload`] and stopping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` has no atom.
+    pub fn apply_loss(&mut self, site: Site) -> LossOutcome {
+        assert!(self.grid.is_usable(site), "no atom at {site}");
+        let interfering = self.is_interfering(site);
+        self.grid.remove_atom(site);
+        if !interfering {
+            return LossOutcome::Spare;
+        }
+        match self.strategy {
+            Strategy::AlwaysReload => LossOutcome::NeedsReload,
+            Strategy::FullRecompile => {
+                let t0 = Instant::now();
+                match compile(&self.program, &self.grid, &self.compiler_config) {
+                    Ok(c) => {
+                        self.used_addresses = c.used_sites();
+                        self.compiled = c;
+                        LossOutcome::Recompiled {
+                            compile_seconds: t0.elapsed().as_secs_f64(),
+                        }
+                    }
+                    Err(_) => LossOutcome::NeedsReload,
+                }
+            }
+            _ => self.apply_remap_loss(site),
+        }
+    }
+
+    fn apply_remap_loss(&mut self, site: Site) -> LossOutcome {
+        let used = self.used_addresses.clone();
+        let in_use = move |addr: Site| used.contains(&addr);
+        let Some(dir) = self.vmap.best_shift_direction(&self.grid, site, &in_use) else {
+            return LossOutcome::NeedsReload;
+        };
+        if self.vmap.shift_from(&self.grid, site, dir, &in_use).is_err() {
+            return LossOutcome::NeedsReload;
+        }
+        if self.strategy.reroutes() {
+            match fixup_swaps(&self.compiled, &self.vmap, &self.grid, self.hardware_mid) {
+                Some(n) => {
+                    if let Some(budget) = self.max_fixup_swaps {
+                        if n > budget {
+                            return LossOutcome::NeedsReload;
+                        }
+                    }
+                    self.extra_swaps = n;
+                    LossOutcome::Tolerated {
+                        remaps: 1,
+                        refixed: true,
+                    }
+                }
+                None => LossOutcome::NeedsReload,
+            }
+        } else if resolved_ok(&self.compiled, &self.vmap, &self.grid, self.hardware_mid) {
+            LossOutcome::Tolerated {
+                remaps: 1,
+                refixed: false,
+            }
+        } else {
+            LossOutcome::NeedsReload
+        }
+    }
+
+    /// Reloads the array: full grid, identity map, no fixup SWAPs, and
+    /// (for FullRecompile) the original schedule.
+    pub fn reload(&mut self) {
+        self.grid = self.grid_template.clone();
+        self.vmap.reset();
+        self.extra_swaps = 0;
+        if self.strategy == Strategy::FullRecompile {
+            self.compiled = self.original.clone();
+            self.used_addresses = self.compiled.used_sites();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use na_benchmarks::Benchmark;
+
+    fn state(strategy: Strategy, mid: f64) -> StrategyState {
+        let program = Benchmark::Bv.generate(20, 0);
+        let grid = Grid::new(10, 10);
+        StrategyState::new(&program, &grid, mid, strategy, None).unwrap()
+    }
+
+    fn first_spare(s: &StrategyState) -> Site {
+        s.grid()
+            .usable_sites()
+            .find(|&site| !s.is_interfering(site))
+            .expect("spare exists")
+    }
+
+    fn first_used(s: &StrategyState) -> Site {
+        s.grid()
+            .usable_sites()
+            .find(|&site| s.is_interfering(site))
+            .expect("used site exists")
+    }
+
+    #[test]
+    fn spare_loss_is_free_for_every_strategy() {
+        for strategy in Strategy::ALL {
+            let mut s = state(strategy, 3.0);
+            let spare = first_spare(&s);
+            assert_eq!(s.apply_loss(spare), LossOutcome::Spare, "{strategy}");
+            assert_eq!(s.extra_swaps(), 0);
+        }
+    }
+
+    #[test]
+    fn always_reload_reloads_on_first_interfering_loss() {
+        let mut s = state(Strategy::AlwaysReload, 3.0);
+        let used = first_used(&s);
+        assert_eq!(s.apply_loss(used), LossOutcome::NeedsReload);
+        s.reload();
+        assert_eq!(s.grid().num_holes(), 0);
+    }
+
+    #[test]
+    fn recompile_absorbs_and_produces_valid_schedule() {
+        let mut s = state(Strategy::FullRecompile, 3.0);
+        let used = first_used(&s);
+        match s.apply_loss(used) {
+            LossOutcome::Recompiled { compile_seconds } => {
+                assert!(compile_seconds >= 0.0);
+                na_core::verify(s.compiled(), s.grid()).expect("recompiled schedule valid");
+            }
+            other => panic!("expected recompile, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn virtual_remap_tolerates_then_measures_elsewhere() {
+        let mut s = state(Strategy::VirtualRemap, 5.0);
+        let before = s.measured_sites();
+        let used = first_used(&s);
+        match s.apply_loss(used) {
+            LossOutcome::Tolerated { remaps, refixed } => {
+                assert_eq!(remaps, 1);
+                assert!(!refixed);
+                let after = s.measured_sites();
+                assert_ne!(before, after, "mapping must shift");
+                assert!(!after.contains(&used), "nobody measures the hole");
+                for m in &after {
+                    assert!(s.grid().is_usable(*m));
+                }
+            }
+            LossOutcome::NeedsReload => {} // possible at tight MID
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reroute_reports_fixup_swaps() {
+        let mut s = state(Strategy::MinorReroute, 2.0);
+        // Lose in-use atoms until a fixup appears or reload is needed.
+        for _ in 0..40 {
+            let used = first_used(&s);
+            match s.apply_loss(used) {
+                LossOutcome::Tolerated { refixed, .. } => {
+                    assert!(refixed);
+                    if s.extra_swaps() > 0 {
+                        assert!(s.swap_penalty(0.99) < 1.0);
+                        return;
+                    }
+                }
+                LossOutcome::NeedsReload => return,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        panic!("neither fixup nor reload after 40 losses");
+    }
+
+    #[test]
+    fn swap_budget_forces_reload() {
+        let program = Benchmark::Bv.generate(20, 0);
+        let grid = Grid::new(10, 10);
+        let mut s =
+            StrategyState::new(&program, &grid, 2.0, Strategy::MinorReroute, Some(0)).unwrap();
+        // With a zero budget, the first fixup that needs any SWAP must
+        // reload; keep losing until that happens.
+        for _ in 0..60 {
+            let used = first_used(&s);
+            match s.apply_loss(used) {
+                LossOutcome::NeedsReload => {
+                    assert_eq!(s.extra_swaps(), 0);
+                    return;
+                }
+                LossOutcome::Tolerated { .. } => assert_eq!(s.extra_swaps(), 0),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        panic!("budget never exceeded");
+    }
+
+    #[test]
+    fn reload_restores_everything() {
+        let mut s = state(Strategy::CompileSmallReroute, 4.0);
+        for _ in 0..5 {
+            let used = first_used(&s);
+            if s.apply_loss(used) == LossOutcome::NeedsReload {
+                break;
+            }
+        }
+        s.reload();
+        assert_eq!(s.grid().num_holes(), 0);
+        assert_eq!(s.extra_swaps(), 0);
+        let measured = s.measured_sites();
+        assert_eq!(measured, s.compiled().used_sites());
+    }
+
+    #[test]
+    fn compile_small_compiles_tighter() {
+        let s = state(Strategy::CompileSmall, 4.0);
+        assert_eq!(s.compiled().config().mid, 3.0);
+        let s2 = state(Strategy::VirtualRemap, 4.0);
+        assert_eq!(s2.compiled().config().mid, 4.0);
+    }
+}

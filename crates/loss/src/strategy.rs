@@ -1,0 +1,155 @@
+//! The atom-loss coping strategies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the paper's six coping strategies (§VI).
+///
+/// # Example
+///
+/// ```
+/// use na_loss::Strategy;
+///
+/// // Compile-small variants trade compile-time MID slack for loss
+/// // resilience.
+/// assert_eq!(Strategy::CompileSmall.compile_mid(5.0), 4.0);
+/// assert_eq!(Strategy::VirtualRemap.compile_mid(5.0), 5.0);
+/// // ... but never compile below MID 2.
+/// assert!(Strategy::CompileSmall.supports_mid(3.0));
+/// assert!(!Strategy::CompileSmall.supports_mid(2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Reload the whole array on any interfering loss. One compile,
+    /// maximal reload count.
+    AlwaysReload,
+    /// Recompile the program for the sparser grid. Tolerates the most
+    /// loss; costs software compilation per loss.
+    FullRecompile,
+    /// Shift addresses into spares via the hardware lookup table
+    /// (~40 ns); reload when a required interaction exceeds the MID.
+    VirtualRemap,
+    /// Virtual remapping plus SWAP fixup paths when interactions
+    /// exceed the MID; reload when the SWAP budget would halve the
+    /// shot success rate.
+    MinorReroute,
+    /// Compile to one less than the hardware MID so shifted qubits
+    /// have slack before exceeding the true maximum.
+    CompileSmall,
+    /// Compile small *and* reroute — the paper's balanced pick.
+    CompileSmallReroute,
+}
+
+impl Strategy {
+    /// All six strategies in the paper's presentation order.
+    pub const ALL: [Strategy; 6] = [
+        Strategy::AlwaysReload,
+        Strategy::FullRecompile,
+        Strategy::VirtualRemap,
+        Strategy::MinorReroute,
+        Strategy::CompileSmall,
+        Strategy::CompileSmallReroute,
+    ];
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::AlwaysReload => "always reload",
+            Strategy::FullRecompile => "recompile",
+            Strategy::VirtualRemap => "virtual remapping",
+            Strategy::MinorReroute => "reroute",
+            Strategy::CompileSmall => "compile small",
+            Strategy::CompileSmallReroute => "c. small+reroute",
+        }
+    }
+
+    /// The MID the program is *compiled* at, given the hardware MID.
+    /// Compile-small variants leave one unit of slack.
+    pub fn compile_mid(self, hardware_mid: f64) -> f64 {
+        match self {
+            Strategy::CompileSmall | Strategy::CompileSmallReroute => {
+                (hardware_mid - 1.0).max(1.0)
+            }
+            _ => hardware_mid,
+        }
+    }
+
+    /// `true` if the strategy is usable at this hardware MID. The
+    /// paper never compiles to MID 1, so compile-small variants need a
+    /// hardware MID of at least 3 (Fig. 10 has no compile-small entries
+    /// at MID 2).
+    pub fn supports_mid(self, hardware_mid: f64) -> bool {
+        match self {
+            Strategy::CompileSmall | Strategy::CompileSmallReroute => hardware_mid >= 3.0,
+            _ => true,
+        }
+    }
+
+    /// `true` for strategies that insert SWAP fixups.
+    pub fn reroutes(self) -> bool {
+        matches!(self, Strategy::MinorReroute | Strategy::CompileSmallReroute)
+    }
+
+    /// `true` for strategies that shift addresses through the virtual
+    /// map.
+    pub fn remaps(self) -> bool {
+        matches!(
+            self,
+            Strategy::VirtualRemap
+                | Strategy::MinorReroute
+                | Strategy::CompileSmall
+                | Strategy::CompileSmallReroute
+        )
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_mid_slack() {
+        for s in Strategy::ALL {
+            let cm = s.compile_mid(4.0);
+            if matches!(s, Strategy::CompileSmall | Strategy::CompileSmallReroute) {
+                assert_eq!(cm, 3.0, "{s}");
+            } else {
+                assert_eq!(cm, 4.0, "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn mid_support_floor() {
+        assert!(!Strategy::CompileSmall.supports_mid(2.0));
+        assert!(!Strategy::CompileSmallReroute.supports_mid(2.0));
+        assert!(Strategy::VirtualRemap.supports_mid(2.0));
+        assert!(Strategy::AlwaysReload.supports_mid(2.0));
+        for s in Strategy::ALL {
+            assert!(s.supports_mid(3.0), "{s}");
+        }
+    }
+
+    #[test]
+    fn capability_flags() {
+        assert!(Strategy::MinorReroute.reroutes());
+        assert!(Strategy::CompileSmallReroute.reroutes());
+        assert!(!Strategy::VirtualRemap.reroutes());
+        assert!(!Strategy::FullRecompile.reroutes());
+        assert!(!Strategy::AlwaysReload.remaps());
+        assert!(!Strategy::FullRecompile.remaps());
+        assert!(Strategy::CompileSmall.remaps());
+    }
+
+    #[test]
+    fn names_are_paper_labels() {
+        assert_eq!(Strategy::CompileSmallReroute.to_string(), "c. small+reroute");
+        assert_eq!(Strategy::FullRecompile.to_string(), "recompile");
+    }
+}

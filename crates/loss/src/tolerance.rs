@@ -1,0 +1,196 @@
+//! Maximum atom-loss tolerance before a reload (paper Fig. 10).
+
+use crate::state::{LossOutcome, StrategyState};
+use crate::Strategy;
+use na_arch::{Grid, Site};
+use na_circuit::Circuit;
+use na_core::CompileError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Result of one tolerance run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ToleranceOutcome {
+    /// Atoms lost (including spares) before the strategy demanded a
+    /// reload.
+    pub holes_sustained: usize,
+    /// `holes_sustained` as a fraction of total device sites — the
+    /// y-axis of Fig. 10.
+    pub device_fraction: f64,
+}
+
+/// Counts how many uniformly random atom losses `strategy` survives
+/// before a reload becomes necessary — the architectural-limit
+/// experiment of Fig. 10 (no SWAP-budget cutoff; only size, dimension,
+/// and interaction-distance constraints end the run).
+///
+/// Deterministic in `seed`.
+///
+/// # Errors
+///
+/// Propagates the initial compilation error (e.g. program larger than
+/// the device).
+pub fn max_loss_tolerance(
+    program: &Circuit,
+    grid_template: &Grid,
+    hardware_mid: f64,
+    strategy: Strategy,
+    seed: u64,
+) -> Result<ToleranceOutcome, CompileError> {
+    let mut state = StrategyState::new(program, grid_template, hardware_mid, strategy, None)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total_sites = grid_template.num_sites();
+    let mut holes = 0usize;
+
+    loop {
+        let usable: Vec<Site> = state.grid().usable_sites().collect();
+        if usable.is_empty() {
+            break;
+        }
+        let victim = usable[rng.gen_range(0..usable.len())];
+        match state.apply_loss(victim) {
+            LossOutcome::NeedsReload => break,
+            LossOutcome::Spare
+            | LossOutcome::Tolerated { .. }
+            | LossOutcome::Recompiled { .. } => holes += 1,
+        }
+    }
+
+    Ok(ToleranceOutcome {
+        holes_sustained: holes,
+        device_fraction: holes as f64 / total_sites as f64,
+    })
+}
+
+/// Averages [`max_loss_tolerance`] over `trials` seeds.
+///
+/// # Errors
+///
+/// Propagates the first compilation error.
+pub fn mean_loss_tolerance(
+    program: &Circuit,
+    grid_template: &Grid,
+    hardware_mid: f64,
+    strategy: Strategy,
+    trials: u32,
+    base_seed: u64,
+) -> Result<(f64, f64), CompileError> {
+    let mut fractions = Vec::with_capacity(trials as usize);
+    for t in 0..trials {
+        let out = max_loss_tolerance(
+            program,
+            grid_template,
+            hardware_mid,
+            strategy,
+            base_seed.wrapping_add(u64::from(t)),
+        )?;
+        fractions.push(out.device_fraction);
+    }
+    let mean = fractions.iter().sum::<f64>() / fractions.len() as f64;
+    let var = fractions
+        .iter()
+        .map(|f| (f - mean) * (f - mean))
+        .sum::<f64>()
+        / fractions.len() as f64;
+    Ok((mean, var.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use na_benchmarks::Benchmark;
+
+    fn program_30q() -> Circuit {
+        Benchmark::Cuccaro.generate(30, 0)
+    }
+
+    #[test]
+    fn always_reload_tolerates_only_spares() {
+        let grid = Grid::new(10, 10);
+        let out =
+            max_loss_tolerance(&program_30q(), &grid, 3.0, Strategy::AlwaysReload, 1).unwrap();
+        // 30 in-use atoms out of 100: the first interfering hit ends
+        // the run, so sustained losses are the spare-only prefix.
+        assert!(out.device_fraction < 0.71, "fraction {}", out.device_fraction);
+    }
+
+    #[test]
+    fn recompile_tolerates_the_most() {
+        let grid = Grid::new(10, 10);
+        let program = program_30q();
+        let rec = max_loss_tolerance(&program, &grid, 4.0, Strategy::FullRecompile, 2).unwrap();
+        let vr = max_loss_tolerance(&program, &grid, 4.0, Strategy::VirtualRemap, 2).unwrap();
+        assert!(
+            rec.holes_sustained >= vr.holes_sustained,
+            "recompile {} vs virtual remap {}",
+            rec.holes_sustained,
+            vr.holes_sustained
+        );
+        // The paper's ideal: with a 30%-utilization program, recompile
+        // approaches 70% device loss at sufficient MID.
+        assert!(rec.device_fraction > 0.3, "fraction {}", rec.device_fraction);
+    }
+
+    #[test]
+    fn tolerance_grows_with_mid_for_remapping() {
+        let grid = Grid::new(10, 10);
+        let program = program_30q();
+        let lo: f64 = (0..4)
+            .map(|s| {
+                max_loss_tolerance(&program, &grid, 2.0, Strategy::VirtualRemap, s)
+                    .unwrap()
+                    .device_fraction
+            })
+            .sum::<f64>()
+            / 4.0;
+        let hi: f64 = (0..4)
+            .map(|s| {
+                max_loss_tolerance(&program, &grid, 6.0, Strategy::VirtualRemap, s)
+                    .unwrap()
+                    .device_fraction
+            })
+            .sum::<f64>()
+            / 4.0;
+        assert!(hi > lo, "MID 6 ({hi:.3}) must beat MID 2 ({lo:.3})");
+    }
+
+    #[test]
+    fn reroute_beats_plain_remap() {
+        let grid = Grid::new(10, 10);
+        let program = program_30q();
+        let mut remap_total = 0usize;
+        let mut reroute_total = 0usize;
+        for s in 0..4 {
+            remap_total += max_loss_tolerance(&program, &grid, 3.0, Strategy::VirtualRemap, s)
+                .unwrap()
+                .holes_sustained;
+            reroute_total += max_loss_tolerance(&program, &grid, 3.0, Strategy::MinorReroute, s)
+                .unwrap()
+                .holes_sustained;
+        }
+        assert!(
+            reroute_total >= remap_total,
+            "reroute {reroute_total} vs remap {remap_total}"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let grid = Grid::new(10, 10);
+        let program = program_30q();
+        let a = max_loss_tolerance(&program, &grid, 3.0, Strategy::CompileSmallReroute, 9).unwrap();
+        let b = max_loss_tolerance(&program, &grid, 3.0, Strategy::CompileSmallReroute, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_tolerance_reports_std() {
+        let grid = Grid::new(8, 8);
+        let program = Benchmark::Bv.generate(16, 0);
+        let (mean, std) =
+            mean_loss_tolerance(&program, &grid, 3.0, Strategy::VirtualRemap, 5, 0).unwrap();
+        assert!((0.0..=1.0).contains(&mean));
+        assert!(std >= 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based invariants of the loss-strategy state machine:
+//! random loss sequences must never corrupt the topology bookkeeping,
+//! whatever the strategy.
+
+use na_arch::Grid;
+use na_benchmarks::Benchmark;
+use na_loss::{LossOutcome, StrategyState};
+use proptest::prelude::*;
+
+fn arb_strategy() -> impl Strategy<Value = na_loss::Strategy> {
+    prop_oneof![
+        Just(na_loss::Strategy::AlwaysReload),
+        Just(na_loss::Strategy::FullRecompile),
+        Just(na_loss::Strategy::VirtualRemap),
+        Just(na_loss::Strategy::MinorReroute),
+        Just(na_loss::Strategy::CompileSmall),
+        Just(na_loss::Strategy::CompileSmallReroute),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever happens, program atoms stay on usable traps, fixup
+    /// SWAPs stay zero for non-rerouting strategies, and a reload
+    /// always restores the pristine state.
+    #[test]
+    fn random_loss_sequences_preserve_invariants(
+        strategy in arb_strategy(),
+        mid_x2 in 6u32..12,                 // MID 3.0 .. 6.0
+        picks in proptest::collection::vec(0usize..usize::MAX, 1..30),
+        reload_every in 5usize..12,
+    ) {
+        let mid = f64::from(mid_x2) / 2.0;
+        prop_assume!(strategy.supports_mid(mid));
+        let program = Benchmark::Cuccaro.generate(20, 0);
+        let grid = Grid::new(8, 8);
+        let mut state = StrategyState::new(&program, &grid, mid, strategy, None)
+            .expect("initial compile");
+        let pristine_measured = state.measured_sites();
+
+        for (step, pick) in picks.iter().enumerate() {
+            let usable: Vec<_> = state.grid().usable_sites().collect();
+            prop_assert!(!usable.is_empty());
+            let victim = usable[pick % usable.len()];
+            match state.apply_loss(victim) {
+                LossOutcome::NeedsReload => {
+                    state.reload();
+                    prop_assert_eq!(state.grid().num_holes(), 0);
+                    prop_assert_eq!(state.extra_swaps(), 0);
+                    prop_assert_eq!(state.measured_sites(), pristine_measured.clone());
+                }
+                LossOutcome::Spare => {
+                    // A spare loss never touches the mapping.
+                    prop_assert!(state
+                        .measured_sites()
+                        .iter()
+                        .all(|&m| state.grid().is_usable(m)));
+                }
+                LossOutcome::Tolerated { .. } | LossOutcome::Recompiled { .. } => {
+                    for m in state.measured_sites() {
+                        prop_assert!(state.grid().is_usable(m),
+                            "program atom on hole after tolerated loss");
+                    }
+                    if !strategy.reroutes() {
+                        prop_assert_eq!(state.extra_swaps(), 0,
+                            "non-rerouting strategy acquired fixup swaps");
+                    }
+                    if strategy == na_loss::Strategy::FullRecompile {
+                        na_core::verify(state.compiled(), state.grid())
+                            .expect("recompiled schedule verifies");
+                    }
+                }
+            }
+            // Periodic reload keeps the run going even when the grid
+            // gets thin.
+            if step % reload_every == reload_every - 1 {
+                state.reload();
+            }
+        }
+    }
+
+    /// Swap penalties are always in (0, 1] and monotone in the swap
+    /// count.
+    #[test]
+    fn swap_penalty_is_well_formed(p2 in 0.5f64..0.9999) {
+        let program = Benchmark::Bv.generate(12, 0);
+        let grid = Grid::new(6, 6);
+        let state = StrategyState::new(&program, &grid, 3.0, na_loss::Strategy::MinorReroute, None)
+            .expect("compiles");
+        let penalty = state.swap_penalty(p2);
+        prop_assert!(penalty > 0.0 && penalty <= 1.0);
+        // Zero swaps initially: penalty is exactly 1.
+        prop_assert!((penalty - 1.0).abs() < 1e-12);
+    }
+}

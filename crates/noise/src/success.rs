@@ -1,0 +1,178 @@
+//! The success-probability estimator.
+
+use crate::NoiseParams;
+use na_core::CompiledCircuit;
+use serde::{Deserialize, Serialize};
+
+/// The two factors of the paper's success model, exposed separately so
+/// harnesses can report which one dominates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuccessBreakdown {
+    /// `Π_i p_i^{n_i}` over all compiled ops.
+    pub gate_success: f64,
+    /// `e^{-Δg/T1 - Δg/T2}` ground-state coherence factor.
+    pub coherence: f64,
+    /// Wall-clock duration of one shot (seconds).
+    pub duration: f64,
+}
+
+impl SuccessBreakdown {
+    /// The combined success probability.
+    pub fn probability(&self) -> f64 {
+        self.gate_success * self.coherence
+    }
+}
+
+/// Wall-clock duration of the compiled schedule: each timestep lasts as
+/// long as its slowest op.
+pub fn schedule_duration(compiled: &CompiledCircuit, params: &NoiseParams) -> f64 {
+    let mut total = 0.0;
+    let mut current_time = None;
+    let mut step_max = 0.0f64;
+    for op in compiled.ops() {
+        if current_time != Some(op.time) {
+            total += step_max;
+            step_max = 0.0;
+            current_time = Some(op.time);
+        }
+        step_max = step_max.max(params.op_duration(op.arity(), op.is_swap()));
+    }
+    total + step_max
+}
+
+/// Estimates the probability one shot of `compiled` finishes with no
+/// gate error and no ground-state decoherence (paper §V).
+///
+/// `Δg` is approximated as `(program qubits) × (shot duration)`: every
+/// qubit idles in the ground state for essentially the whole shot, and
+/// the excited-state intervals are already priced into the multiqubit
+/// gate fidelities.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::Grid;
+/// use na_circuit::{Circuit, Qubit};
+/// use na_core::{compile, CompilerConfig};
+/// use na_noise::{success_probability, NoiseParams};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(Qubit(0));
+/// c.cnot(Qubit(0), Qubit(1));
+/// let compiled = compile(&c, &Grid::new(4, 4), &CompilerConfig::new(2.0))?;
+/// let p = success_probability(&compiled, &NoiseParams::neutral_atom(1e-3));
+/// assert!(p.probability() > 0.99);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn success_probability(compiled: &CompiledCircuit, params: &NoiseParams) -> SuccessBreakdown {
+    let mut log_gate = 0.0f64;
+    for op in compiled.ops() {
+        let is_measure = op
+            .source
+            .map(|g| compiled.circuit().gates()[g].is_measure())
+            .unwrap_or(false);
+        if is_measure {
+            continue; // measurement loss is the loss model's job
+        }
+        log_gate += params.op_success(op.arity(), op.is_swap()).ln();
+    }
+    let duration = schedule_duration(compiled, params);
+    let delta_g = f64::from(compiled.circuit().num_qubits()) * duration;
+    let coherence = (-delta_g / params.t1_ground - delta_g / params.t2_ground).exp();
+    SuccessBreakdown {
+        gate_success: log_gate.exp(),
+        coherence,
+        duration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use na_arch::Grid;
+    use na_benchmarks::Benchmark;
+    use na_circuit::{Circuit, Qubit};
+    use na_core::{compile, CompilerConfig};
+
+    fn compiled_bell() -> CompiledCircuit {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0));
+        c.cnot(Qubit(0), Qubit(1));
+        compile(&c, &Grid::new(4, 4), &CompilerConfig::new(2.0)).unwrap()
+    }
+
+    #[test]
+    fn bell_success_is_product_of_two_gates() {
+        let compiled = compiled_bell();
+        let params = NoiseParams::neutral_atom(1e-2);
+        let b = success_probability(&compiled, &params);
+        let expected = params.p1 * params.p2;
+        assert!((b.gate_success - expected).abs() < 1e-12);
+        assert!(b.coherence > 0.99, "2 qubits for ~2 µs barely decohere");
+    }
+
+    #[test]
+    fn duration_sums_step_maxima() {
+        let compiled = compiled_bell();
+        let params = NoiseParams::neutral_atom(1e-2);
+        // Two timesteps: one 1q (1 µs) + one 2q (1 µs).
+        let d = schedule_duration(&compiled, &params);
+        assert!((d - 2e-6).abs() < 1e-12, "duration {d}");
+    }
+
+    #[test]
+    fn success_decreases_with_error_rate() {
+        let grid = Grid::new(10, 10);
+        let c = Benchmark::Bv.generate(20, 0);
+        let compiled = compile(&c, &grid, &CompilerConfig::new(3.0)).unwrap();
+        let mut last = 1.0;
+        for e in [1e-4, 1e-3, 1e-2, 1e-1] {
+            let p = success_probability(&compiled, &NoiseParams::neutral_atom(e)).probability();
+            assert!(p < last, "success must fall as error grows");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn na_beats_sc_at_equal_error_rate() {
+        // The architectural claim of Fig. 7: with equal 2q error, the
+        // NA compilation (fewer SWAPs, native Toffolis) succeeds more.
+        let grid = Grid::new(10, 10);
+        let c = Benchmark::Cuccaro.generate(20, 0);
+        let e = 3e-3;
+        let na = compile(&c, &grid, &CompilerConfig::new(3.0)).unwrap();
+        let sc = compile(
+            &c,
+            &grid,
+            &CompilerConfig::new(1.0)
+                .with_native_multiqubit(false)
+                .with_restriction(na_arch::RestrictionPolicy::None),
+        )
+        .unwrap();
+        let p_na = success_probability(&na, &NoiseParams::neutral_atom(e)).probability();
+        let p_sc = success_probability(&sc, &NoiseParams::superconducting(e)).probability();
+        assert!(p_na > p_sc, "NA {p_na} must beat SC {p_sc}");
+    }
+
+    #[test]
+    fn measurements_do_not_cost_gate_fidelity() {
+        let mut with_meas = Circuit::new(2);
+        with_meas.cnot(Qubit(0), Qubit(1));
+        with_meas.measure_all();
+        let mut without = Circuit::new(2);
+        without.cnot(Qubit(0), Qubit(1));
+        let grid = Grid::new(4, 4);
+        let cfg = CompilerConfig::new(2.0);
+        let params = NoiseParams::neutral_atom(1e-2);
+        let a = success_probability(&compile(&with_meas, &grid, &cfg).unwrap(), &params);
+        let b = success_probability(&compile(&without, &grid, &cfg).unwrap(), &params);
+        assert!((a.gate_success - b.gate_success).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_probability_is_product() {
+        let compiled = compiled_bell();
+        let b = success_probability(&compiled, &NoiseParams::neutral_atom(1e-2));
+        assert!((b.probability() - b.gate_success * b.coherence).abs() < 1e-15);
+    }
+}

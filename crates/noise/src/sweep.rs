@@ -1,0 +1,80 @@
+//! Sweep helpers for the error-rate scans of Figs. 7–8.
+
+/// Logarithmically spaced two-qubit error rates from `10^from_exp` to
+/// `10^to_exp` inclusive, with `per_decade` points per decade — the
+/// paper's sweep axis (`1e-5 … 1e-1`).
+///
+/// # Panics
+///
+/// Panics if `from_exp >= to_exp` or `per_decade == 0`.
+///
+/// # Example
+///
+/// ```
+/// use na_noise::log_spaced_errors;
+///
+/// let errs = log_spaced_errors(-5, -1, 4);
+/// assert_eq!(errs.len(), 17);
+/// assert!((errs[0] - 1e-5).abs() < 1e-18);
+/// assert!((errs.last().unwrap() - 1e-1).abs() < 1e-12);
+/// ```
+pub fn log_spaced_errors(from_exp: i32, to_exp: i32, per_decade: u32) -> Vec<f64> {
+    assert!(from_exp < to_exp, "range must be increasing");
+    assert!(per_decade > 0, "need at least one point per decade");
+    let steps = (to_exp - from_exp) as u32 * per_decade;
+    (0..=steps)
+        .map(|i| 10f64.powf(from_exp as f64 + f64::from(i) / f64::from(per_decade)))
+        .collect()
+}
+
+/// Given `(size, success)` pairs, the largest size whose success meets
+/// `threshold` (Fig. 8 uses 2/3). Returns `None` if no size passes.
+///
+/// The pairs need not be sorted; every entry is examined.
+pub fn largest_passing_size(
+    points: impl IntoIterator<Item = (u32, f64)>,
+    threshold: f64,
+) -> Option<u32> {
+    points
+        .into_iter()
+        .filter(|&(_, p)| p >= threshold)
+        .map(|(s, _)| s)
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_spacing_endpoints_and_monotonicity() {
+        let errs = log_spaced_errors(-3, -1, 2);
+        assert_eq!(errs.len(), 5);
+        for w in errs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!((errs[2] - 1e-2).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn reversed_range_panics() {
+        log_spaced_errors(-1, -3, 2);
+    }
+
+    #[test]
+    fn largest_passing_basic() {
+        let pts = vec![(10, 0.9), (20, 0.7), (30, 0.5), (40, 0.2)];
+        assert_eq!(largest_passing_size(pts.clone(), 2.0 / 3.0), Some(20));
+        assert_eq!(largest_passing_size(pts.clone(), 0.95), None);
+        assert_eq!(largest_passing_size(pts, 0.1), Some(40));
+    }
+
+    #[test]
+    fn largest_passing_handles_non_monotone_input() {
+        // A benchmark whose success is not strictly monotone in size
+        // (CNU's ancilla jumps) still reports the max passing size.
+        let pts = vec![(30, 0.6), (10, 0.9), (20, 0.8)];
+        assert_eq!(largest_passing_size(pts, 2.0 / 3.0), Some(20));
+    }
+}

@@ -1,0 +1,48 @@
+//! Atom-loss resilience: run a multi-shot campaign of a 29-qubit CNU
+//! under realistic loss rates with each coping strategy, and compare
+//! reload counts, overhead time, and effective shot throughput.
+//!
+//! Run with: `cargo run --release --example atom_loss_resilience`
+
+use natoms::arch::Grid;
+use natoms::benchmarks::Benchmark;
+use natoms::loss::{
+    max_loss_tolerance, run_campaign, CampaignConfig, LossModel, ShotTarget, Strategy,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = Grid::new(10, 10);
+    let program = Benchmark::Cnu.generate(30, 0);
+    let mid = 4.0;
+
+    println!("29-qubit CNU on a 100-atom array, MID {mid}; 2% measured-atom loss\n");
+    println!(
+        "{:<18} {:>9} {:>8} {:>10} {:>11} {:>12}",
+        "strategy", "tolerance", "reloads", "overhead s", "success/500", "shots/reload"
+    );
+    for strategy in Strategy::ALL {
+        if !strategy.supports_mid(mid) {
+            continue;
+        }
+        let tol = max_loss_tolerance(&program, &grid, mid, strategy, 3)?;
+        let cfg = CampaignConfig::new(mid, strategy)
+            .with_target(ShotTarget::Attempts(500))
+            .with_two_qubit_error(5e-3)
+            .with_seed(3);
+        let result = run_campaign(&program, &grid, LossModel::new(3), &cfg)?;
+        println!(
+            "{:<18} {:>8.0}% {:>8} {:>10.2} {:>11} {:>12.1}",
+            strategy.name(),
+            tol.device_fraction * 100.0,
+            result.ledger.reloads,
+            result.ledger.overhead_time(),
+            result.shots_successful,
+            result.mean_shots_before_reload(),
+        );
+    }
+
+    println!("\nThe balanced compile-small+reroute strategy keeps reloads rare");
+    println!("without recompiling, which is what makes 0.3 s array reloads");
+    println!("affordable over thousands of shots.");
+    Ok(())
+}

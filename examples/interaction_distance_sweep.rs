@@ -1,0 +1,59 @@
+//! Interaction-distance trade-off study: for a Toffoli-heavy adder,
+//! sweep the maximum interaction distance and compare (a) native
+//! multiqubit vs decomposed compilation and (b) the predicted success
+//! rate against a superconducting-style baseline — a miniature of the
+//! paper's Figs. 6 and 7 on one workload.
+//!
+//! Run with: `cargo run --release --example interaction_distance_sweep`
+
+use natoms::arch::{Grid, RestrictionPolicy};
+use natoms::benchmarks::Benchmark;
+use natoms::compiler::{compile, CompilerConfig};
+use natoms::noise::{success_probability, NoiseParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = Grid::new(10, 10);
+    let program = Benchmark::Cuccaro.generate(30, 0);
+    println!("30-qubit Cuccaro adder, source: {}\n", program.metrics());
+
+    println!(
+        "{:>4} | {:>12} {:>11} | {:>12} {:>11}",
+        "MID", "native gates", "native depth", "2q-only gates", "2q depth"
+    );
+    for mid in [2.0, 3.0, 4.0, 5.0, 8.0, 13.0] {
+        let native = compile(&program, &grid, &CompilerConfig::new(mid))?;
+        let lowered = compile(
+            &program,
+            &grid,
+            &CompilerConfig::new(mid).with_native_multiqubit(false),
+        )?;
+        let (nm, lm) = (native.metrics(), lowered.metrics());
+        println!(
+            "{mid:>4} | {:>12} {:>11} | {:>12} {:>11}",
+            nm.total_gates(),
+            nm.depth,
+            lm.total_gates(),
+            lm.depth
+        );
+    }
+
+    // NA at MID 3 (native Toffoli) vs SC-style MID 1 (2q only), equal
+    // two-qubit error rates.
+    println!("\n{:>9} {:>10} {:>10}", "2q error", "NA success", "SC success");
+    let na = compile(&program, &grid, &CompilerConfig::new(3.0))?;
+    let sc = compile(
+        &program,
+        &grid,
+        &CompilerConfig::new(1.0)
+            .with_native_multiqubit(false)
+            .with_restriction(RestrictionPolicy::None),
+    )?;
+    for e in [1e-4, 3e-4, 1e-3, 3e-3, 1e-2] {
+        let p_na = success_probability(&na, &NoiseParams::neutral_atom(e)).probability();
+        let p_sc = success_probability(&sc, &NoiseParams::superconducting(e)).probability();
+        println!("{e:>9.0e} {p_na:>10.4} {p_sc:>10.4}");
+    }
+    println!("\nNative multiqubit gates plus long-range interactions let the NA");
+    println!("device run this adder at error rates where the SC baseline fails.");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build a circuit, compile it for a neutral-atom device,
+//! and read the metrics the paper's evaluation is phrased in.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use natoms::arch::Grid;
+use natoms::circuit::{Circuit, Qubit};
+use natoms::compiler::{compile, verify, CompilerConfig};
+use natoms::noise::{success_probability, NoiseParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small entangling circuit with a native three-qubit gate.
+    let mut program = Circuit::new(5);
+    program.h(Qubit(0));
+    for i in 0..4u32 {
+        program.cnot(Qubit(i), Qubit(i + 1));
+    }
+    program.toffoli(Qubit(0), Qubit(1), Qubit(2));
+    program.toffoli(Qubit(2), Qubit(3), Qubit(4));
+    println!("source program:\n{program}");
+
+    // A 10x10 atom array with interactions up to Euclidean distance 3.
+    let grid = Grid::new(10, 10);
+    let config = CompilerConfig::new(3.0);
+
+    let compiled = compile(&program, &grid, &config)?;
+    verify(&compiled, &grid)?;
+
+    println!("compiled: {}", compiled.metrics());
+    println!("timesteps: {}", compiled.num_timesteps());
+    for op in compiled.ops().iter().take(8) {
+        let what = match op.source {
+            Some(g) => compiled.circuit().gates()[g].to_string(),
+            None => "swap".to_string(),
+        };
+        println!("  t={:<3} {:<18} at {:?}", op.time, what, op.sites);
+    }
+
+    // How likely is one shot to succeed at a 0.5% two-qubit error?
+    let params = NoiseParams::neutral_atom(5e-3);
+    let p = success_probability(&compiled, &params);
+    println!(
+        "success: {:.4} (gates {:.4} x coherence {:.6}), shot duration {:.1} us",
+        p.probability(),
+        p.gate_success,
+        p.coherence,
+        p.duration * 1e6
+    );
+
+    // The same program without native multiqubit gates costs more.
+    let lowered = compile(&program, &grid, &config.with_native_multiqubit(false))?;
+    println!(
+        "without native Toffoli: {} (vs {} native)",
+        lowered.metrics().total_gates(),
+        compiled.metrics().total_gates()
+    );
+    Ok(())
+}

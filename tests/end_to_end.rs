@@ -1,0 +1,181 @@
+//! End-to-end integration tests: benchmark generation → compilation →
+//! verification → success estimation, across the paper's parameter
+//! space.
+
+use natoms::arch::{Grid, RestrictionPolicy, Site};
+use natoms::benchmarks::Benchmark;
+use natoms::compiler::{compile, verify, CompilerConfig};
+use natoms::noise::{success_probability, NoiseParams};
+
+#[test]
+fn every_benchmark_compiles_and_verifies_across_mids() {
+    let grid = Grid::new(10, 10);
+    for b in Benchmark::ALL {
+        for mid in [2.0, 3.0, 5.0, 13.0] {
+            let program = b.generate(30, 1);
+            let compiled = compile(&program, &grid, &CompilerConfig::new(mid))
+                .unwrap_or_else(|e| panic!("{b} at MID {mid}: {e}"));
+            verify(&compiled, &grid).unwrap_or_else(|e| panic!("{b} at MID {mid}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn mid_one_two_qubit_gate_set_compiles_everything() {
+    let grid = Grid::new(10, 10);
+    for b in Benchmark::ALL {
+        let program = b.generate(24, 1);
+        let cfg = CompilerConfig::new(1.0)
+            .with_native_multiqubit(false)
+            .with_restriction(RestrictionPolicy::None);
+        let compiled = compile(&program, &grid, &cfg).unwrap_or_else(|e| panic!("{b}: {e}"));
+        verify(&compiled, &grid).unwrap_or_else(|e| panic!("{b}: {e}"));
+        assert_eq!(compiled.metrics().three_qubit, 0, "{b}");
+    }
+}
+
+#[test]
+fn gate_count_is_monotone_nonincreasing_in_mid_on_average() {
+    // The paper's central connectivity claim (Fig. 3): more interaction
+    // distance, fewer SWAPs. Checked per benchmark at size 40.
+    let grid = Grid::new(10, 10);
+    for b in Benchmark::ALL {
+        let program = b.generate(40, 2);
+        let counts: Vec<usize> = [1.0, 3.0, 13.0]
+            .iter()
+            .map(|&mid| {
+                compile(
+                    &program,
+                    &grid,
+                    &CompilerConfig::new(mid).with_native_multiqubit(false),
+                )
+                .unwrap()
+                .metrics()
+                .total_gates()
+            })
+            .collect();
+        assert!(
+            counts[0] >= counts[1] && counts[1] >= counts[2],
+            "{b}: {counts:?} not monotone"
+        );
+    }
+}
+
+#[test]
+fn full_connectivity_needs_zero_swaps() {
+    let grid = Grid::new(10, 10);
+    let mid = grid.max_distance();
+    for b in Benchmark::ALL {
+        let program = b.generate(30, 3);
+        let compiled = compile(
+            &program,
+            &grid,
+            &CompilerConfig::new(mid).with_native_multiqubit(false),
+        )
+        .unwrap();
+        assert_eq!(compiled.metrics().swaps, 0, "{b}");
+    }
+}
+
+#[test]
+fn native_multiqubit_always_wins_on_gate_count_for_toffoli_benchmarks() {
+    let grid = Grid::new(10, 10);
+    for b in [Benchmark::Cnu, Benchmark::Cuccaro] {
+        for mid in [2.0, 3.0, 5.0] {
+            let program = b.generate(30, 0);
+            let native = compile(&program, &grid, &CompilerConfig::new(mid)).unwrap();
+            let lowered = compile(
+                &program,
+                &grid,
+                &CompilerConfig::new(mid).with_native_multiqubit(false),
+            )
+            .unwrap();
+            assert!(
+                native.metrics().total_gates() < lowered.metrics().total_gates() / 2,
+                "{b} MID {mid}: native {} vs lowered {}",
+                native.metrics().total_gates(),
+                lowered.metrics().total_gates()
+            );
+        }
+    }
+}
+
+#[test]
+fn restriction_zones_never_change_gate_count_much() {
+    // Zones serialize; they do not route. Gate counts with and without
+    // zones stay close (routing decisions may differ slightly).
+    let grid = Grid::new(10, 10);
+    let program = Benchmark::Qaoa.generate(30, 4);
+    let cfg = CompilerConfig::new(4.0).with_native_multiqubit(false);
+    let with = compile(&program, &grid, &cfg).unwrap();
+    let without = compile(
+        &program,
+        &grid,
+        &cfg.with_restriction(RestrictionPolicy::None),
+    )
+    .unwrap();
+    let a = with.metrics().total_gates() as f64;
+    let b = without.metrics().total_gates() as f64;
+    assert!((a - b).abs() / b < 0.15, "gate counts diverged: {a} vs {b}");
+    assert!(with.metrics().depth >= without.metrics().depth);
+}
+
+#[test]
+fn success_model_is_architecture_sensitive() {
+    // At equal two-qubit error the NA compilation must beat the
+    // SC-style compilation for a Toffoli-heavy program (Fig. 7's
+    // architectural claim).
+    let grid = Grid::new(10, 10);
+    let program = Benchmark::Cuccaro.generate(30, 0);
+    let na = compile(&program, &grid, &CompilerConfig::new(3.0)).unwrap();
+    let sc = compile(
+        &program,
+        &grid,
+        &CompilerConfig::new(1.0)
+            .with_native_multiqubit(false)
+            .with_restriction(RestrictionPolicy::None),
+    )
+    .unwrap();
+    for e in [1e-4, 1e-3, 1e-2] {
+        let p_na = success_probability(&na, &NoiseParams::neutral_atom(e)).probability();
+        let p_sc = success_probability(&sc, &NoiseParams::superconducting(e)).probability();
+        assert!(p_na > p_sc, "error {e}: NA {p_na} vs SC {p_sc}");
+    }
+}
+
+#[test]
+fn compilation_survives_damaged_grids() {
+    // Compile onto grids with increasing numbers of holes; schedules
+    // must stay valid and avoid every hole.
+    let program = Benchmark::Bv.generate(20, 0);
+    let mut grid = Grid::new(8, 8);
+    let holes = [
+        Site::new(3, 3),
+        Site::new(4, 4),
+        Site::new(0, 0),
+        Site::new(7, 2),
+        Site::new(2, 6),
+        Site::new(5, 1),
+    ];
+    for (i, &h) in holes.iter().enumerate() {
+        grid.remove_atom(h);
+        let compiled = compile(&program, &grid, &CompilerConfig::new(2.0))
+            .unwrap_or_else(|e| panic!("{} holes: {e}", i + 1));
+        verify(&compiled, &grid).unwrap_or_else(|e| panic!("{} holes: {e}", i + 1));
+        for op in compiled.ops() {
+            for s in &op.sites {
+                assert!(grid.is_usable(*s));
+            }
+        }
+    }
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let grid = Grid::new(10, 10);
+    let program = Benchmark::Qaoa.generate(50, 9);
+    let cfg = CompilerConfig::new(3.0);
+    let a = compile(&program, &grid, &cfg).unwrap();
+    let b = compile(&program, &grid, &cfg).unwrap();
+    assert_eq!(a, b);
+}

@@ -102,7 +102,10 @@ impl AssemblySimulator {
     /// Panics if `width == 0`, `height == 0`, or
     /// `load_probability == 0`.
     pub fn assemble(&mut self, width: u32, height: u32, margin: u32) -> (Grid, AssemblyReport) {
-        assert!(width > 0 && height > 0, "target dimensions must be positive");
+        assert!(
+            width > 0 && height > 0,
+            "target dimensions must be positive"
+        );
         assert!(
             self.params.load_probability > 0.0,
             "loading can never succeed at probability 0"
@@ -140,9 +143,9 @@ impl AssemblySimulator {
                     && s.y < (margin + height) as i32
             };
             let mut holes: Vec<Site> = (0..height as i32)
-                .flat_map(|y| (0..width as i32).map(move |x| {
-                    Site::new(x + margin as i32, y + margin as i32)
-                }))
+                .flat_map(|y| {
+                    (0..width as i32).map(move |x| Site::new(x + margin as i32, y + margin as i32))
+                })
                 .filter(|&s| !loaded.contains(&s))
                 .collect();
             let mut reservoir: Vec<Site> =
@@ -207,7 +210,10 @@ mod tests {
         assert_eq!(grid.num_usable(), 100);
         assert_eq!(grid.num_holes(), 0);
         assert!(report.attempts >= 1);
-        assert!(report.moves as usize >= 20, "stochastic loading leaves holes");
+        assert!(
+            report.moves as usize >= 20,
+            "stochastic loading leaves holes"
+        );
         assert!(report.duration > 0.2, "cloud load dominates");
     }
 

@@ -24,7 +24,11 @@ pub struct NoSpareError {
 
 impl fmt::Display for NoSpareError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "no spare atom toward {} to absorb the shift", self.direction)
+        write!(
+            f,
+            "no spare atom toward {} to absorb the shift",
+            self.direction
+        )
     }
 }
 
@@ -214,7 +218,8 @@ impl VirtualMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use std::collections::HashSet;
 
     fn assert_bijective(vmap: &VirtualMap, grid: &Grid) {
@@ -281,7 +286,10 @@ mod tests {
             .shift_from(&grid, Site::new(0, 0), Direction::East, &in_use)
             .unwrap_err();
         assert_eq!(err.direction, Direction::East);
-        assert_eq!(err.to_string(), "no spare atom toward east to absorb the shift");
+        assert_eq!(
+            err.to_string(),
+            "no spare atom toward east to absorb the shift"
+        );
     }
 
     #[test]
@@ -333,7 +341,10 @@ mod tests {
         let grid = Grid::new(3, 1);
         let v = VirtualMap::new();
         let in_use = |_: Site| true;
-        assert_eq!(v.best_shift_direction(&grid, Site::new(1, 0), &in_use), None);
+        assert_eq!(
+            v.best_shift_direction(&grid, Site::new(1, 0), &in_use),
+            None
+        );
     }
 
     #[test]
@@ -349,17 +360,18 @@ mod tests {
         assert!(v.is_identity());
     }
 
-    proptest! {
-        /// Random loss sequences keep the map bijective and never leave
-        /// an in-use address resolving to a hole.
-        #[test]
-        fn prop_shift_preserves_bijection(losses in proptest::collection::vec((0i32..8, 0i32..4), 1..6)) {
+    /// Random loss sequences keep the map bijective and never leave
+    /// an in-use address resolving to a hole.
+    #[test]
+    fn prop_shift_preserves_bijection() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..32 {
             let mut grid = Grid::new(8, 4);
             let mut v = VirtualMap::new();
             // Program occupies the left half of the device.
             let in_use = |a: Site| a.x < 4;
-            for (x, y) in losses {
-                let lost = Site::new(x, y);
+            for _ in 0..rng.gen_range(1..6usize) {
+                let lost = Site::new(rng.gen_range(0i32..8), rng.gen_range(0i32..4));
                 if !grid.is_usable(lost) {
                     continue;
                 }
@@ -377,8 +389,10 @@ mod tests {
                 }
                 assert_bijective(&v, &grid);
                 for addr in grid.sites().filter(|&a| in_use(a)) {
-                    prop_assert!(grid.is_usable(v.resolve(addr)),
-                        "in-use address {addr} resolves to a hole");
+                    assert!(
+                        grid.is_usable(v.resolve(addr)),
+                        "in-use address {addr} resolves to a hole"
+                    );
                 }
             }
         }

@@ -1,11 +1,15 @@
-//! Criterion benchmarks for the compiler hot paths: end-to-end
-//! compilation per benchmark family at a tight (MID 1, SC-style) and a
-//! mid-range (MID 3, NA-style) interaction distance.
+//! Criterion benchmarks for the compiler hot paths, driven through
+//! `na-engine`: end-to-end compilation per benchmark family at a tight
+//! (MID 1, SC-style) and a mid-range (MID 3, NA-style) interaction
+//! distance, placement scaling, and the engine's two extremes —
+//! cold sweeps (every job compiles) vs hot sweeps (every job is a
+//! cache hit).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use na_arch::Grid;
 use na_benchmarks::Benchmark;
 use na_core::{compile, CompilerConfig};
+use na_engine::{Engine, ExperimentSpec, Task};
 
 fn bench_compile(c: &mut Criterion) {
     let grid = Grid::new(10, 10);
@@ -14,13 +18,21 @@ fn bench_compile(c: &mut Criterion) {
     for b in Benchmark::ALL {
         let circuit = b.generate(30, 0);
         let sc = CompilerConfig::new(1.0).with_native_multiqubit(false);
-        group.bench_with_input(BenchmarkId::new("mid1_2q", b.name()), &circuit, |bench, c| {
-            bench.iter(|| compile(c, &grid, &sc).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mid1_2q", b.name()),
+            &circuit,
+            |bench, c| {
+                bench.iter(|| compile(c, &grid, &sc).unwrap());
+            },
+        );
         let na = CompilerConfig::new(3.0);
-        group.bench_with_input(BenchmarkId::new("mid3_native", b.name()), &circuit, |bench, c| {
-            bench.iter(|| compile(c, &grid, &na).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mid3_native", b.name()),
+            &circuit,
+            |bench, c| {
+                bench.iter(|| compile(c, &grid, &na).unwrap());
+            },
+        );
     }
     group.finish();
 }
@@ -29,8 +41,8 @@ fn bench_placement_scaling(c: &mut Criterion) {
     let grid = Grid::new(10, 10);
     let mut group = c.benchmark_group("compile_qaoa_scaling");
     group.sample_size(10);
-    for size in [20u32, 50, 100] {
-        let circuit = Benchmark::Qaoa.generate(size, 7);
+    for size in [20u32, 40, 80] {
+        let circuit = Benchmark::Qaoa.generate(size, 0);
         let cfg = CompilerConfig::new(3.0);
         group.bench_with_input(BenchmarkId::from_parameter(size), &circuit, |bench, c| {
             bench.iter(|| compile(c, &grid, &cfg).unwrap());
@@ -39,5 +51,44 @@ fn bench_placement_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compile, bench_placement_scaling);
+/// A small paper-style sweep spec: 3 benchmarks × 3 MIDs.
+fn sweep_spec() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::new("bench", na_engine::paper::paper_grid());
+    spec.sweep(
+        &[Benchmark::Bv, Benchmark::Cnu, Benchmark::Qaoa],
+        &[30],
+        &[1.0, 3.0, 5.0],
+        |_, _, mid| Some((na_engine::paper::two_qubit_cfg(mid), Task::Compile)),
+    );
+    spec
+}
+
+fn bench_engine_sweep(c: &mut Criterion) {
+    let spec = sweep_spec();
+    let mut group = c.benchmark_group("engine_sweep_9pt");
+    group.sample_size(10);
+    // Cold: a fresh engine per iteration; every job is a cache miss.
+    group.bench_function("cold", |bench| {
+        bench.iter(|| Engine::new().run(&spec));
+    });
+    // Hot: one engine reused; after warm-up every job is a cache hit,
+    // so this measures pure sweep/bookkeeping overhead.
+    let engine = Engine::new();
+    engine.run(&spec);
+    group.bench_function("hot_cached", |bench| {
+        bench.iter(|| engine.run(&spec));
+    });
+    // Serial baseline for the parallel speedup.
+    group.bench_function("cold_serial", |bench| {
+        bench.iter(|| Engine::with_workers(1).run(&spec));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_placement_scaling,
+    bench_engine_sweep
+);
 criterion_main!(benches);

@@ -1,11 +1,16 @@
 //! Criterion benchmarks for the atom-loss machinery: per-loss strategy
 //! reaction time (the quantity that must stay far below the 0.3 s
-//! reload for software coping to pay off) and campaign shot throughput.
+//! reload for software coping to pay off) and campaign throughput,
+//! both standalone and as engine `Campaign` jobs fanned across cores.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use na_arch::Grid;
 use na_benchmarks::Benchmark;
-use na_loss::{run_campaign, CampaignConfig, LossModel, LossOutcome, ShotTarget, Strategy, StrategyState};
+use na_core::CompilerConfig;
+use na_engine::{Engine, ExperimentSpec, LossSpec, Task};
+use na_loss::{
+    run_campaign, CampaignConfig, LossModel, LossOutcome, ShotTarget, Strategy, StrategyState,
+};
 
 fn bench_loss_reaction(c: &mut Criterion) {
     let grid = Grid::new(10, 10);
@@ -34,7 +39,7 @@ fn bench_loss_reaction(c: &mut Criterion) {
                         assert!(out != LossOutcome::Spare);
                         out
                     },
-                    criterion::BatchSize::LargeInput,
+                    BatchSize::LargeInput,
                 );
             },
         );
@@ -62,5 +67,41 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_loss_reaction, bench_campaign_throughput);
+/// Eight concurrent campaigns through the engine vs the serial sum —
+/// the speedup Fig. 12/13-style figures get from the worker pool.
+fn bench_engine_campaign_fanout(c: &mut Criterion) {
+    let mut spec = ExperimentSpec::new("bench", na_engine::paper::paper_grid());
+    for seed in 0..8u64 {
+        let cfg = CampaignConfig::new(4.0, Strategy::VirtualRemap)
+            .with_target(ShotTarget::Attempts(50))
+            .with_two_qubit_error(1e-3)
+            .with_seed(seed);
+        spec.push(
+            Benchmark::Cnu,
+            20,
+            0,
+            CompilerConfig::new(4.0),
+            Task::Campaign {
+                config: cfg,
+                loss: LossSpec::new(seed),
+            },
+        );
+    }
+    let mut group = c.benchmark_group("engine_campaign_8x50shots");
+    group.sample_size(10);
+    group.bench_function("parallel", |bench| {
+        bench.iter(|| Engine::new().run(&spec));
+    });
+    group.bench_function("serial", |bench| {
+        bench.iter(|| Engine::with_workers(1).run(&spec));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_loss_reaction,
+    bench_campaign_throughput,
+    bench_engine_campaign_fanout
+);
 criterion_main!(benches);

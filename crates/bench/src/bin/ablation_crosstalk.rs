@@ -6,18 +6,17 @@
 //! harness sweeps the zone policy on the parallel benchmarks and
 //! reports both factors plus the combined shot success, locating the
 //! optimum the paper predicts exists.
+//!
+//! One engine `Crosstalk` job per (benchmark, policy).
 
 use na_arch::RestrictionPolicy;
-use na_bench::{paper_grid, Table};
+use na_bench::{harness_engine, maybe_emit_jsonl, paper_grid, Table};
 use na_benchmarks::Benchmark;
-use na_core::{compile, CompilerConfig};
-use na_noise::{
-    crosstalk_exposures, crosstalk_success, success_probability, success_with_crosstalk,
-    CrosstalkParams, NoiseParams,
-};
+use na_core::CompilerConfig;
+use na_engine::{ExperimentSpec, Outcome, Task};
+use na_noise::{CrosstalkParams, NoiseParams};
 
 fn main() {
-    let grid = paper_grid();
     let noise = NoiseParams::neutral_atom(1e-3);
     let ct = CrosstalkParams::default();
     let policies: Vec<(&str, RestrictionPolicy)> = vec![
@@ -27,6 +26,30 @@ fn main() {
         ("const 2.0", RestrictionPolicy::Constant(2.0)),
         ("const 3.0", RestrictionPolicy::Constant(3.0)),
     ];
+    let benchmarks = [Benchmark::Qaoa, Benchmark::QftAdder, Benchmark::Cnu];
+
+    let mut spec = ExperimentSpec::new("ablation_crosstalk", paper_grid());
+    for b in benchmarks {
+        for (_, policy) in &policies {
+            let cfg = CompilerConfig::new(3.0)
+                .with_native_multiqubit(false)
+                .with_restriction(*policy);
+            spec.push(
+                b,
+                40,
+                0,
+                cfg,
+                Task::Crosstalk {
+                    params: noise,
+                    crosstalk: ct,
+                },
+            );
+        }
+    }
+    let records = harness_engine().run(&spec);
+    if maybe_emit_jsonl(&records) {
+        return;
+    }
 
     println!("== Ablation: crosstalk vs restriction-zone size ==");
     println!(
@@ -42,23 +65,28 @@ fn main() {
         "p(gates+coh)",
         "combined",
     ]);
-    for b in [Benchmark::Qaoa, Benchmark::QftAdder, Benchmark::Cnu] {
-        let program = b.generate(40, 0);
-        for (name, policy) in &policies {
-            let cfg = CompilerConfig::new(3.0)
-                .with_native_multiqubit(false)
-                .with_restriction(*policy);
-            let compiled = compile(&program, &grid, &cfg)
-                .unwrap_or_else(|e| panic!("{b} {name}: {e}"));
-            table.row(vec![
-                b.name().into(),
-                name.to_string(),
-                compiled.metrics().depth.to_string(),
-                crosstalk_exposures(&compiled, &ct).to_string(),
-                format!("{:.4}", crosstalk_success(&compiled, &ct)),
-                format!("{:.4}", success_probability(&compiled, &noise).probability()),
-                format!("{:.4}", success_with_crosstalk(&compiled, &noise, &ct)),
-            ]);
+    let mut rows = records.iter();
+    for b in benchmarks {
+        for (name, _) in &policies {
+            let r = rows.next().expect("row per job");
+            match &r.outcome {
+                Outcome::Crosstalk {
+                    depth,
+                    exposures,
+                    p_crosstalk,
+                    p_standard,
+                    p_combined,
+                } => table.row(vec![
+                    b.name().into(),
+                    name.to_string(),
+                    depth.to_string(),
+                    exposures.to_string(),
+                    format!("{p_crosstalk:.4}"),
+                    format!("{p_standard:.4}"),
+                    format!("{p_combined:.4}"),
+                ]),
+                other => panic!("{b} {name}: {other:?}"),
+            }
         }
     }
     table.print();

@@ -5,22 +5,33 @@
 //! 0 layers (frontier-only, no lookahead) upward and reports compiled
 //! gate count and depth, showing where the quality saturates.
 
-use na_bench::{paper_grid, Table};
+use na_bench::{expect_metrics, harness_engine, maybe_emit_jsonl, paper_grid, Table};
 use na_benchmarks::Benchmark;
-use na_core::{compile, CompilerConfig};
+use na_core::CompilerConfig;
+use na_engine::{ExperimentSpec, Task};
 
 fn main() {
-    let grid = paper_grid();
     let windows = [0usize, 1, 2, 5, 10, 20, 50];
-    println!("== Ablation: lookahead window (MID 3, native, size 40) ==\n");
-    let mut table = Table::new(&["benchmark", "window", "gates", "swaps", "depth"]);
+
+    let mut spec = ExperimentSpec::new("ablation_lookahead", paper_grid());
     for b in Benchmark::ALL {
-        let circuit = b.generate(40, 0);
         for &w in &windows {
             let cfg = CompilerConfig::new(3.0).with_lookahead_depth(w);
-            let compiled = compile(&circuit, &grid, &cfg)
-                .unwrap_or_else(|e| panic!("{b} window {w}: {e}"));
-            let m = compiled.metrics();
+            spec.push(b, 40, 0, cfg, Task::Compile);
+        }
+    }
+    let records = harness_engine().run(&spec);
+    if maybe_emit_jsonl(&records) {
+        return;
+    }
+
+    println!("== Ablation: lookahead window (MID 3, native, size 40) ==\n");
+    let mut table = Table::new(&["benchmark", "window", "gates", "swaps", "depth"]);
+    let mut rows = records.iter();
+    for b in Benchmark::ALL {
+        for &w in &windows {
+            let r = rows.next().expect("row per job");
+            let m = expect_metrics(r);
             table.row(vec![
                 b.name().into(),
                 w.to_string(),

@@ -6,12 +6,12 @@
 //! how the zone model trades depth for crosstalk safety.
 
 use na_arch::RestrictionPolicy;
-use na_bench::{paper_grid, Table};
+use na_bench::{expect_metrics, harness_engine, maybe_emit_jsonl, paper_grid, Table};
 use na_benchmarks::Benchmark;
-use na_core::{compile, CompilerConfig};
+use na_core::CompilerConfig;
+use na_engine::{ExperimentSpec, Task};
 
 fn main() {
-    let grid = paper_grid();
     let policies: Vec<(&str, RestrictionPolicy)> = vec![
         ("none", RestrictionPolicy::None),
         ("d/2 (paper)", RestrictionPolicy::HalfDistance),
@@ -19,18 +19,33 @@ fn main() {
         ("const 1.0", RestrictionPolicy::Constant(1.0)),
         ("const 2.0", RestrictionPolicy::Constant(2.0)),
     ];
-    println!("== Ablation: restriction radius f(d) (size 50, 2q gate set) ==\n");
-    let mut table = Table::new(&["benchmark", "MID", "policy", "gates", "depth"]);
-    for b in [Benchmark::Qaoa, Benchmark::QftAdder, Benchmark::Cnu] {
-        let circuit = b.generate(50, 0);
-        for mid in [3.0, 5.0] {
-            for (name, policy) in &policies {
+    let benchmarks = [Benchmark::Qaoa, Benchmark::QftAdder, Benchmark::Cnu];
+    let mids = [3.0, 5.0];
+
+    let mut spec = ExperimentSpec::new("ablation_restriction", paper_grid());
+    for b in benchmarks {
+        for &mid in &mids {
+            for (_, policy) in &policies {
                 let cfg = CompilerConfig::new(mid)
                     .with_native_multiqubit(false)
                     .with_restriction(*policy);
-                let compiled = compile(&circuit, &grid, &cfg)
-                    .unwrap_or_else(|e| panic!("{b} {name} MID {mid}: {e}"));
-                let m = compiled.metrics();
+                spec.push(b, 50, 0, cfg, Task::Compile);
+            }
+        }
+    }
+    let records = harness_engine().run(&spec);
+    if maybe_emit_jsonl(&records) {
+        return;
+    }
+
+    println!("== Ablation: restriction radius f(d) (size 50, 2q gate set) ==\n");
+    let mut table = Table::new(&["benchmark", "MID", "policy", "gates", "depth"]);
+    let mut rows = records.iter();
+    for b in benchmarks {
+        for &mid in &mids {
+            for (name, _) in &policies {
+                let r = rows.next().expect("row per job");
+                let m = expect_metrics(r);
                 table.row(vec![
                     b.name().into(),
                     format!("{mid}"),

@@ -12,11 +12,16 @@
 //! gate when the cap allows it — but an arity-k gate needs k atoms
 //! pairwise within the MID (infeasible below √2·(⌈√k⌉−1)) and claims a
 //! proportionally large restriction zone.
+//!
+//! Raw (non-benchmark) circuits flow through the engine as
+//! `CircuitSource::Raw`; unroutable points come back as `Failed`
+//! rows, rendered "-".
 
-use na_bench::{paper_grid, Table};
+use na_bench::{harness_engine, maybe_emit_jsonl, paper_grid, Table};
 use na_circuit::{Circuit, Qubit};
-use na_core::{compile, CompileError, CompilerConfig};
-use na_noise::{success_probability, NoiseParams};
+use na_core::CompilerConfig;
+use na_engine::{CircuitSource, ExperimentSpec, Outcome, Task};
+use na_noise::NoiseParams;
 
 /// A raw n-controlled-X without pre-lowering: the compiler decides.
 fn raw_cnu(controls: u32) -> Circuit {
@@ -26,7 +31,6 @@ fn raw_cnu(controls: u32) -> Circuit {
 }
 
 fn main() {
-    let grid = paper_grid();
     let arities: Vec<(String, usize)> = vec![
         ("3 (paper)".into(), 3),
         ("5".into(), 5),
@@ -35,11 +39,34 @@ fn main() {
     ];
     let mids = [2.0, 3.0, 5.0, 8.0, 13.0];
     let error = 1e-3;
+    let control_counts = [4u32, 8, 16];
 
-    for controls in [4u32, 8, 16] {
-        println!(
-            "\n== Extension: native arity sweep, CNU with {controls} controls ==\n"
-        );
+    let mut spec = ExperimentSpec::new("ext_native_arity", paper_grid());
+    for &controls in &control_counts {
+        let source = CircuitSource::raw(format!("CNU-{controls}c"), raw_cnu(controls));
+        for (_, arity) in &arities {
+            for &mid in &mids {
+                let cfg = CompilerConfig::new(mid).with_max_native_arity(*arity);
+                spec.push(
+                    source.clone(),
+                    controls + 1,
+                    0,
+                    cfg,
+                    Task::Success {
+                        params: NoiseParams::neutral_atom(error),
+                    },
+                );
+            }
+        }
+    }
+    let records = harness_engine().run(&spec);
+    if maybe_emit_jsonl(&records) {
+        return;
+    }
+
+    let mut rows = records.iter();
+    for &controls in &control_counts {
+        println!("\n== Extension: native arity sweep, CNU with {controls} controls ==\n");
         let mut headers: Vec<String> = vec!["native arity".into()];
         for &mid in &mids {
             headers.push(format!("MID {mid}"));
@@ -50,16 +77,18 @@ fn main() {
         for (label, arity) in &arities {
             let mut row = vec![label.clone()];
             for &mid in &mids {
-                let cfg = CompilerConfig::new(mid).with_max_native_arity(*arity);
-                match compile(&raw_cnu(controls), &grid, &cfg) {
-                    Ok(compiled) => {
-                        let m = compiled.metrics();
-                        let p = success_probability(&compiled, &NoiseParams::neutral_atom(error))
-                            .probability();
-                        row.push(format!("{}/{}/{:.3}", m.total_gates(), m.depth, p));
-                    }
-                    Err(CompileError::UnroutableGate { .. }) => row.push("-".into()),
-                    Err(e) => panic!("controls {controls} arity {arity} MID {mid}: {e}"),
+                let r = rows.next().expect("row per job");
+                match &r.outcome {
+                    Outcome::Success { metrics, breakdown } => row.push(format!(
+                        "{}/{}/{:.3}",
+                        metrics.total_gates(),
+                        metrics.depth,
+                        breakdown.probability()
+                    )),
+                    Outcome::Failed {
+                        unroutable: true, ..
+                    } => row.push("-".into()),
+                    other => panic!("controls {controls} arity {arity} MID {mid}: {other:?}"),
                 }
             }
             table.row(row);

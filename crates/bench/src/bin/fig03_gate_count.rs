@@ -6,15 +6,38 @@
 //! MID. Right panel: the full BV gate-count series by size.
 //! All programs are lowered to 1- and 2-qubit gates so the reduction
 //! isolates SWAP savings.
+//!
+//! The full (benchmark × size × MID) grid runs through `na-engine`;
+//! the BV series reuses the same records rather than recompiling.
 
-use na_bench::{mean_std, paper_grid, paper_mids, paper_sizes, pct, two_qubit_cfg, Table};
+use na_bench::{
+    expect_metrics, harness_engine, maybe_emit_jsonl, mean_std, paper_grid, paper_mids,
+    paper_sizes, pct, two_qubit_cfg, Table,
+};
 use na_benchmarks::Benchmark;
-use na_core::compile;
+use na_engine::{ExperimentSpec, Task};
+use std::collections::HashMap;
 
 fn main() {
-    let grid = paper_grid();
     let mids = paper_mids();
     let sizes = paper_sizes();
+
+    let mut spec = ExperimentSpec::new("fig03", paper_grid());
+    spec.sweep(&Benchmark::ALL, &sizes, &mids, |_, _, mid| {
+        Some((two_qubit_cfg(mid), Task::Compile))
+    });
+    let records = harness_engine().run(&spec);
+    if maybe_emit_jsonl(&records) {
+        return;
+    }
+
+    let mut counts: HashMap<(String, u32, u32), usize> = HashMap::new();
+    for r in &records {
+        counts.insert(
+            (r.benchmark.clone(), r.size, r.mid as u32),
+            expect_metrics(r).total_gates(),
+        );
+    }
 
     println!("== Fig. 3 (left): gate-count savings over MID=1, mean over sizes ==\n");
     let mut headers: Vec<String> = vec!["benchmark".into()];
@@ -22,25 +45,14 @@ fn main() {
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(&header_refs);
 
-    // Cache the per-(benchmark, size, mid) gate counts; the BV series
-    // below reuses them.
-    let mut counts = std::collections::HashMap::new();
     for b in Benchmark::ALL {
-        for &size in &sizes {
-            for &mid in &mids {
-                let circuit = b.generate(size, 0);
-                let compiled = compile(&circuit, &grid, &two_qubit_cfg(mid))
-                    .unwrap_or_else(|e| panic!("{b} size {size} MID {mid}: {e}"));
-                counts.insert((b, size, mid as u32), compiled.metrics().total_gates());
-            }
-        }
         let mut row = vec![b.name().to_string()];
         for &mid in mids.iter().skip(1) {
             let savings: Vec<f64> = sizes
                 .iter()
                 .map(|&s| {
-                    let base = counts[&(b, s, 1)] as f64;
-                    let now = counts[&(b, s, mid as u32)] as f64;
+                    let base = counts[&(b.name().to_string(), s, 1)] as f64;
+                    let now = counts[&(b.name().to_string(), s, mid as u32)] as f64;
                     (base - now) / base
                 })
                 .collect();
@@ -59,7 +71,7 @@ fn main() {
     for &size in &sizes {
         let mut row = vec![size.to_string()];
         for &mid in &mids {
-            row.push(counts[&(Benchmark::Bv, size, mid as u32)].to_string());
+            row.push(counts[&("BV".to_string(), size, mid as u32)].to_string());
         }
         series.row(row);
     }

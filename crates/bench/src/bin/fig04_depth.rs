@@ -4,15 +4,39 @@
 //! over sizes. Right panel: the QFT-Adder depth series (the paper
 //! highlights it to show restriction zones eroding the benefit at
 //! large MIDs). Programs are lowered to 1- and 2-qubit gates.
+//!
+//! Runs the same engine sweep as Fig. 3 — when both figures are
+//! produced in one process, the engine's compilation cache makes the
+//! second sweep free.
 
-use na_bench::{mean_std, paper_grid, paper_mids, paper_sizes, pct, two_qubit_cfg, Table};
+use na_bench::{
+    expect_metrics, harness_engine, maybe_emit_jsonl, mean_std, paper_grid, paper_mids,
+    paper_sizes, pct, two_qubit_cfg, Table,
+};
 use na_benchmarks::Benchmark;
-use na_core::compile;
+use na_engine::{ExperimentSpec, Task};
+use std::collections::HashMap;
 
 fn main() {
-    let grid = paper_grid();
     let mids = paper_mids();
     let sizes = paper_sizes();
+
+    let mut spec = ExperimentSpec::new("fig04", paper_grid());
+    spec.sweep(&Benchmark::ALL, &sizes, &mids, |_, _, mid| {
+        Some((two_qubit_cfg(mid), Task::Compile))
+    });
+    let records = harness_engine().run(&spec);
+    if maybe_emit_jsonl(&records) {
+        return;
+    }
+
+    let mut depths: HashMap<(String, u32, u32), u32> = HashMap::new();
+    for r in &records {
+        depths.insert(
+            (r.benchmark.clone(), r.size, r.mid as u32),
+            expect_metrics(r).depth,
+        );
+    }
 
     println!("== Fig. 4 (left): depth savings over MID=1, mean over sizes ==\n");
     let mut headers: Vec<String> = vec!["benchmark".into()];
@@ -20,23 +44,14 @@ fn main() {
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(&header_refs);
 
-    let mut depths = std::collections::HashMap::new();
     for b in Benchmark::ALL {
-        for &size in &sizes {
-            for &mid in &mids {
-                let circuit = b.generate(size, 0);
-                let compiled = compile(&circuit, &grid, &two_qubit_cfg(mid))
-                    .unwrap_or_else(|e| panic!("{b} size {size} MID {mid}: {e}"));
-                depths.insert((b, size, mid as u32), compiled.metrics().depth);
-            }
-        }
         let mut row = vec![b.name().to_string()];
         for &mid in mids.iter().skip(1) {
             let savings: Vec<f64> = sizes
                 .iter()
                 .map(|&s| {
-                    let base = f64::from(depths[&(b, s, 1)]);
-                    let now = f64::from(depths[&(b, s, mid as u32)]);
+                    let base = f64::from(depths[&(b.name().to_string(), s, 1)]);
+                    let now = f64::from(depths[&(b.name().to_string(), s, mid as u32)]);
                     (base - now) / base
                 })
                 .collect();
@@ -55,7 +70,7 @@ fn main() {
     for &size in &sizes {
         let mut row = vec![size.to_string()];
         for &mid in &mids {
-            row.push(depths[&(Benchmark::QftAdder, size, mid as u32)].to_string());
+            row.push(depths[&("QFT-Adder".to_string(), size, mid as u32)].to_string());
         }
         series.row(row);
     }

@@ -7,18 +7,43 @@
 //! of the zones. Left: percent depth increase per benchmark/MID.
 //! Right: the QAOA series the paper highlights (solid = zones,
 //! dashed = ideal).
+//!
+//! Both configurations of every point go into one engine spec, so the
+//! with/without pairs compile concurrently.
 
 use na_bench::{
-    mean_std, paper_grid, paper_mids, paper_sizes, pct, two_qubit_cfg, two_qubit_cfg_no_zones,
-    Table,
+    expect_metrics, harness_engine, maybe_emit_jsonl, mean_std, paper_grid, paper_mids,
+    paper_sizes, pct, two_qubit_cfg, two_qubit_cfg_no_zones, Table,
 };
 use na_benchmarks::Benchmark;
-use na_core::compile;
+use na_engine::{ExperimentSpec, Task};
+use std::collections::HashMap;
 
 fn main() {
-    let grid = paper_grid();
     let mids: Vec<f64> = paper_mids().into_iter().skip(1).collect(); // zones at MID 1 are trivial
     let sizes = paper_sizes();
+
+    let mut spec = ExperimentSpec::new("fig05", paper_grid());
+    spec.sweep(&Benchmark::ALL, &sizes, &mids, |_, _, mid| {
+        Some((two_qubit_cfg(mid), Task::Compile))
+    });
+    spec.sweep(&Benchmark::ALL, &sizes, &mids, |_, _, mid| {
+        Some((two_qubit_cfg_no_zones(mid), Task::Compile))
+    });
+    let records = harness_engine().run(&spec);
+    if maybe_emit_jsonl(&records) {
+        return;
+    }
+
+    // Key: (benchmark, size, mid, zones?) -> depth.
+    let mut depths: HashMap<(String, u32, u32, bool), u32> = HashMap::new();
+    for r in &records {
+        let zones = r.restriction != "none";
+        depths.insert(
+            (r.benchmark.clone(), r.size, r.mid as u32, zones),
+            expect_metrics(r).depth,
+        );
+    }
 
     println!("== Fig. 5 (left): depth increase from restriction zones, mean over sizes ==\n");
     let mut headers: Vec<String> = vec!["benchmark".into()];
@@ -32,16 +57,11 @@ fn main() {
         for &mid in &mids {
             let mut increases = Vec::new();
             for &size in &sizes {
-                let circuit = b.generate(size, 0);
-                let with = compile(&circuit, &grid, &two_qubit_cfg(mid))
-                    .unwrap_or_else(|e| panic!("{b} size {size} MID {mid}: {e}"));
-                let without = compile(&circuit, &grid, &two_qubit_cfg_no_zones(mid))
-                    .unwrap_or_else(|e| panic!("{b} size {size} MID {mid} (ideal): {e}"));
-                let dw = f64::from(with.metrics().depth);
-                let dn = f64::from(without.metrics().depth);
-                increases.push((dw - dn) / dn);
+                let with = depths[&(b.name().to_string(), size, mid as u32, true)];
+                let without = depths[&(b.name().to_string(), size, mid as u32, false)];
+                increases.push((f64::from(with) - f64::from(without)) / f64::from(without));
                 if b == Benchmark::Qaoa && (size % 20 == 0 || size == 50) {
-                    qaoa_series.push((size, mid, with.metrics().depth, without.metrics().depth));
+                    qaoa_series.push((size, mid, with, without));
                 }
             }
             let (mean, std) = mean_std(&increases);

@@ -6,18 +6,51 @@
 //! depth across sizes. Native compilation requires MID ≥ √2, so the
 //! native column starts at MID 2.
 
-use na_bench::{paper_grid, paper_mids, two_qubit_cfg, Table};
+use na_bench::{
+    expect_metrics, harness_engine, maybe_emit_jsonl, paper_grid, paper_mids, two_qubit_cfg, Table,
+};
 use na_benchmarks::Benchmark;
-use na_core::{compile, CompilerConfig};
+use na_core::CompilerConfig;
+use na_engine::{ExperimentSpec, Task};
+use std::collections::HashMap;
 
 fn main() {
-    let grid = paper_grid();
     let mids = paper_mids();
     let sizes: Vec<u32> = vec![5, 10, 20, 40, 60, 80, 100];
+    let benchmarks = [Benchmark::Cnu, Benchmark::Cuccaro];
 
-    for b in [Benchmark::Cnu, Benchmark::Cuccaro] {
+    let mut spec = ExperimentSpec::new("fig06", paper_grid());
+    spec.sweep(&benchmarks, &sizes, &mids, |_, _, mid| {
+        if mid >= 2.0 {
+            Some((CompilerConfig::new(mid), Task::Compile))
+        } else {
+            None
+        }
+    });
+    spec.sweep(&benchmarks, &sizes, &mids, |_, _, mid| {
+        Some((two_qubit_cfg(mid), Task::Compile))
+    });
+    let records = harness_engine().run(&spec);
+    if maybe_emit_jsonl(&records) {
+        return;
+    }
+
+    // Key: (benchmark, size, mid, native?) -> (gates, depth).
+    let mut points: HashMap<(String, u32, u32, bool), (usize, u32)> = HashMap::new();
+    for r in &records {
+        let m = expect_metrics(r);
+        points.insert(
+            (r.benchmark.clone(), r.size, r.mid as u32, r.native),
+            (m.total_gates(), m.depth),
+        );
+    }
+
+    for b in benchmarks {
         for metric in ["gate count", "depth"] {
-            println!("\n== Fig. 6: {} {metric}, native (n) vs decomposed (d) ==\n", b.name());
+            println!(
+                "\n== Fig. 6: {} {metric}, native (n) vs decomposed (d) ==\n",
+                b.name()
+            );
             let mut headers: Vec<String> = vec!["size".into()];
             for &mid in &mids {
                 if mid >= 2.0 {
@@ -28,25 +61,19 @@ fn main() {
             let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
             let mut table = Table::new(&header_refs);
             for &size in &sizes {
-                let circuit = b.generate(size, 0);
                 let mut row = vec![b.actual_size(size).to_string()];
                 for &mid in &mids {
-                    if mid >= 2.0 {
-                        let native = compile(&circuit, &grid, &CompilerConfig::new(mid))
-                            .unwrap_or_else(|e| panic!("{b} native MID {mid}: {e}"));
-                        let m = native.metrics();
+                    for native in [true, false] {
+                        if native && mid < 2.0 {
+                            continue;
+                        }
+                        let (gates, depth) =
+                            points[&(b.name().to_string(), size, mid as u32, native)];
                         row.push(match metric {
-                            "gate count" => m.total_gates().to_string(),
-                            _ => m.depth.to_string(),
+                            "gate count" => gates.to_string(),
+                            _ => depth.to_string(),
                         });
                     }
-                    let lowered = compile(&circuit, &grid, &two_qubit_cfg(mid))
-                        .unwrap_or_else(|e| panic!("{b} decomposed MID {mid}: {e}"));
-                    let m = lowered.metrics();
-                    row.push(match metric {
-                        "gate count" => m.total_gates().to_string(),
-                        _ => m.depth.to_string(),
-                    });
                 }
                 table.row(row);
             }

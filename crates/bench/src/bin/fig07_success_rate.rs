@@ -6,45 +6,108 @@
 //! error is swept from 1e-5 to 1e-1 and the predicted *sample error
 //! rate* (1 − success probability) is reported — lower is better, and
 //! the divergence point from 1.0 is where a device becomes usable.
+//!
+//! Each (benchmark, architecture) pair spawns one `Success` job per
+//! error point; the engine's compilation cache compiles each pair
+//! exactly once and re-prices the shared schedule.
 
-use na_bench::{paper_grid, Table};
+use na_arch::RestrictionPolicy;
+use na_bench::{harness_engine, maybe_emit_jsonl, paper_grid, Table};
 use na_benchmarks::Benchmark;
-use na_core::{compile, CompiledCircuit, CompilerConfig};
-use na_noise::{log_spaced_errors, success_probability, NoiseParams};
+use na_core::CompilerConfig;
+use na_engine::{ExperimentSpec, Task};
+use na_noise::{log_spaced_errors, NoiseParams};
+use std::collections::HashMap;
 
 fn main() {
-    let grid = paper_grid();
     let size = 50;
     let na_cfg = CompilerConfig::new(3.0);
     let sc_cfg = CompilerConfig::new(1.0)
         .with_native_multiqubit(false)
-        .with_restriction(na_arch::RestrictionPolicy::None);
+        .with_restriction(RestrictionPolicy::None);
+    let errors = log_spaced_errors(-5, -1, 2);
 
-    let compiled: Vec<(Benchmark, CompiledCircuit, CompiledCircuit)> = Benchmark::ALL
-        .iter()
-        .map(|&b| {
-            let c = b.generate(size, 0);
-            let na = compile(&c, &grid, &na_cfg).unwrap_or_else(|e| panic!("{b} NA: {e}"));
-            let sc = compile(&c, &grid, &sc_cfg).unwrap_or_else(|e| panic!("{b} SC: {e}"));
-            (b, na, sc)
-        })
-        .collect();
+    let mut spec = ExperimentSpec::new("fig07", paper_grid());
+    for b in Benchmark::ALL {
+        for &e in &errors {
+            spec.push(
+                b,
+                size,
+                0,
+                na_cfg,
+                Task::Success {
+                    params: NoiseParams::neutral_atom(e),
+                },
+            );
+            spec.push(
+                b,
+                size,
+                0,
+                sc_cfg,
+                Task::Success {
+                    params: NoiseParams::superconducting(e),
+                },
+            );
+        }
+        // The "current hardware" markers.
+        spec.push(
+            b,
+            size,
+            0,
+            na_cfg,
+            Task::Success {
+                params: NoiseParams::neutral_atom_current(),
+            },
+        );
+        spec.push(
+            b,
+            size,
+            0,
+            sc_cfg,
+            Task::Success {
+                params: NoiseParams::superconducting_rome(),
+            },
+        );
+    }
+    let engine = harness_engine();
+    let records = engine.run(&spec);
+    if maybe_emit_jsonl(&records) {
+        return;
+    }
+
+    // Ten compilations (5 benchmarks × 2 architectures) serve every
+    // error point.
+    assert_eq!(engine.cache_stats().misses, 10, "one compile per (b, arch)");
+
+    // Key rows by what the record itself says — benchmark, the noise
+    // point's two-qubit success, NA-vs-SC — not by push order.
+    let mut by_point: HashMap<(String, u64, bool), f64> = HashMap::new();
+    for r in &records {
+        let p2 = r.noise_p2.expect("success row carries its noise point");
+        by_point.insert(
+            (r.benchmark.clone(), p2.to_bits(), r.native),
+            r.probability().expect("success row"),
+        );
+    }
+    let lookup = |b: Benchmark, params: &NoiseParams, native: bool| {
+        by_point[&(b.name().to_string(), params.p2.to_bits(), native)]
+    };
 
     println!("== Fig. 7: sample error rate (1 - success) on 50-qubit programs ==");
     println!("   NA: MID 3, native multiqubit, f(d)=d/2; SC: MID 1, 2q gates\n");
     let mut headers: Vec<String> = vec!["2q error".into()];
-    for (b, _, _) in &compiled {
+    for b in Benchmark::ALL {
         headers.push(format!("{} NA", b.name()));
         headers.push(format!("{} SC", b.name()));
     }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(&header_refs);
 
-    for e in log_spaced_errors(-5, -1, 2) {
+    for &e in &errors {
         let mut row = vec![format!("{e:.1e}")];
-        for (_, na, sc) in &compiled {
-            let p_na = success_probability(na, &NoiseParams::neutral_atom(e)).probability();
-            let p_sc = success_probability(sc, &NoiseParams::superconducting(e)).probability();
+        for b in Benchmark::ALL {
+            let p_na = lookup(b, &NoiseParams::neutral_atom(e), true);
+            let p_sc = lookup(b, &NoiseParams::superconducting(e), false);
             row.push(format!("{:.3e}", 1.0 - p_na));
             row.push(format!("{:.3e}", 1.0 - p_sc));
         }
@@ -53,11 +116,9 @@ fn main() {
     table.print();
 
     println!("\n-- markers --");
-    let rome = NoiseParams::superconducting_rome();
-    let na_now = NoiseParams::neutral_atom_current();
-    for (b, na, sc) in &compiled {
-        let p_sc = success_probability(sc, &rome).probability();
-        let p_na = success_probability(na, &na_now).probability();
+    for b in Benchmark::ALL {
+        let p_na = lookup(b, &NoiseParams::neutral_atom_current(), true);
+        let p_sc = lookup(b, &NoiseParams::superconducting_rome(), false);
         println!(
             "{:<10} current SC (e=1.2e-2): error {:.3}; current NA (e=3.5e-2): error {:.3}",
             b.name(),

@@ -2,58 +2,105 @@
 //!
 //! For each benchmark and architecture (NA MID-3 native vs SC MID-1
 //! two-qubit), find the largest program size whose predicted success
-//! probability exceeds 2/3 at each swept error rate. Compilations are
-//! cached per size; only the analytic success model is re-evaluated
-//! per error point.
+//! probability exceeds 2/3 at each swept error rate.
+//!
+//! This is the cache's showcase figure: (sizes × architectures)
+//! compilations serve (sizes × architectures × error points) success
+//! evaluations, compiled once each by the engine.
 
-use na_bench::{paper_grid, Table};
+use na_arch::RestrictionPolicy;
+use na_bench::{harness_engine, maybe_emit_jsonl, paper_grid, Table};
 use na_benchmarks::Benchmark;
-use na_core::{compile, CompiledCircuit, CompilerConfig};
-use na_noise::{largest_passing_size, log_spaced_errors, success_probability, NoiseParams};
+use na_core::CompilerConfig;
+use na_engine::{ExperimentSpec, Task};
+use na_noise::{largest_passing_size, log_spaced_errors, NoiseParams};
+use std::collections::HashMap;
 
 fn main() {
-    let grid = paper_grid();
     let sizes: Vec<u32> = (5..=100).step_by(5).collect();
     let threshold = 2.0 / 3.0;
     let na_cfg = CompilerConfig::new(3.0);
     let sc_cfg = CompilerConfig::new(1.0)
         .with_native_multiqubit(false)
-        .with_restriction(na_arch::RestrictionPolicy::None);
+        .with_restriction(RestrictionPolicy::None);
+    let errors = log_spaced_errors(-5, -1, 2);
 
-    // Compile each (benchmark, size) once per architecture.
-    let mut by_bench: Vec<(Benchmark, Vec<(u32, CompiledCircuit, CompiledCircuit)>)> = Vec::new();
+    let mut spec = ExperimentSpec::new("fig08", paper_grid());
     for b in Benchmark::ALL {
-        let mut v = Vec::new();
         for &size in &sizes {
-            let c = b.generate(size, 0);
-            let na = compile(&c, &grid, &na_cfg).unwrap_or_else(|e| panic!("{b} NA {size}: {e}"));
-            let sc = compile(&c, &grid, &sc_cfg).unwrap_or_else(|e| panic!("{b} SC {size}: {e}"));
-            v.push((b.actual_size(size), na, sc));
+            for &e in &errors {
+                spec.push(
+                    b,
+                    size,
+                    0,
+                    na_cfg,
+                    Task::Success {
+                        params: NoiseParams::neutral_atom(e),
+                    },
+                );
+                spec.push(
+                    b,
+                    size,
+                    0,
+                    sc_cfg,
+                    Task::Success {
+                        params: NoiseParams::superconducting(e),
+                    },
+                );
+            }
         }
-        by_bench.push((b, v));
+    }
+    let engine = harness_engine();
+    let records = engine.run(&spec);
+    if maybe_emit_jsonl(&records) {
+        return;
+    }
+
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.misses as usize,
+        Benchmark::ALL.len() * sizes.len() * 2,
+        "one compile per (benchmark, size, architecture)"
+    );
+
+    // (benchmark, actual size, p2-bits, native?) -> probability. The
+    // noise point comes from the record itself, not from push order.
+    let mut points: HashMap<(String, u32, u64, bool), f64> = HashMap::new();
+    for r in &records {
+        let p2 = r.noise_p2.expect("success row carries its noise point");
+        points.insert(
+            (r.benchmark.clone(), r.actual_size, p2.to_bits(), r.native),
+            r.probability().expect("success row"),
+        );
     }
 
     println!("== Fig. 8: largest runnable size at success >= 2/3 ==");
     println!("   NA: MID 3, native multiqubit; SC: MID 1, 2q gates\n");
     let mut headers: Vec<String> = vec!["2q error".into()];
-    for (b, _) in &by_bench {
+    for b in Benchmark::ALL {
         headers.push(format!("{} NA", b.name()));
         headers.push(format!("{} SC", b.name()));
     }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(&header_refs);
 
-    for e in log_spaced_errors(-5, -1, 2) {
+    for &e in &errors {
         let mut row = vec![format!("{e:.1e}")];
-        for (_, compiled) in &by_bench {
-            let na_points = compiled.iter().map(|(s, na, _)| {
-                (*s, success_probability(na, &NoiseParams::neutral_atom(e)).probability())
-            });
-            let sc_points = compiled.iter().map(|(s, _, sc)| {
-                (*s, success_probability(sc, &NoiseParams::superconducting(e)).probability())
-            });
-            let na_best = largest_passing_size(na_points, threshold);
-            let sc_best = largest_passing_size(sc_points, threshold);
+        for b in Benchmark::ALL {
+            let points = &points;
+            let series = |params: NoiseParams, native: bool| {
+                sizes.iter().map(move |&s| {
+                    let actual = b.actual_size(s);
+                    (
+                        actual,
+                        points[&(b.name().to_string(), actual, params.p2.to_bits(), native)],
+                    )
+                })
+            };
+            let na_best =
+                largest_passing_size(series(NoiseParams::neutral_atom(e), true), threshold);
+            let sc_best =
+                largest_passing_size(series(NoiseParams::superconducting(e), false), threshold);
             row.push(na_best.map_or("-".into(), |s| s.to_string()));
             row.push(sc_best.map_or("-".into(), |s| s.to_string()));
         }

@@ -6,10 +6,15 @@
 //! SWAP-budget cutoff). Reported: mean lost fraction of the device
 //! (±1σ over seeds) per strategy and MID. Compile-small strategies
 //! have no MID-2 entry (the paper never compiles to MID 1).
+//!
+//! Every (benchmark, strategy, MID) cell is one engine `Tolerance`
+//! job; the cells Monte-Carlo in parallel across cores.
 
-use na_bench::{paper_grid, Table};
+use na_bench::{harness_engine, maybe_emit_jsonl, paper_grid, Table};
 use na_benchmarks::Benchmark;
-use na_loss::{mean_loss_tolerance, Strategy};
+use na_core::CompilerConfig;
+use na_engine::{ExperimentSpec, Outcome, Task};
+use na_loss::Strategy;
 
 fn main() {
     let grid = paper_grid();
@@ -23,8 +28,36 @@ fn main() {
     ];
     let trials = 10;
 
+    let mut spec = ExperimentSpec::new("fig10", grid.clone());
     for b in [Benchmark::Cnu, Benchmark::Cuccaro] {
-        let program = b.generate(30, 0);
+        for strategy in strategies {
+            for &mid in &mids {
+                if !strategy.supports_mid(mid) {
+                    continue;
+                }
+                spec.push(
+                    b,
+                    30,
+                    0,
+                    CompilerConfig::new(mid),
+                    Task::Tolerance {
+                        strategy,
+                        trials,
+                        seed: 1000,
+                    },
+                );
+            }
+        }
+    }
+    let records = harness_engine().run(&spec);
+    if maybe_emit_jsonl(&records) {
+        return;
+    }
+
+    // Consume rows with the same loop shape that pushed them; each
+    // row's own strategy field guards against drift.
+    let mut rows = records.iter();
+    for b in [Benchmark::Cnu, Benchmark::Cuccaro] {
         println!(
             "\n== Fig. 10: max atom loss tolerance, {} ({} qubits on {} atoms) ==\n",
             b.name(),
@@ -42,10 +75,18 @@ fn main() {
                     row.push("-".into());
                     continue;
                 }
-                let (mean, std) =
-                    mean_loss_tolerance(&program, &grid, mid, strategy, trials, 1000)
-                        .unwrap_or_else(|e| panic!("{b} {strategy} MID {mid}: {e}"));
-                row.push(format!("{:.1}% (σ {:.1})", mean * 100.0, std * 100.0));
+                let r = rows.next().expect("row per job");
+                assert_eq!(
+                    r.strategy.as_deref(),
+                    Some(strategy.name()),
+                    "row order drift"
+                );
+                match &r.outcome {
+                    Outcome::Tolerance { mean, std, .. } => {
+                        row.push(format!("{:.1}% (σ {:.1})", mean * 100.0, std * 100.0));
+                    }
+                    other => panic!("{} {strategy} MID {mid}: {other:?}", r.benchmark),
+                }
             }
             table.row(row);
         }

@@ -6,15 +6,17 @@
 //! tuned per benchmark so the loss-free program succeeds with
 //! probability ≈ 0.6 (the paper's choice, to make the drop visible).
 //! Entries become "-" once the strategy would require a reload.
+//!
+//! Every (case, seed) trace is one engine `LossTrace` job — the
+//! per-seed Monte-Carlo repetitions fan out across cores, each seeded
+//! from its job so the table is identical at any worker count.
 
-use na_bench::{mean_std, paper_grid, Table};
+use na_bench::{harness_engine, maybe_emit_jsonl, mean_std, paper_grid, Table};
 use na_benchmarks::Benchmark;
-use na_core::compile;
-use na_core::CompilerConfig;
-use na_loss::{LossOutcome, Strategy, StrategyState};
+use na_core::{compile, CompilerConfig};
+use na_engine::{Engine, ExperimentSpec, Outcome, Task};
+use na_loss::Strategy;
 use na_noise::{success_probability, NoiseParams};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Binary-search the two-qubit error rate giving ~0.6 success for the
 /// MID-3 native compilation of `b` at 30 qubits.
@@ -35,7 +37,6 @@ fn tune_error(b: Benchmark) -> f64 {
 }
 
 fn main() {
-    let grid = paper_grid();
     let max_holes = 20usize;
     let seeds = 5u64;
     let cases: Vec<(Strategy, f64)> = vec![
@@ -48,9 +49,9 @@ fn main() {
         (Strategy::FullRecompile, 3.0),
         (Strategy::FullRecompile, 5.0),
     ];
+    let engine: Engine = harness_engine();
 
     for b in [Benchmark::Cnu, Benchmark::Cuccaro] {
-        let program = b.generate(30, 0);
         let e = tune_error(b);
         let params = NoiseParams::neutral_atom(e);
         println!(
@@ -58,42 +59,49 @@ fn main() {
             b.name(),
             e
         );
+
+        let mut spec = ExperimentSpec::new("fig11", paper_grid());
+        for &(strategy, mid) in &cases {
+            for seed in 0..seeds {
+                spec.push(
+                    b,
+                    30,
+                    0,
+                    CompilerConfig::new(mid),
+                    Task::LossTrace {
+                        strategy,
+                        max_holes: max_holes as u32,
+                        params,
+                        seed: 4000 + seed,
+                    },
+                );
+            }
+        }
+        let records = engine.run(&spec);
+        if maybe_emit_jsonl(&records) {
+            continue;
+        }
+
+        // success[case][k] collects per-seed success at k holes.
+        let mut success: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); max_holes + 1]; cases.len()];
+        for r in &records {
+            let case = (r.id / seeds) as usize;
+            match &r.outcome {
+                Outcome::LossTrace { success: trace } => {
+                    for (k, p) in trace.iter().enumerate() {
+                        success[case][k].push(*p);
+                    }
+                }
+                other => panic!("{} case {case}: {other:?}", r.benchmark),
+            }
+        }
+
         let mut headers: Vec<String> = vec!["holes".into()];
         for (s, m) in &cases {
             headers.push(format!("{} MID {m}", s.name()));
         }
         let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
         let mut table = Table::new(&header_refs);
-
-        // success[case][k] collects per-seed success at k holes.
-        let mut success: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); max_holes + 1]; cases.len()];
-        for (ci, &(strategy, mid)) in cases.iter().enumerate() {
-            for seed in 0..seeds {
-                let mut state = StrategyState::new(&program, &grid, mid, strategy, None)
-                    .unwrap_or_else(|err| panic!("{b} {strategy} MID {mid}: {err}"));
-                let mut rng = StdRng::seed_from_u64(4000 + seed);
-                let base =
-                    success_probability(state.compiled(), &params).probability();
-                success[ci][0].push(base);
-                for k in 1..=max_holes {
-                    let usable: Vec<_> = state.grid().usable_sites().collect();
-                    let victim = usable[rng.gen_range(0..usable.len())];
-                    match state.apply_loss(victim) {
-                        LossOutcome::NeedsReload => break,
-                        LossOutcome::Recompiled { .. } => {
-                            let p = success_probability(state.compiled(), &params).probability();
-                            success[ci][k].push(p);
-                        }
-                        LossOutcome::Spare | LossOutcome::Tolerated { .. } => {
-                            let p = success_probability(state.compiled(), &params).probability()
-                                * state.swap_penalty(params.p2);
-                            success[ci][k].push(p);
-                        }
-                    }
-                }
-            }
-        }
-
         for k in 0..=max_holes {
             let mut row = vec![k.to_string()];
             for case in success.iter() {

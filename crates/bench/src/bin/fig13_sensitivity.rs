@@ -5,17 +5,47 @@
 //! (worse) to 10× (better), and the mean number of successful shots
 //! between reloads is reported per MID. The paper's claim: a 10× loss
 //! improvement buys ~10× more shots per reload.
+//!
+//! Every (factor, MID, seed) campaign is one engine job; the longest
+//! campaigns no longer serialize the whole figure.
 
-use na_bench::{mean_std, paper_grid, Table};
+use na_bench::{harness_engine, maybe_emit_jsonl, mean_std, paper_grid, Table};
 use na_benchmarks::Benchmark;
-use na_loss::{run_campaign, CampaignConfig, LossModel, ShotTarget, Strategy};
+use na_core::CompilerConfig;
+use na_engine::{ExperimentSpec, LossSpec, Outcome, Task};
+use na_loss::{CampaignConfig, ShotTarget, Strategy};
 
 fn main() {
-    let grid = paper_grid();
-    let program = Benchmark::Cnu.generate(30, 0);
     let factors = [0.1, 0.316, 1.0, 3.16, 10.0];
     let mids = [3.0, 4.0, 5.0, 6.0];
     let seeds = 3u64;
+
+    let mut spec = ExperimentSpec::new("fig13", paper_grid());
+    for &factor in &factors {
+        for &mid in &mids {
+            for seed in 0..seeds {
+                let shots = if factor >= 3.0 { 4000 } else { 1500 };
+                let cfg = CampaignConfig::new(mid, Strategy::CompileSmallReroute)
+                    .with_target(ShotTarget::Attempts(shots))
+                    .with_two_qubit_error(1e-3)
+                    .with_seed(100 + seed);
+                spec.push(
+                    Benchmark::Cnu,
+                    30,
+                    0,
+                    CompilerConfig::new(mid),
+                    Task::Campaign {
+                        config: cfg,
+                        loss: LossSpec::new(200 + seed).with_improvement_factor(factor),
+                    },
+                );
+            }
+        }
+    }
+    let records = harness_engine().run(&spec);
+    if maybe_emit_jsonl(&records) {
+        return;
+    }
 
     println!("== Fig. 13: successful shots before reload vs loss-rate factor ==");
     println!("   compile small + reroute, 29-qubit CNU\n");
@@ -24,20 +54,17 @@ fn main() {
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(&header_refs);
 
+    let mut rows = records.iter();
     for &factor in &factors {
         let mut row = vec![format!("{factor}")];
         for &mid in &mids {
             let mut means = Vec::new();
-            for seed in 0..seeds {
-                let shots = if factor >= 3.0 { 4000 } else { 1500 };
-                let cfg = CampaignConfig::new(mid, Strategy::CompileSmallReroute)
-                    .with_target(ShotTarget::Attempts(shots))
-                    .with_two_qubit_error(1e-3)
-                    .with_seed(100 + seed);
-                let loss = LossModel::new(200 + seed).with_improvement_factor(factor);
-                let result = run_campaign(&program, &grid, loss, &cfg)
-                    .unwrap_or_else(|e| panic!("MID {mid} factor {factor}: {e}"));
-                means.push(result.mean_shots_before_reload());
+            for _ in 0..seeds {
+                let r = rows.next().expect("row per job");
+                match &r.outcome {
+                    Outcome::Campaign(result) => means.push(result.mean_shots_before_reload()),
+                    other => panic!("MID {mid} factor {factor}: {other:?}"),
+                }
             }
             let (mean, std) = mean_std(&means);
             row.push(format!("{mean:8.2} (σ {std:.1})"));

@@ -8,14 +8,30 @@
 //! benchmark, alongside the pre-routing circuit metrics. SWAP overhead
 //! on a 2D grid should sit well below one SWAP per gate for local-ish
 //! circuits and the schedule must verify.
+//!
+//! The engine's `Compile` rows carry both the lowered-source metrics
+//! and the schedule metrics, so one sweep yields every column. The
+//! engine runs in verified mode: every schedule is replayed through
+//! the constraint checker, and a violation fails the harness.
 
-use na_bench::{paper_grid, two_qubit_cfg_no_zones, Table};
+use na_bench::{harness_engine, maybe_emit_jsonl, paper_grid, two_qubit_cfg_no_zones, Table};
 use na_benchmarks::Benchmark;
-use na_core::{compile, verify};
+use na_engine::{ExperimentSpec, Outcome, Task};
 
 fn main() {
-    let grid = paper_grid();
     println!("== Validation: MID 1, no restriction zones (Qiskit-equivalent setup) ==\n");
+    let benchmarks = [Benchmark::Bv, Benchmark::Cnu];
+    let sizes = [10u32, 30, 50];
+
+    let mut spec = ExperimentSpec::new("validation_mid1", paper_grid());
+    spec.sweep(&benchmarks, &sizes, &[1.0], |_, _, mid| {
+        Some((two_qubit_cfg_no_zones(mid), Task::Compile))
+    });
+    let records = harness_engine().verified().run(&spec);
+    if maybe_emit_jsonl(&records) {
+        return;
+    }
+
     let mut table = Table::new(&[
         "benchmark",
         "size",
@@ -26,26 +42,21 @@ fn main() {
         "depth",
         "swap/gate",
     ]);
-    for b in [Benchmark::Bv, Benchmark::Cnu] {
-        for size in [10u32, 30, 50] {
-            let circuit = b.generate(size, 0);
-            let src = na_circuit::decompose_circuit(&circuit, na_circuit::DecomposeLevel::TwoQubit)
-                .metrics();
-            let compiled = compile(&circuit, &grid, &two_qubit_cfg_no_zones(1.0))
-                .unwrap_or_else(|e| panic!("{b} {size}: {e}"));
-            verify(&compiled, &grid).expect("schedule must verify");
-            let m = compiled.metrics();
-            table.row(vec![
-                b.name().into(),
-                b.actual_size(size).to_string(),
-                src.total_gates().to_string(),
-                src.depth.to_string(),
-                m.total_gates().to_string(),
-                m.swaps.to_string(),
-                m.depth.to_string(),
-                format!("{:.2}", m.swaps as f64 / src.total_gates() as f64),
-            ]);
-        }
+    for r in &records {
+        let (src, m) = match &r.outcome {
+            Outcome::Compiled { source, metrics } => (source, metrics),
+            other => panic!("{} {}: {other:?}", r.benchmark, r.size),
+        };
+        table.row(vec![
+            r.benchmark.clone(),
+            r.actual_size.to_string(),
+            src.total_gates().to_string(),
+            src.depth.to_string(),
+            m.total_gates().to_string(),
+            m.swaps.to_string(),
+            m.depth.to_string(),
+            format!("{:.2}", m.swaps as f64 / src.total_gates() as f64),
+        ]);
     }
     table.print();
 }

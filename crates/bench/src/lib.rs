@@ -1,41 +1,50 @@
 //! Shared harness utilities for the figure-regeneration binaries.
 //!
 //! Every figure of the paper's evaluation has a binary in `src/bin`
-//! that prints the corresponding rows/series (see DESIGN.md §5 for the
-//! experiment index). This library centralizes the sweep parameters so
-//! all harnesses agree with the paper's experimental setup (§III-C):
-//! a 10×10 device, MIDs from 1 to the full-diagonal ≈13, program sizes
-//! up to 100 qubits, ±1σ error bars where sampling is involved.
+//! that builds an [`na_engine::ExperimentSpec`], runs it through the
+//! parallel [`na_engine::Engine`], and renders the resulting rows
+//! (see DESIGN.md §5 for the experiment index).
+//!
+//! The sweep constants live in [`na_engine::paper`] — one copy shared
+//! by the harnesses, the CLI, and the engine tests — and are
+//! re-exported here so harness code keeps its historical imports.
+//! This crate adds only presentation helpers: the fixed-width
+//! [`Table`] writer, [`mean_std`], and [`pct`].
 
-use na_arch::{Grid, RestrictionPolicy};
-use na_core::CompilerConfig;
+pub use na_engine::paper::{
+    paper_grid, paper_mids, paper_sizes, two_qubit_cfg, two_qubit_cfg_no_zones,
+};
 
-/// The paper's device: a 10×10 atom array.
-pub fn paper_grid() -> Grid {
-    Grid::new(10, 10)
+/// The number of engine workers the harnesses run with: every core,
+/// as the engine's determinism guarantee makes worker count
+/// observable only in wall-clock time.
+pub fn harness_engine() -> na_engine::Engine {
+    na_engine::Engine::new()
 }
 
-/// The MID sweep of Figs. 3–5: 1 … full-diagonal (≈13).
-pub fn paper_mids() -> Vec<f64> {
-    vec![1.0, 2.0, 3.0, 4.0, 5.0, 8.0, 13.0]
+/// Unwraps the compiled metrics of an engine row, panicking with the
+/// experiment point and error on failure (harness sweeps are supposed
+/// to stay inside the feasible region).
+pub fn expect_metrics(record: &na_engine::RunRecord) -> &na_core::CompiledMetrics {
+    record.compiled_metrics().unwrap_or_else(|| {
+        panic!(
+            "{} size {} MID {}: {:?}",
+            record.benchmark, record.size, record.mid, record.outcome
+        )
+    })
 }
 
-/// Program-size sweep (qubits) used by the gate-count/depth figures.
-pub fn paper_sizes() -> Vec<u32> {
-    (10..=100).step_by(10).collect()
-}
-
-/// The compiler configuration used by the connectivity studies
-/// (Figs. 3–5): everything lowered to 1- and 2-qubit gates so gate
-/// counts isolate the SWAP effect.
-pub fn two_qubit_cfg(mid: f64) -> CompilerConfig {
-    CompilerConfig::new(mid).with_native_multiqubit(false)
-}
-
-/// Like [`two_qubit_cfg`] but with restriction zones disabled (the
-/// "ideal parallel" baseline of Fig. 5).
-pub fn two_qubit_cfg_no_zones(mid: f64) -> CompilerConfig {
-    two_qubit_cfg(mid).with_restriction(RestrictionPolicy::None)
+/// Emits every row as JSON lines to stdout when `NATOMS_JSONL=1`, so
+/// any figure binary doubles as a structured-data producer. Returns
+/// `true` in JSONL mode — the caller must then skip its rendered
+/// tables so stdout stays valid JSONL end to end.
+#[must_use]
+pub fn maybe_emit_jsonl(records: &[na_engine::RunRecord]) -> bool {
+    let jsonl = std::env::var_os("NATOMS_JSONL").is_some_and(|v| v == "1");
+    if jsonl {
+        na_engine::write_records(records, &mut na_engine::JsonlSink::stdout());
+    }
+    jsonl
 }
 
 /// Mean and ±1σ of a sample (population σ, like the paper's plots).

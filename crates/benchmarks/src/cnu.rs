@@ -62,7 +62,10 @@ mod tests {
         // Depth ~ 2 log2(c) + 1; check it grows much slower than c.
         let d8 = cnu(8).metrics().depth;
         let d64 = cnu(64).metrics().depth;
-        assert!(d64 <= d8 + 7, "tree depth must be logarithmic: {d8} -> {d64}");
+        assert!(
+            d64 <= d8 + 7,
+            "tree depth must be logarithmic: {d8} -> {d64}"
+        );
     }
 
     #[test]

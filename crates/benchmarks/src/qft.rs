@@ -87,6 +87,7 @@ pub fn inverse_qft(m: u32) -> Circuit {
 /// let c = qft_adder(5);
 /// assert_eq!(c.num_qubits(), 10);
 /// ```
+#[allow(clippy::needless_range_loop)] // the triangular (i, j>=i) index pair is the math
 pub fn qft_adder(bits: u32) -> Circuit {
     assert!(bits > 0, "adder width must be positive");
     let mut c = Circuit::new(2 * bits);

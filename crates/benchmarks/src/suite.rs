@@ -101,6 +101,41 @@ impl fmt::Display for Benchmark {
     }
 }
 
+/// Error returned when a benchmark name does not parse; lists the
+/// accepted spellings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchmarkError(pub String);
+
+impl fmt::Display for ParseBenchmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown benchmark {:?} (bv|cnu|cuccaro|qft-adder|qaoa)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseBenchmarkError {}
+
+impl std::str::FromStr for Benchmark {
+    type Err = ParseBenchmarkError;
+
+    /// Parses the CLI/figure spellings, case-insensitively. This is
+    /// *the* shared name table — the CLI and every harness parse
+    /// through it rather than keeping private copies.
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        match name.to_ascii_lowercase().as_str() {
+            "bv" => Ok(Benchmark::Bv),
+            "cnu" => Ok(Benchmark::Cnu),
+            "cuccaro" => Ok(Benchmark::Cuccaro),
+            "qft-adder" | "qftadder" | "qft_adder" => Ok(Benchmark::QftAdder),
+            "qaoa" => Ok(Benchmark::Qaoa),
+            _ => Err(ParseBenchmarkError(name.to_string())),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +185,20 @@ mod tests {
     #[should_panic(expected = "at least 4")]
     fn tiny_size_panics() {
         Benchmark::Cuccaro.generate(3, 0);
+    }
+
+    #[test]
+    fn names_parse_case_insensitively() {
+        assert_eq!("qaoa".parse::<Benchmark>().unwrap(), Benchmark::Qaoa);
+        assert_eq!(
+            "QFT-Adder".parse::<Benchmark>().unwrap(),
+            Benchmark::QftAdder
+        );
+        assert_eq!(
+            "qft_adder".parse::<Benchmark>().unwrap(),
+            Benchmark::QftAdder
+        );
+        let err = "ghz".parse::<Benchmark>().unwrap_err();
+        assert!(err.to_string().contains("ghz"));
     }
 }

@@ -54,7 +54,10 @@ fn cuccaro_adds_every_input_pair() {
                         .expect("classical output");
                     let (a_out, b_out, carry) = cuccaro_output(bits, idx as u64);
                     let sum = a + b + cin;
-                    assert_eq!(a_out, a, "a register preserved ({bits} bits, {a}+{b}+{cin})");
+                    assert_eq!(
+                        a_out, a,
+                        "a register preserved ({bits} bits, {a}+{b}+{cin})"
+                    );
                     assert_eq!(b_out, sum % m, "sum ({bits} bits, {a}+{b}+{cin})");
                     assert_eq!(carry, sum / m, "carry ({bits} bits, {a}+{b}+{cin})");
                 }
@@ -116,7 +119,10 @@ fn bv_recovers_the_all_ones_string() {
                 "input {i} of {n}-qubit BV"
             );
         }
-        assert!((s.prob_one(Qubit(n - 1)) - 0.5).abs() < TOL, "ancilla in |->");
+        assert!(
+            (s.prob_one(Qubit(n - 1)) - 0.5).abs() < TOL,
+            "ancilla in |->"
+        );
     }
 }
 

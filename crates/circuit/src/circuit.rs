@@ -21,7 +21,10 @@ impl fmt::Display for CircuitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CircuitError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit circuit"
+                )
             }
             CircuitError::DuplicateOperand { qubit } => {
                 write!(f, "duplicate operand {qubit} in gate")
@@ -108,6 +111,22 @@ impl Circuit {
     /// Iterates over the gates in program order.
     pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
         self.gates.iter()
+    }
+
+    /// A stable 64-bit structural fingerprint (FNV-1a folded directly
+    /// over the register width and every gate's variant tag, operands,
+    /// and angle bits — no intermediate serialization): equal circuits
+    /// always agree, and circuits differing in any gate, operand,
+    /// angle, or register width virtually never collide. The
+    /// experiment engine keys its memoized compilation cache on this,
+    /// so it runs on every cache lookup and must stay allocation-light.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h =
+            crate::fingerprint::fnv1a_extend(0xcbf2_9ce4_8422_2325, u64::from(self.num_qubits));
+        for gate in &self.gates {
+            h = gate.fingerprint_fold(h);
+        }
+        h
     }
 
     /// Validates a gate against this register.
@@ -323,7 +342,12 @@ impl<'a> IntoIterator for &'a Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit[{} qubits, {} gates]", self.num_qubits, self.gates.len())?;
+        writeln!(
+            f,
+            "circuit[{} qubits, {} gates]",
+            self.num_qubits,
+            self.gates.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {g}")?;
         }
@@ -338,7 +362,9 @@ mod tests {
     #[test]
     fn builder_chain_appends_in_order() {
         let mut c = Circuit::new(3);
-        c.h(Qubit(0)).cnot(Qubit(0), Qubit(1)).toffoli(Qubit(0), Qubit(1), Qubit(2));
+        c.h(Qubit(0))
+            .cnot(Qubit(0), Qubit(1))
+            .toffoli(Qubit(0), Qubit(1), Qubit(2));
         assert_eq!(c.len(), 3);
         assert_eq!(c.gates()[0].name(), "h");
         assert_eq!(c.gates()[2].name(), "toffoli");

@@ -68,11 +68,7 @@ impl CircuitDag {
                 }
                 last_use.insert(q, id);
             }
-            layer[i] = preds[i]
-                .iter()
-                .map(|p| layer[p.0] + 1)
-                .max()
-                .unwrap_or(0);
+            layer[i] = preds[i].iter().map(|p| layer[p.0] + 1).max().unwrap_or(0);
         }
 
         let depth = layer.iter().copied().max().map_or(0, |m| m + 1);
@@ -246,8 +242,9 @@ impl<'a> Frontier<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
-    use proptest::prelude::*;
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn chain_circuit() -> Circuit {
         let mut c = Circuit::new(3);
@@ -321,6 +318,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn remaining_layers_initially_match_dag_layers() {
         let c = chain_circuit();
         let dag = c.dag();
@@ -343,48 +341,53 @@ mod tests {
         assert_eq!(rel[2], Some(1));
     }
 
-    /// Generates a random circuit over `n` qubits for property tests.
-    fn arb_circuit(max_qubits: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
-        (2..=max_qubits, 0..max_gates).prop_flat_map(|(n, g)| {
-            proptest::collection::vec((0..n, 0..n, 0..3u8), g).prop_map(move |specs| {
-                let mut c = Circuit::new(n);
-                for (a, b, kind) in specs {
-                    let qa = Qubit(a);
-                    let qb = Qubit(b % n);
-                    match kind {
-                        0 => {
-                            c.h(qa);
-                        }
-                        1 => {
-                            if qa != qb {
-                                c.cnot(qa, qb);
-                            } else {
-                                c.x(qa);
-                            }
-                        }
-                        _ => {
-                            c.rz(qa, 0.25);
-                        }
+    /// Generates a random circuit over at most `max_qubits` qubits for
+    /// the seeded property tests.
+    fn arb_circuit(rng: &mut StdRng, max_qubits: u32, max_gates: usize) -> Circuit {
+        let n = rng.gen_range(2..=max_qubits);
+        let g = rng.gen_range(0..max_gates);
+        let mut c = Circuit::new(n);
+        for _ in 0..g {
+            let qa = Qubit(rng.gen_range(0..n));
+            let qb = Qubit(rng.gen_range(0..n));
+            match rng.gen_range(0..3u8) {
+                0 => {
+                    c.h(qa);
+                }
+                1 => {
+                    if qa != qb {
+                        c.cnot(qa, qb);
+                    } else {
+                        c.x(qa);
                     }
                 }
-                c
-            })
-        })
-    }
-
-    proptest! {
-        #[test]
-        fn prop_layers_respect_dependencies(c in arb_circuit(6, 40)) {
-            let dag = c.dag();
-            for i in 0..dag.len() {
-                for &p in dag.preds(GateId(i)) {
-                    prop_assert!(dag.layer(p) < dag.layer(GateId(i)));
+                _ => {
+                    c.rz(qa, 0.25);
                 }
             }
         }
+        c
+    }
 
-        #[test]
-        fn prop_frontier_executes_every_gate_once(c in arb_circuit(6, 40)) {
+    #[test]
+    fn prop_layers_respect_dependencies() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..32 {
+            let c = arb_circuit(&mut rng, 6, 40);
+            let dag = c.dag();
+            for i in 0..dag.len() {
+                for &p in dag.preds(GateId(i)) {
+                    assert!(dag.layer(p) < dag.layer(GateId(i)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_frontier_executes_every_gate_once() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..32 {
+            let c = arb_circuit(&mut rng, 6, 40);
             let dag = c.dag();
             let mut f = dag.frontier();
             let mut executed = 0usize;
@@ -393,14 +396,18 @@ mod tests {
                 f.complete(next);
                 executed += 1;
             }
-            prop_assert_eq!(executed, dag.len());
+            assert_eq!(executed, dag.len());
         }
+    }
 
-        #[test]
-        fn prop_layer_sizes_sum_to_gate_count(c in arb_circuit(6, 40)) {
+    #[test]
+    fn prop_layer_sizes_sum_to_gate_count() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..32 {
+            let c = arb_circuit(&mut rng, 6, 40);
             let dag = c.dag();
             let total: usize = dag.layers().iter().map(Vec::len).sum();
-            prop_assert_eq!(total, dag.len());
+            assert_eq!(total, dag.len());
         }
     }
 }

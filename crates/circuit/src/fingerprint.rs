@@ -1,0 +1,49 @@
+//! Stable structural hashing for cache keys.
+//!
+//! `std::hash::Hasher` implementations are allowed to vary between
+//! releases and processes, so cache keys that must be reproducible
+//! (the experiment engine's memoized compilation cache, result-row
+//! provenance) use this fixed FNV-1a instead.
+
+/// 64-bit FNV-1a over a byte string. Deterministic across platforms
+/// and releases.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Folds a word into an existing FNV-1a state (for composite keys).
+#[must_use]
+pub fn fnv1a_extend(state: u64, word: u64) -> u64 {
+    let mut hash = state;
+    for b in word.to_le_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn extend_differs_by_word_order() {
+        let a = fnv1a_extend(fnv1a_extend(0, 1), 2);
+        let b = fnv1a_extend(fnv1a_extend(0, 2), 1);
+        assert_ne!(a, b);
+    }
+}

@@ -99,6 +99,47 @@ impl Gate {
         }
     }
 
+    /// Folds a stable encoding of this gate — variant tag, operand
+    /// indices, angle bits — into an FNV-1a state. The basis of
+    /// [`crate::Circuit::fingerprint`]; allocation-free except for the
+    /// operand list.
+    pub fn fingerprint_fold(&self, state: u64) -> u64 {
+        use crate::fingerprint::fnv1a_extend as fold;
+        let tag: u64 = match self {
+            Gate::X(_) => 1,
+            Gate::Y(_) => 2,
+            Gate::Z(_) => 3,
+            Gate::H(_) => 4,
+            Gate::S(_) => 5,
+            Gate::Sdg(_) => 6,
+            Gate::T(_) => 7,
+            Gate::Tdg(_) => 8,
+            Gate::Rx(..) => 9,
+            Gate::Ry(..) => 10,
+            Gate::Rz(..) => 11,
+            Gate::Cnot { .. } => 12,
+            Gate::Cz(..) => 13,
+            Gate::Cphase(..) => 14,
+            Gate::Swap(..) => 15,
+            Gate::Toffoli { .. } => 16,
+            Gate::Ccz(..) => 17,
+            Gate::Cnx { .. } => 18,
+            Gate::Measure(_) => 19,
+        };
+        let mut h = fold(state, tag);
+        for q in self.qubits() {
+            h = fold(h, u64::from(q.0));
+        }
+        let angle = match self {
+            Gate::Rx(_, a) | Gate::Ry(_, a) | Gate::Rz(_, a) | Gate::Cphase(_, _, a) => Some(*a),
+            _ => None,
+        };
+        if let Some(a) = angle {
+            h = fold(h, a.to_bits());
+        }
+        h
+    }
+
     /// Number of qubits the gate acts on.
     pub fn arity(&self) -> usize {
         match self {

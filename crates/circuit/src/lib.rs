@@ -32,6 +32,7 @@
 pub mod circuit;
 pub mod dag;
 pub mod decompose;
+pub mod fingerprint;
 pub mod gate;
 pub mod metrics;
 pub mod qasm;

@@ -168,7 +168,9 @@ mod tests {
         // Every line ends with a semicolon: a cheap well-formedness
         // check across a real generator output.
         let mut c = Circuit::new(4);
-        c.h(Qubit(0)).cnot(Qubit(0), Qubit(1)).toffoli(Qubit(1), Qubit(2), Qubit(3));
+        c.h(Qubit(0))
+            .cnot(Qubit(0), Qubit(1))
+            .toffoli(Qubit(1), Qubit(2), Qubit(3));
         let q = to_qasm(&c).unwrap();
         for line in q.lines().skip(1) {
             assert!(line.ends_with(';'), "unterminated line {line:?}");

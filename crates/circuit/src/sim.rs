@@ -233,11 +233,17 @@ impl StateVector {
             Gate::Sdg(q) => self.apply_1q(*q, [[one, zero], [zero, Complex::new(0.0, -1.0)]]),
             Gate::T(q) => self.apply_1q(
                 *q,
-                [[one, zero], [zero, Complex::from_phase(std::f64::consts::FRAC_PI_4)]],
+                [
+                    [one, zero],
+                    [zero, Complex::from_phase(std::f64::consts::FRAC_PI_4)],
+                ],
             ),
             Gate::Tdg(q) => self.apply_1q(
                 *q,
-                [[one, zero], [zero, Complex::from_phase(-std::f64::consts::FRAC_PI_4)]],
+                [
+                    [one, zero],
+                    [zero, Complex::from_phase(-std::f64::consts::FRAC_PI_4)],
+                ],
             ),
             Gate::Rx(q, t) => {
                 let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
@@ -420,9 +426,16 @@ mod tests {
         let mut c = Circuit::new(3);
         c.toffoli(Qubit(0), Qubit(1), Qubit(2));
         for input in 0..8u64 {
-            let expected = if input & 0b11 == 0b11 { input ^ 0b100 } else { input };
+            let expected = if input & 0b11 == 0b11 {
+                input ^ 0b100
+            } else {
+                input
+            };
             let s = StateVector::run_from(&c, input);
-            assert!((s.probability(expected) - 1.0).abs() < TOL, "input {input:03b}");
+            assert!(
+                (s.probability(expected) - 1.0).abs() < TOL,
+                "input {input:03b}"
+            );
         }
     }
 

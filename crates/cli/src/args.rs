@@ -42,10 +42,7 @@ impl Args {
         let mut iter = raw.into_iter().peekable();
         while let Some(tok) = iter.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                let is_value = iter
-                    .peek()
-                    .map(|n| !n.starts_with("--"))
-                    .unwrap_or(false);
+                let is_value = iter.peek().map(|n| !n.starts_with("--")).unwrap_or(false);
                 if is_value {
                     let v = iter.next().expect("peeked");
                     args.values.insert(key.to_string(), v);
@@ -106,7 +103,14 @@ mod tests {
 
     #[test]
     fn subcommand_and_options() {
-        let a = parse(&["compile", "--benchmark", "qaoa", "--size", "30", "--timeline"]);
+        let a = parse(&[
+            "compile",
+            "--benchmark",
+            "qaoa",
+            "--size",
+            "30",
+            "--timeline",
+        ]);
         assert_eq!(a.subcommand(), Some("compile"));
         assert_eq!(a.get("benchmark"), Some("qaoa"));
         assert_eq!(a.parse_or("size", 0u32).unwrap(), 30);

@@ -1,43 +1,34 @@
 //! Subcommand implementations.
+//!
+//! The sweep-shaped subcommands (`sweep`, `campaign`) run through
+//! `na-engine`'s parallel worker pool: `--workers N` bounds the pool
+//! (default: all cores — results are identical at any worker count),
+//! and `--jsonl` switches the output to the engine's structured
+//! JSON-lines rows for downstream tooling.
 
 use crate::args::{ArgError, Args};
 use na_arch::{AssemblySimulator, Grid, RestrictionPolicy};
 use na_benchmarks::Benchmark;
 use na_core::{compile, verify, CompiledCircuit, CompilerConfig};
-use na_loss::{
-    mean_loss_tolerance, render_timeline, run_campaign, CampaignConfig, LossModel, ShotTarget,
-    Strategy,
-};
+use na_engine::{derive_seed, Engine, ExperimentSpec, JsonlSink, LossSpec, Outcome, Task};
+use na_loss::{mean_loss_tolerance, render_timeline, CampaignConfig, ShotTarget, Strategy};
 use na_noise::{success_probability, NoiseParams};
 use std::error::Error;
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
+/// Parses a benchmark through the shared name table
+/// (`Benchmark::from_str` in `na-benchmarks`).
 fn parse_benchmark(name: &str) -> Result<Benchmark, ArgError> {
-    match name.to_ascii_lowercase().as_str() {
-        "bv" => Ok(Benchmark::Bv),
-        "cnu" => Ok(Benchmark::Cnu),
-        "cuccaro" => Ok(Benchmark::Cuccaro),
-        "qft-adder" | "qftadder" | "qft_adder" => Ok(Benchmark::QftAdder),
-        "qaoa" => Ok(Benchmark::Qaoa),
-        other => Err(ArgError(format!(
-            "unknown benchmark {other:?} (bv|cnu|cuccaro|qft-adder|qaoa)"
-        ))),
-    }
+    name.parse()
+        .map_err(|e: na_benchmarks::ParseBenchmarkError| ArgError(e.to_string()))
 }
 
+/// Parses a strategy through the shared name table
+/// (`Strategy::from_str` in `na-loss`).
 fn parse_strategy(name: &str) -> Result<Strategy, ArgError> {
-    match name.to_ascii_lowercase().as_str() {
-        "always-reload" | "reload" => Ok(Strategy::AlwaysReload),
-        "recompile" => Ok(Strategy::FullRecompile),
-        "virtual-remap" | "remap" => Ok(Strategy::VirtualRemap),
-        "reroute" => Ok(Strategy::MinorReroute),
-        "compile-small" | "c-small" => Ok(Strategy::CompileSmall),
-        "c-small-reroute" | "compile-small-reroute" => Ok(Strategy::CompileSmallReroute),
-        other => Err(ArgError(format!(
-            "unknown strategy {other:?} (reload|recompile|remap|reroute|c-small|c-small-reroute)"
-        ))),
-    }
+    name.parse()
+        .map_err(|e: na_loss::ParseStrategyError| ArgError(e.to_string()))
 }
 
 fn parse_grid(spec: &str) -> Result<Grid, ArgError> {
@@ -89,6 +80,15 @@ fn common(args: &Args) -> Result<Common, ArgError> {
     })
 }
 
+/// The engine for a sweep-shaped command: `--workers N`, default all
+/// cores.
+fn engine(args: &Args) -> Result<Engine, ArgError> {
+    Ok(match args.get("workers") {
+        None => Engine::new(),
+        Some(_) => Engine::with_workers(args.parse_or("workers", 0usize)?),
+    })
+}
+
 fn compile_common(c: &Common) -> Result<CompiledCircuit, Box<dyn Error>> {
     let program = c.benchmark.generate(c.size, c.seed);
     let compiled = compile(&program, &c.grid, &c.config)?;
@@ -119,11 +119,16 @@ pub fn compile_cmd(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `natoms sweep`
+/// `natoms sweep` — the MID sweep, fanned across cores by the engine.
 pub fn sweep_cmd(args: &Args) -> CmdResult {
     let c = common(args)?;
+    let default_mids = na_engine::paper::paper_mids()
+        .iter()
+        .map(f64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
     let mids: Vec<f64> = args
-        .get_or("mids", "1,2,3,5,8,13")
+        .get_or("mids", &default_mids)
         .split(',')
         .map(|s| {
             s.trim()
@@ -131,17 +136,40 @@ pub fn sweep_cmd(args: &Args) -> CmdResult {
                 .map_err(|_| ArgError(format!("bad MID {s:?}")))
         })
         .collect::<Result<_, _>>()?;
-    println!("{:>6} {:>8} {:>7} {:>7}", "MID", "gates", "swaps", "depth");
+
+    let mut spec = ExperimentSpec::new("cli-sweep", c.grid.clone());
     for &mid in &mids {
         let mut cfg = c.config;
         cfg.mid = mid;
         if mid * mid < 2.0 {
             cfg = cfg.with_native_multiqubit(false);
         }
-        let program = c.benchmark.generate(c.size, c.seed);
-        let compiled = compile(&program, &c.grid, &cfg)?;
-        let m = compiled.metrics();
-        println!("{mid:>6} {:>8} {:>7} {:>7}", m.total_gates(), m.swaps, m.depth);
+        spec.push(c.benchmark, c.size, c.seed, cfg, Task::Compile);
+    }
+    let records = engine(args)?.run(&spec);
+
+    if args.flag("jsonl") {
+        na_engine::write_records(&records, &mut JsonlSink::stdout());
+        return Ok(());
+    }
+
+    println!("{:>6} {:>8} {:>7} {:>7}", "MID", "gates", "swaps", "depth");
+    for r in &records {
+        match &r.outcome {
+            Outcome::Compiled { metrics: m, .. } => {
+                println!(
+                    "{:>6} {:>8} {:>7} {:>7}",
+                    r.mid,
+                    m.total_gates(),
+                    m.swaps,
+                    m.depth
+                );
+            }
+            Outcome::Failed { error, .. } => {
+                return Err(Box::new(ArgError(format!("MID {}: {error}", r.mid))))
+            }
+            other => unreachable!("compile task returned {other:?}"),
+        }
     }
     Ok(())
 }
@@ -152,8 +180,14 @@ pub fn success_cmd(args: &Args) -> CmdResult {
     let error: f64 = args.parse_or("error", 1e-3)?;
     let compiled = compile_common(&c)?;
     let na = success_probability(&compiled, &NoiseParams::neutral_atom(error));
-    println!("NA  MID {}: success {:.4} (gates {:.4}, coherence {:.6}, {:.1} us/shot)",
-        c.config.mid, na.probability(), na.gate_success, na.coherence, na.duration * 1e6);
+    println!(
+        "NA  MID {}: success {:.4} (gates {:.4}, coherence {:.6}, {:.1} us/shot)",
+        c.config.mid,
+        na.probability(),
+        na.gate_success,
+        na.coherence,
+        na.duration * 1e6
+    );
 
     let sc_cfg = CompilerConfig::new(1.0)
         .with_native_multiqubit(false)
@@ -161,8 +195,13 @@ pub fn success_cmd(args: &Args) -> CmdResult {
     let program = c.benchmark.generate(c.size, c.seed);
     let sc_compiled = compile(&program, &c.grid, &sc_cfg)?;
     let sc = success_probability(&sc_compiled, &NoiseParams::superconducting(error));
-    println!("SC  MID 1: success {:.4} (gates {:.4}, coherence {:.6}, {:.1} us/shot)",
-        sc.probability(), sc.gate_success, sc.coherence, sc.duration * 1e6);
+    println!(
+        "SC  MID 1: success {:.4} (gates {:.4}, coherence {:.6}, {:.1} us/shot)",
+        sc.probability(),
+        sc.gate_success,
+        sc.coherence,
+        sc.duration * 1e6
+    );
     Ok(())
 }
 
@@ -190,45 +229,92 @@ pub fn tolerance_cmd(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `natoms campaign`
+/// `natoms campaign` — one or more Monte-Carlo campaigns through the
+/// engine. `--campaigns N` runs N independent replicas (seeds derived
+/// from `--seed`) in parallel and reports each plus the aggregate.
 pub fn campaign_cmd(args: &Args) -> CmdResult {
     let c = common(args)?;
     let strategy = parse_strategy(args.get_or("strategy", "c-small-reroute"))?;
     let shots: u32 = args.parse_or("shots", 500)?;
     let error: f64 = args.parse_or("error", 0.035)?;
     let factor: f64 = args.parse_or("loss-factor", 1.0)?;
-    let mut cfg = CampaignConfig::new(c.config.mid, strategy)
-        .with_target(ShotTarget::Attempts(shots))
-        .with_two_qubit_error(error)
-        .with_seed(c.seed);
-    if args.flag("timeline") {
-        cfg = cfg.with_timeline();
+    let campaigns: u32 = args.parse_or("campaigns", 1u32)?;
+    if campaigns == 0 {
+        return Err(Box::new(ArgError("--campaigns must be at least 1".into())));
     }
-    let loss = LossModel::new(c.seed).with_improvement_factor(factor);
-    let program = c.benchmark.generate(c.size, c.seed);
-    let result = run_campaign(&program, &c.grid, loss, &cfg)?;
-    println!(
-        "{} shots: {} successful, {} lost to atom loss, {} to noise",
-        result.shots_attempted,
-        result.shots_successful,
-        result.discarded_by_loss,
-        result.failed_by_noise
-    );
-    let l = &result.ledger;
-    println!(
-        "overhead {:.2} s (reload {:.2} s x{}, fluorescence {:.2} s, remap/fixup/recompile {:.4} s)",
-        l.overhead_time(),
-        l.reload_time,
-        l.reloads,
-        l.fluorescence_time,
-        l.remap_time + l.fixup_time + l.recompile_time
-    );
-    println!(
-        "mean successful shots per reload interval: {:.1}",
-        result.mean_shots_before_reload()
-    );
-    if args.flag("timeline") {
-        println!("\n{}", render_timeline(&result.timeline));
+
+    let mut spec = ExperimentSpec::new("cli-campaign", c.grid.clone());
+    for i in 0..campaigns {
+        let replica_seed = if i == 0 {
+            c.seed
+        } else {
+            derive_seed(c.seed, u64::from(i))
+        };
+        let mut cfg = CampaignConfig::new(c.config.mid, strategy)
+            .with_target(ShotTarget::Attempts(shots))
+            .with_two_qubit_error(error)
+            .with_seed(replica_seed);
+        if args.flag("timeline") {
+            cfg = cfg.with_timeline();
+        }
+        spec.push(
+            c.benchmark,
+            c.size,
+            c.seed,
+            c.config,
+            Task::Campaign {
+                config: cfg,
+                loss: LossSpec::new(replica_seed).with_improvement_factor(factor),
+            },
+        );
+    }
+    let records = engine(args)?.run(&spec);
+
+    if args.flag("jsonl") {
+        na_engine::write_records(&records, &mut JsonlSink::stdout());
+        return Ok(());
+    }
+
+    let mut mean_shots = Vec::new();
+    for r in &records {
+        let result = match &r.outcome {
+            Outcome::Campaign(result) => result,
+            Outcome::Failed { error, .. } => return Err(Box::new(ArgError(error.clone()))),
+            other => unreachable!("campaign task returned {other:?}"),
+        };
+        if campaigns > 1 {
+            print!("[replica {}] ", r.id);
+        }
+        println!(
+            "{} shots: {} successful, {} lost to atom loss, {} to noise",
+            result.shots_attempted,
+            result.shots_successful,
+            result.discarded_by_loss,
+            result.failed_by_noise
+        );
+        let l = &result.ledger;
+        println!(
+            "overhead {:.2} s (reload {:.2} s x{}, fluorescence {:.2} s, remap/fixup/recompile {:.4} s)",
+            l.overhead_time(),
+            l.reload_time,
+            l.reloads,
+            l.fluorescence_time,
+            l.remap_time + l.fixup_time + l.recompile_time
+        );
+        println!(
+            "mean successful shots per reload interval: {:.1}",
+            result.mean_shots_before_reload()
+        );
+        mean_shots.push(result.mean_shots_before_reload());
+        if args.flag("timeline") {
+            println!("\n{}", render_timeline(&result.timeline));
+        }
+    }
+    if campaigns > 1 {
+        let mean = mean_shots.iter().sum::<f64>() / mean_shots.len() as f64;
+        println!(
+            "aggregate over {campaigns} campaigns: {mean:.1} successful shots per reload interval"
+        );
     }
     Ok(())
 }
@@ -252,6 +338,10 @@ pub fn reload_time_cmd(args: &Args) -> CmdResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
 
     #[test]
     fn benchmark_names_parse() {
@@ -280,45 +370,83 @@ mod tests {
 
     #[test]
     fn compile_command_runs() {
-        let args = Args::parse(
-            ["compile", "--benchmark", "qaoa", "--size", "12", "--mid", "2"]
-                .iter()
-                .map(|s| s.to_string()),
-        )
-        .unwrap();
+        let args = parse(&[
+            "compile",
+            "--benchmark",
+            "qaoa",
+            "--size",
+            "12",
+            "--mid",
+            "2",
+        ]);
         compile_cmd(&args).unwrap();
     }
 
     #[test]
     fn sweep_command_runs() {
-        let args = Args::parse(
-            ["sweep", "--benchmark", "bv", "--size", "12", "--mids", "1,3"]
-                .iter()
-                .map(|s| s.to_string()),
-        )
-        .unwrap();
+        let args = parse(&[
+            "sweep",
+            "--benchmark",
+            "bv",
+            "--size",
+            "12",
+            "--mids",
+            "1,3",
+        ]);
+        sweep_cmd(&args).unwrap();
+    }
+
+    #[test]
+    fn sweep_command_runs_through_engine_workers() {
+        let args = parse(&[
+            "sweep",
+            "--benchmark",
+            "bv",
+            "--size",
+            "12",
+            "--mids",
+            "1,2,3",
+            "--workers",
+            "4",
+        ]);
         sweep_cmd(&args).unwrap();
     }
 
     #[test]
     fn campaign_command_runs() {
-        let args = Args::parse(
-            ["campaign", "--size", "12", "--shots", "20", "--strategy", "remap"]
-                .iter()
-                .map(|s| s.to_string()),
-        )
-        .unwrap();
+        let args = parse(&[
+            "campaign",
+            "--size",
+            "12",
+            "--shots",
+            "20",
+            "--strategy",
+            "remap",
+        ]);
+        campaign_cmd(&args).unwrap();
+    }
+
+    #[test]
+    fn campaign_replicas_run_in_parallel() {
+        let args = parse(&[
+            "campaign",
+            "--size",
+            "12",
+            "--shots",
+            "20",
+            "--strategy",
+            "remap",
+            "--campaigns",
+            "3",
+            "--workers",
+            "3",
+        ]);
         campaign_cmd(&args).unwrap();
     }
 
     #[test]
     fn tolerance_rejects_unsupported_mid() {
-        let args = Args::parse(
-            ["tolerance", "--mid", "2", "--strategy", "c-small"]
-                .iter()
-                .map(|s| s.to_string()),
-        )
-        .unwrap();
+        let args = parse(&["tolerance", "--mid", "2", "--strategy", "c-small"]);
         assert!(tolerance_cmd(&args).is_err());
     }
 }

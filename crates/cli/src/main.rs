@@ -2,13 +2,17 @@
 //!
 //! ```console
 //! natoms compile  --benchmark qaoa --size 30 --mid 3 [--no-native] [--no-zones] [--qasm]
-//! natoms sweep    --benchmark bv --max-size 100 --mids 1,2,3,5,13
+//! natoms sweep    --benchmark bv --size 100 --mids 1,2,3,5,13 [--workers 8] [--jsonl]
 //! natoms success  --benchmark cuccaro --size 50 --mid 3 --error 1e-3
 //! natoms tolerance --benchmark cnu --size 30 --mid 4 --strategy reroute --trials 10
 //! natoms campaign --benchmark cnu --size 30 --mid 4 --strategy c-small-reroute \
-//!                 --shots 500 --error 0.035 --loss-factor 1 [--timeline]
+//!                 --shots 500 --error 0.035 --loss-factor 1 \
+//!                 [--campaigns 8] [--workers 8] [--jsonl] [--timeline]
 //! natoms reload-time --width 10 --height 10 --margin 3 --trials 10
 //! ```
+//!
+//! `sweep` and `campaign` run through the `na-engine` worker pool;
+//! results are identical at any `--workers` value.
 
 mod args;
 mod commands;
@@ -37,6 +41,11 @@ COMMON OPTIONS:
   --seed N          RNG seed                    (default 0)
   --no-native       lower Toffolis to 2q gates
   --no-zones        disable restriction zones
+
+ENGINE OPTIONS (sweep, campaign):
+  --workers N       worker threads              (default: all cores)
+  --jsonl           emit structured JSON-lines rows
+  --campaigns N     parallel campaign replicas  (campaign only)
 
 Run `natoms <SUBCOMMAND> --help` fields in the README for the full list.";
 

@@ -234,10 +234,16 @@ impl fmt::Display for VerifyError {
                 write!(f, "gate {gate} scheduled {times} times")
             }
             VerifyError::SiteMismatch { time, gate } => {
-                write!(f, "op at t={time} (gate {gate:?}) disagrees with the mapping replay")
+                write!(
+                    f,
+                    "op at t={time} (gate {gate:?}) disagrees with the mapping replay"
+                )
             }
             VerifyError::OutOfRange { time, span } => {
-                write!(f, "op at t={time} spans {span}, beyond the interaction distance")
+                write!(
+                    f,
+                    "op at t={time} spans {span}, beyond the interaction distance"
+                )
             }
             VerifyError::ZoneConflict { time } => {
                 write!(f, "restriction zones overlap at t={time}")

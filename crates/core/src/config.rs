@@ -97,6 +97,28 @@ impl CompilerConfig {
         self.lookahead_depth = layers;
         self
     }
+
+    /// A stable 64-bit fingerprint of every field that influences
+    /// compilation output. Two configs with equal fingerprints produce
+    /// identical schedules for the same circuit and grid; the
+    /// experiment engine keys its memoized compilation cache on this.
+    pub fn fingerprint(&self) -> u64 {
+        use na_circuit::fingerprint::fnv1a_extend;
+        let restriction_words: (u64, u64) = match self.restriction {
+            RestrictionPolicy::None => (0, 0),
+            RestrictionPolicy::HalfDistance => (1, 0),
+            RestrictionPolicy::FullDistance => (2, 0),
+            RestrictionPolicy::Constant(c) => (3, c.to_bits()),
+        };
+        let mut h = fnv1a_extend(0xcbf2_9ce4_8422_2325, self.mid.to_bits());
+        h = fnv1a_extend(h, restriction_words.0);
+        h = fnv1a_extend(h, restriction_words.1);
+        h = fnv1a_extend(h, u64::from(self.native_multiqubit));
+        h = fnv1a_extend(h, self.max_native_arity as u64);
+        h = fnv1a_extend(h, self.lookahead_depth as u64);
+        h = fnv1a_extend(h, self.max_steps_per_gate as u64);
+        h
+    }
 }
 
 impl Default for CompilerConfig {
@@ -139,16 +161,25 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::ProgramTooLarge { program, usable } => {
-                write!(f, "program needs {program} qubits but only {usable} atoms are usable")
+                write!(
+                    f,
+                    "program needs {program} qubits but only {usable} atoms are usable"
+                )
             }
             CompileError::Disconnected => {
-                write!(f, "interaction graph is disconnected at this interaction distance")
+                write!(
+                    f,
+                    "interaction graph is disconnected at this interaction distance"
+                )
             }
             CompileError::RoutingStuck { steps } => {
                 write!(f, "router made no progress after {steps} timesteps")
             }
             CompileError::UnroutableGate { arity } => {
-                write!(f, "no placement can bring a {arity}-qubit gate within interaction distance")
+                write!(
+                    f,
+                    "no placement can bring a {arity}-qubit gate within interaction distance"
+                )
             }
         }
     }
@@ -188,10 +219,19 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = CompileError::ProgramTooLarge { program: 30, usable: 20 };
+        let e = CompileError::ProgramTooLarge {
+            program: 30,
+            usable: 20,
+        };
         assert!(e.to_string().contains("30"));
-        assert!(CompileError::Disconnected.to_string().contains("disconnected"));
-        assert!(CompileError::RoutingStuck { steps: 9 }.to_string().contains('9'));
-        assert!(CompileError::UnroutableGate { arity: 3 }.to_string().contains('3'));
+        assert!(CompileError::Disconnected
+            .to_string()
+            .contains("disconnected"));
+        assert!(CompileError::RoutingStuck { steps: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(CompileError::UnroutableGate { arity: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

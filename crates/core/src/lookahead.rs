@@ -149,10 +149,7 @@ mod tests {
 
     #[test]
     fn deeper_gates_decay_exponentially() {
-        let w = weights_of(&[
-            (vec![Qubit(0), Qubit(1)], 0),
-            (vec![Qubit(0), Qubit(2)], 3),
-        ]);
+        let w = weights_of(&[(vec![Qubit(0), Qubit(1)], 0), (vec![Qubit(0), Qubit(2)], 3)]);
         let near = w.weight(Qubit(0), Qubit(1));
         let far = w.weight(Qubit(0), Qubit(2));
         assert!((far - (-3.0f64).exp()).abs() < 1e-12);
@@ -161,10 +158,7 @@ mod tests {
 
     #[test]
     fn repeated_interactions_accumulate() {
-        let w = weights_of(&[
-            (vec![Qubit(0), Qubit(1)], 0),
-            (vec![Qubit(0), Qubit(1)], 1),
-        ]);
+        let w = weights_of(&[(vec![Qubit(0), Qubit(1)], 0), (vec![Qubit(0), Qubit(1)], 1)]);
         let expected = 1.0 + (-1.0f64).exp();
         assert!((w.weight(Qubit(0), Qubit(1)) - expected).abs() < 1e-12);
     }
@@ -179,30 +173,21 @@ mod tests {
 
     #[test]
     fn lookahead_window_truncates() {
-        let w = InteractionWeights::from_layered_gates(
-            2,
-            [(&[Qubit(0), Qubit(1)][..], 10usize)],
-            5,
-        );
+        let w =
+            InteractionWeights::from_layered_gates(2, [(&[Qubit(0), Qubit(1)][..], 10usize)], 5);
         assert_eq!(w.weight(Qubit(0), Qubit(1)), 0.0);
         assert!(w.heaviest_pair().is_none());
     }
 
     #[test]
     fn heaviest_pair_picks_max() {
-        let w = weights_of(&[
-            (vec![Qubit(0), Qubit(1)], 2),
-            (vec![Qubit(2), Qubit(3)], 0),
-        ]);
+        let w = weights_of(&[(vec![Qubit(0), Qubit(1)], 2), (vec![Qubit(2), Qubit(3)], 0)]);
         assert_eq!(w.heaviest_pair(), Some((Qubit(2), Qubit(3))));
     }
 
     #[test]
     fn weight_to_mapped_filters() {
-        let w = weights_of(&[
-            (vec![Qubit(0), Qubit(1)], 0),
-            (vec![Qubit(0), Qubit(2)], 0),
-        ]);
+        let w = weights_of(&[(vec![Qubit(0), Qubit(1)], 0), (vec![Qubit(0), Qubit(2)], 0)]);
         let only_q1 = w.weight_to_mapped(Qubit(0), |q| q == Qubit(1));
         assert!((only_q1 - 1.0).abs() < 1e-12);
         let both = w.weight_to_mapped(Qubit(0), |_| true);
@@ -211,11 +196,8 @@ mod tests {
 
     #[test]
     fn active_qubits_excludes_loners() {
-        let w = InteractionWeights::from_layered_gates(
-            4,
-            [(&[Qubit(1), Qubit(3)][..], 0usize)],
-            20,
-        );
+        let w =
+            InteractionWeights::from_layered_gates(4, [(&[Qubit(1), Qubit(3)][..], 0usize)], 20);
         assert_eq!(w.active_qubits(), vec![Qubit(1), Qubit(3)]);
     }
 }

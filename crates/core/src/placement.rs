@@ -40,8 +40,7 @@ pub fn initial_placement(
 
     // Seed: heaviest pair adjacent at the device center.
     if let Some((u0, v0)) = weights.heaviest_pair() {
-        let s0 = nearest_free_site(grid, &map, center)
-            .expect("usable capacity checked above");
+        let s0 = nearest_free_site(grid, &map, center).expect("usable capacity checked above");
         map.assign(u0, s0);
         let s1 = nearest_free_site(grid, &map, s0).expect("capacity");
         map.assign(v0, s1);

@@ -178,13 +178,9 @@ pub fn meeting_point(operands: &[Qubit], map: &QubitMap, grid: &Grid) -> Site {
         .collect();
     let mut best: Option<(f64, Site)> = None;
     for m in grid.usable_sites() {
-        let worst = sites
-            .iter()
-            .map(|s| s.distance(m))
-            .fold(0.0f64, f64::max);
-        if best.is_none_or(|(bw, bs)| {
-            worst + 1e-12 < bw || ((worst - bw).abs() <= 1e-12 && m < bs)
-        }) {
+        let worst = sites.iter().map(|s| s.distance(m)).fold(0.0f64, f64::max);
+        if best.is_none_or(|(bw, bs)| worst + 1e-12 < bw || ((worst - bw).abs() <= 1e-12 && m < bs))
+        {
             best = Some((worst, m));
         }
     }
@@ -195,13 +191,7 @@ pub fn meeting_point(operands: &[Qubit], map: &QubitMap, grid: &Grid) -> Site {
 /// avoiding `blocked` sites as destinations. Returns the next site on
 /// a shortest hop path, or `None` if `goal` is unreachable or `from`
 /// is already at `goal`.
-pub fn forced_hop(
-    grid: &Grid,
-    from: Site,
-    goal: Site,
-    mid: f64,
-    blocked: &[Site],
-) -> Option<Site> {
+pub fn forced_hop(grid: &Grid, from: Site, goal: Site, mid: f64, blocked: &[Site]) -> Option<Site> {
     if from == goal {
         return None;
     }
@@ -379,7 +369,10 @@ mod tests {
         let goal = Site::new(5, 0);
         let hop = forced_hop(&grid, from, goal, 2.0, &[]).unwrap();
         assert!(from.within(hop, 2.0), "hop within MID");
-        assert!(hop.distance(goal) < from.distance(goal), "hop makes progress");
+        assert!(
+            hop.distance(goal) < from.distance(goal),
+            "hop makes progress"
+        );
     }
 
     #[test]

@@ -86,7 +86,9 @@ pub(crate) fn run(
 
     while !frontier.is_done() {
         if time as usize > step_budget {
-            return Err(CompileError::RoutingStuck { steps: time as usize });
+            return Err(CompileError::RoutingStuck {
+                steps: time as usize,
+            });
         }
         let ready: Vec<GateId> = frontier.ready().to_vec();
         let mut zones: Vec<RestrictionZone> = Vec::new();
@@ -145,8 +147,7 @@ pub(crate) fn run(
                 // In range but zone-blocked: just wait.
                 continue;
             }
-            let Some(mv) = best_swap_for_gate(&operands, &map, grid, &weights, config.mid)
-            else {
+            let Some(mv) = best_swap_for_gate(&operands, &map, grid, &weights, config.mid) else {
                 continue;
             };
             let zone = RestrictionZone::for_gate(&[mv.from, mv.to], config.restriction);
@@ -229,8 +230,7 @@ fn forced_move(
     // usable non-operand site if an operand already sits there.
     let m = meeting_point(operands, map, grid);
     let goal = if op_sites.contains(&m) {
-        nearest_usable_excluding(grid, m, &op_sites)
-            .ok_or(CompileError::Disconnected)?
+        nearest_usable_excluding(grid, m, &op_sites).ok_or(CompileError::Disconnected)?
     } else {
         m
     };
@@ -269,11 +269,7 @@ mod tests {
     use crate::placement::initial_placement;
     use na_circuit::Circuit;
 
-    fn schedule_circuit(
-        circuit: &Circuit,
-        grid: &Grid,
-        config: &CompilerConfig,
-    ) -> ScheduleResult {
+    fn schedule_circuit(circuit: &Circuit, grid: &Grid, config: &CompilerConfig) -> ScheduleResult {
         let dag = circuit.dag();
         let frontier = dag.frontier();
         let w = frontier_weights(circuit, &frontier, config.lookahead_depth);
@@ -296,7 +292,10 @@ mod tests {
                 seen[i] += 1;
             }
         }
-        assert!(seen.iter().all(|&n| n == 1), "each gate exactly once: {seen:?}");
+        assert!(
+            seen.iter().all(|&n| n == 1),
+            "each gate exactly once: {seen:?}"
+        );
     }
 
     #[test]

@@ -1,131 +1,133 @@
-//! Property-based compiler fuzzing: random circuits at random MIDs on
-//! randomly damaged grids must always compile to verifiable schedules
-//! (or fail with a declared `CompileError`) — never panic, never emit
-//! an invalid schedule.
+//! Seeded compiler fuzzing: random circuits at random MIDs on randomly
+//! damaged grids must always compile to verifiable schedules (or fail
+//! with a declared `CompileError`) — never panic, never emit an
+//! invalid schedule.
+//!
+//! (Originally written with `proptest`, which is unavailable offline;
+//! rewritten as deterministic seeded fuzzing over the vendored `rand`.)
 
 use na_arch::{Grid, RestrictionPolicy, Site};
 use na_circuit::{Circuit, Qubit};
 use na_core::{compile, verify, CompilerConfig};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-#[derive(Debug, Clone)]
-enum GateSpec {
-    OneQ(u32),
-    TwoQ(u32, u32),
-    ThreeQ(u32, u32, u32),
-}
-
-fn arb_program(max_qubits: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    (3..=max_qubits, 1..max_gates).prop_flat_map(move |(n, g)| {
-        proptest::collection::vec(
-            prop_oneof![
-                (0..n).prop_map(GateSpec::OneQ),
-                (0..n, 0..n).prop_map(|(a, b)| GateSpec::TwoQ(a, b)),
-                (0..n, 0..n, 0..n).prop_map(|(a, b, c)| GateSpec::ThreeQ(a, b, c)),
-            ],
-            g,
-        )
-        .prop_map(move |specs| {
-            let mut circuit = Circuit::new(n);
-            for spec in specs {
-                match spec {
-                    GateSpec::OneQ(q) => {
-                        circuit.h(Qubit(q));
-                    }
-                    GateSpec::TwoQ(a, b) if a != b => {
-                        circuit.cnot(Qubit(a), Qubit(b));
-                    }
-                    GateSpec::TwoQ(a, _) => {
-                        circuit.x(Qubit(a));
-                    }
-                    GateSpec::ThreeQ(a, b, c) if a != b && b != c && a != c => {
-                        circuit.toffoli(Qubit(a), Qubit(b), Qubit(c));
-                    }
-                    GateSpec::ThreeQ(a, ..) => {
-                        circuit.t(Qubit(a));
-                    }
+/// A random program over at most `max_qubits` qubits and `max_gates`
+/// gates, mixing 1-, 2-, and 3-qubit gates.
+fn random_program(rng: &mut StdRng, max_qubits: u32, max_gates: usize) -> Circuit {
+    let n = rng.gen_range(3..=max_qubits);
+    let g = rng.gen_range(1..max_gates);
+    let mut circuit = Circuit::new(n);
+    for _ in 0..g {
+        match rng.gen_range(0..3u32) {
+            0 => {
+                circuit.h(Qubit(rng.gen_range(0..n)));
+            }
+            1 => {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a != b {
+                    circuit.cnot(Qubit(a), Qubit(b));
+                } else {
+                    circuit.x(Qubit(a));
                 }
             }
-            circuit
-        })
-    })
+            _ => {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                let c = rng.gen_range(0..n);
+                if a != b && b != c && a != c {
+                    circuit.toffoli(Qubit(a), Qubit(b), Qubit(c));
+                } else {
+                    circuit.t(Qubit(a));
+                }
+            }
+        }
+    }
+    circuit
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_programs_compile_and_verify(
-        program in arb_program(10, 40),
-        mid_x2 in 3u32..12,          // MID in [1.5, 6.0] steps of 0.5
-        zones in prop_oneof![Just(RestrictionPolicy::HalfDistance),
-                             Just(RestrictionPolicy::None),
-                             Just(RestrictionPolicy::FullDistance)],
-        native in any::<bool>(),
-    ) {
+#[test]
+fn random_programs_compile_and_verify() {
+    let mut rng = StdRng::seed_from_u64(2021);
+    let zone_choices = [
+        RestrictionPolicy::HalfDistance,
+        RestrictionPolicy::None,
+        RestrictionPolicy::FullDistance,
+    ];
+    for case in 0..48u64 {
+        let program = random_program(&mut rng, 10, 40);
+        let mid = f64::from(rng.gen_range(3u32..12)) / 2.0; // MID in [1.5, 6.0]
+        let zones = zone_choices[rng.gen_range(0..zone_choices.len())];
+        let native = rng.gen_bool(0.5);
         let grid = Grid::new(6, 6);
-        let cfg = CompilerConfig::new(f64::from(mid_x2) / 2.0)
+        let cfg = CompilerConfig::new(mid)
             .with_restriction(zones)
             .with_native_multiqubit(native);
         match compile(&program, &grid, &cfg) {
-            Ok(compiled) => verify(&compiled, &grid).expect("schedule must verify"),
+            Ok(compiled) => verify(&compiled, &grid)
+                .unwrap_or_else(|e| panic!("case {case}: schedule must verify: {e}")),
             Err(e) => {
                 // Only declared failure modes are acceptable here.
-                prop_assert!(
+                assert!(
                     matches!(e, na_core::CompileError::UnroutableGate { .. }),
-                    "unexpected compile error: {e}"
+                    "case {case}: unexpected compile error: {e}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn random_programs_on_damaged_grids(
-        program in arb_program(8, 25),
-        holes in proptest::collection::hash_set((0i32..6, 0i32..6), 0..8),
-    ) {
+#[test]
+fn random_programs_on_damaged_grids() {
+    let mut rng = StdRng::seed_from_u64(1337);
+    for case in 0..48u64 {
+        let program = random_program(&mut rng, 8, 25);
         let mut grid = Grid::new(6, 6);
-        for (x, y) in holes {
-            grid.remove_atom(Site::new(x, y));
+        for _ in 0..rng.gen_range(0..8usize) {
+            grid.remove_atom(Site::new(rng.gen_range(0..6i32), rng.gen_range(0..6i32)));
         }
         let cfg = CompilerConfig::new(2.0);
         match compile(&program, &grid, &cfg) {
             Ok(compiled) => {
-                verify(&compiled, &grid).expect("schedule must verify");
+                verify(&compiled, &grid)
+                    .unwrap_or_else(|e| panic!("case {case}: schedule must verify: {e}"));
                 for op in compiled.ops() {
                     for s in &op.sites {
-                        prop_assert!(grid.is_usable(*s), "op on hole {s}");
+                        assert!(grid.is_usable(*s), "case {case}: op on hole {s}");
                     }
                 }
             }
             Err(e) => {
-                prop_assert!(
+                assert!(
                     matches!(
                         e,
                         na_core::CompileError::ProgramTooLarge { .. }
                             | na_core::CompileError::Disconnected
                             | na_core::CompileError::UnroutableGate { .. }
                     ),
-                    "unexpected compile error: {e}"
+                    "case {case}: unexpected compile error: {e}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn swap_count_never_exceeds_budgeted_bound(
-        program in arb_program(8, 30),
-    ) {
-        // A loose sanity bound: routing a gate across a 6x6 grid at MID
-        // 1 needs at most ~10 SWAPs, so total SWAPs stay within a
-        // small multiple of the gate count.
+#[test]
+fn swap_count_never_exceeds_budgeted_bound() {
+    // A loose sanity bound: routing a gate across a 6x6 grid at MID 1
+    // needs at most ~10 SWAPs, so total SWAPs stay within a small
+    // multiple of the gate count.
+    let mut rng = StdRng::seed_from_u64(4242);
+    for case in 0..32u64 {
+        let program = random_program(&mut rng, 8, 30);
         let grid = Grid::new(6, 6);
         let cfg = CompilerConfig::new(1.0).with_native_multiqubit(false);
         let compiled = compile(&program, &grid, &cfg).expect("compiles");
         let m = compiled.metrics();
-        prop_assert!(
+        assert!(
             m.swaps <= 12 * m.program_gates + 12,
-            "absurd swap count: {} swaps for {} gates",
+            "case {case}: absurd swap count: {} swaps for {} gates",
             m.swaps,
             m.program_gates
         );

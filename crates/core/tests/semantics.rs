@@ -139,7 +139,10 @@ fn zone_scheduling_preserves_semantics() {
     program.cz(Qubit(1), Qubit(4));
     program.cphase(Qubit(0), Qubit(5), 0.9);
     let grid = Grid::new(4, 4);
-    for policy in [RestrictionPolicy::HalfDistance, RestrictionPolicy::FullDistance] {
+    for policy in [
+        RestrictionPolicy::HalfDistance,
+        RestrictionPolicy::FullDistance,
+    ] {
         let cfg = CompilerConfig::new(2.0)
             .with_native_multiqubit(false)
             .with_restriction(policy);

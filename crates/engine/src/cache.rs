@@ -1,0 +1,218 @@
+//! The memoized compilation cache.
+//!
+//! Monte-Carlo campaigns and noise sweeps evaluate many experiment
+//! points that share one `(circuit, grid, config)` compilation — e.g.
+//! Fig. 8 prices every compiled size at nine error rates, and Fig. 3's
+//! BV series re-reads the counts its savings table already computed.
+//! The cache compiles each distinct point once and hands out shared
+//! [`Arc`]s, with hit/miss counters so harnesses (and the acceptance
+//! tests) can prove reuse happened.
+//!
+//! Keys are *structural*: stable FNV-1a fingerprints of the circuit
+//! ([`na_circuit::Circuit::fingerprint`]), the grid hole pattern
+//! ([`na_arch::Grid::fingerprint`]), and every compilation-relevant
+//! config field ([`na_core::CompilerConfig::fingerprint`]) — so two
+//! sweep points that *describe* the same compilation share an entry
+//! even if they were built independently.
+//!
+//! Concurrency: one `OnceLock` per key. The first thread to claim a
+//! key runs the compiler; any thread arriving while compilation is in
+//! flight blocks on that entry only (never on other keys) and then
+//! shares the result. Failed compilations are cached too — a sweep
+//! with many unroutable points pays for the failure once.
+
+use na_arch::Grid;
+use na_circuit::Circuit;
+use na_core::{compile, CompileError, CompiledCircuit, CompilerConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Cache key: the three structural fingerprints of a compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`Circuit::fingerprint`] of the source program.
+    pub circuit: u64,
+    /// [`Grid::fingerprint`] of the device.
+    pub grid: u64,
+    /// [`CompilerConfig::fingerprint`] of the configuration.
+    pub config: u64,
+}
+
+impl CacheKey {
+    /// The key for one compilation point.
+    pub fn for_point(circuit: &Circuit, grid: &Grid, config: &CompilerConfig) -> Self {
+        CacheKey {
+            circuit: circuit.fingerprint(),
+            grid: grid.fingerprint(),
+            config: config.fingerprint(),
+        }
+    }
+}
+
+type Entry = Arc<OnceLock<Result<Arc<CompiledCircuit>, CompileError>>>;
+
+/// Hit/miss counters and current size of a [`CompileCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from an existing entry.
+    pub hits: u64,
+    /// Lookups that ran the compiler.
+    pub misses: u64,
+    /// Distinct compilation points currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A thread-safe memoized compilation cache. See the module docs.
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    entries: Mutex<HashMap<CacheKey, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CompileCache::default()
+    }
+
+    /// Compiles `circuit` on `grid` under `config`, or returns the
+    /// shared artifact if an identical point was compiled before.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the (cached) [`CompileError`] of the point.
+    pub fn get_or_compile(
+        &self,
+        circuit: &Circuit,
+        grid: &Grid,
+        config: &CompilerConfig,
+    ) -> Result<Arc<CompiledCircuit>, CompileError> {
+        let key = CacheKey::for_point(circuit, grid, config);
+        let entry: Entry = {
+            let mut map = self.entries.lock().expect("cache lock");
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut ran_compiler = false;
+        let result = entry.get_or_init(|| {
+            ran_compiler = true;
+            compile(circuit, grid, config).map(Arc::new)
+        });
+        if ran_compiler {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Current counters and size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("cache lock").len(),
+        }
+    }
+
+    /// Drops all entries and zeroes the counters.
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache lock").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use na_benchmarks::Benchmark;
+
+    #[test]
+    fn repeated_points_hit() {
+        let cache = CompileCache::new();
+        let grid = Grid::new(6, 6);
+        let cfg = CompilerConfig::new(3.0);
+        let c = Benchmark::Bv.generate(8, 0);
+        let a = cache.get_or_compile(&c, &grid, &cfg).unwrap();
+        let b = cache.get_or_compile(&c, &grid, &cfg).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must share the artifact");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn structurally_equal_circuits_share_an_entry() {
+        let cache = CompileCache::new();
+        let grid = Grid::new(6, 6);
+        let cfg = CompilerConfig::new(3.0);
+        // Generated twice — different allocations, same structure.
+        let c1 = Benchmark::Cuccaro.generate(10, 0);
+        let c2 = Benchmark::Cuccaro.generate(10, 0);
+        cache.get_or_compile(&c1, &grid, &cfg).unwrap();
+        cache.get_or_compile(&c2, &grid, &cfg).unwrap();
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn any_field_change_misses() {
+        let cache = CompileCache::new();
+        let grid = Grid::new(6, 6);
+        let c = Benchmark::Bv.generate(8, 0);
+        cache
+            .get_or_compile(&c, &grid, &CompilerConfig::new(3.0))
+            .unwrap();
+        cache
+            .get_or_compile(&c, &grid, &CompilerConfig::new(4.0))
+            .unwrap();
+        let mut holey = grid.clone();
+        holey.remove_atom(na_arch::Site::new(1, 1));
+        cache
+            .get_or_compile(&c, &holey, &CompilerConfig::new(3.0))
+            .unwrap();
+        let bigger = Benchmark::Bv.generate(9, 0);
+        cache
+            .get_or_compile(&bigger, &grid, &CompilerConfig::new(3.0))
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 4, 4));
+    }
+
+    #[test]
+    fn failures_are_cached_too() {
+        let cache = CompileCache::new();
+        let grid = Grid::new(5, 5);
+        let mut c = Circuit::new(3);
+        c.toffoli(
+            na_circuit::Qubit(0),
+            na_circuit::Qubit(1),
+            na_circuit::Qubit(2),
+        );
+        let cfg = CompilerConfig::new(1.0); // native Toffoli unroutable at MID 1
+        assert!(cache.get_or_compile(&c, &grid, &cfg).is_err());
+        assert!(cache.get_or_compile(&c, &grid, &cfg).is_err());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = CompileCache::new();
+        let grid = Grid::new(6, 6);
+        let c = Benchmark::Bv.generate(8, 0);
+        cache
+            .get_or_compile(&c, &grid, &CompilerConfig::new(3.0))
+            .unwrap();
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

@@ -1,0 +1,233 @@
+//! Structured result rows.
+//!
+//! Every job produces exactly one [`RunRecord`]: flat metadata
+//! identifying the experiment point plus a typed [`Outcome`]. Records
+//! serialize to JSON lines (see [`crate::sink`]), replacing the seed's
+//! ad-hoc `println!` output with rows downstream tooling can parse.
+
+use crate::spec::{CircuitSource, Job, Task};
+use na_arch::RestrictionPolicy;
+use na_circuit::CircuitMetrics;
+use na_core::{CompileError, CompiledMetrics};
+use na_loss::CampaignResult;
+use na_noise::SuccessBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// The measured result of one job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// `Task::Compile`: metrics of the lowered source program and of
+    /// the compiled schedule.
+    Compiled {
+        /// Metrics of the lowered circuit the scheduler consumed.
+        source: CircuitMetrics,
+        /// Post-compilation metrics.
+        metrics: CompiledMetrics,
+    },
+    /// `Task::Success`: schedule metrics plus the analytic success
+    /// factors at the requested noise point.
+    Success {
+        /// Post-compilation metrics.
+        metrics: CompiledMetrics,
+        /// Gate-success / coherence / duration breakdown.
+        breakdown: SuccessBreakdown,
+    },
+    /// `Task::Crosstalk`: the serialization-vs-crosstalk trade factors.
+    Crosstalk {
+        /// Compiled depth.
+        depth: u32,
+        /// Spectator exposures in the schedule.
+        exposures: u64,
+        /// Probability of no crosstalk fault.
+        p_crosstalk: f64,
+        /// Gate-success × coherence (the standard model).
+        p_standard: f64,
+        /// Combined shot success.
+        p_combined: f64,
+    },
+    /// `Task::Tolerance`: mean ± σ of the device fraction lost before
+    /// a reload became unavoidable.
+    Tolerance {
+        /// Mean lost fraction over the trials.
+        mean: f64,
+        /// Population standard deviation.
+        std: f64,
+        /// Number of trials averaged.
+        trials: u32,
+    },
+    /// `Task::LossTrace`: `success[k]` is predicted shot success at
+    /// `k` holes; the vector ends where the strategy demanded a
+    /// reload (or at `max_holes`).
+    LossTrace {
+        /// Per-hole-count success values.
+        success: Vec<f64>,
+    },
+    /// `Task::Campaign`: the full campaign result (shot statistics,
+    /// overhead ledger, optional timeline).
+    Campaign(CampaignResult),
+    /// The job's compilation failed. Sweeps over infeasible regions
+    /// (e.g. native arity at small MIDs) read `unroutable` to render
+    /// a "-" cell instead of aborting.
+    Failed {
+        /// `true` for [`CompileError::UnroutableGate`].
+        unroutable: bool,
+        /// Human-readable error.
+        error: String,
+    },
+}
+
+impl Outcome {
+    /// Builds the failure outcome for a compile error.
+    pub fn from_error(e: &CompileError) -> Self {
+        Outcome::Failed {
+            unroutable: matches!(e, CompileError::UnroutableGate { .. }),
+            error: e.to_string(),
+        }
+    }
+
+    /// `true` if the job failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, Outcome::Failed { .. })
+    }
+}
+
+/// One result row: flat experiment-point metadata plus the [`Outcome`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Job id (row order).
+    pub id: u64,
+    /// Circuit source label (benchmark name or raw label).
+    pub benchmark: String,
+    /// Requested size budget.
+    pub size: u32,
+    /// Qubits the generated program actually uses.
+    pub actual_size: u32,
+    /// Device dimensions, `"WxH"`.
+    pub grid: String,
+    /// Device hole count at job start.
+    pub holes: usize,
+    /// Maximum interaction distance.
+    pub mid: f64,
+    /// Whether native multiqubit gates were enabled.
+    pub native: bool,
+    /// Restriction policy, rendered (`"d/2"`, `"none"`, `"d"`, `"c=2"`).
+    pub restriction: String,
+    /// Circuit-generation seed.
+    pub circuit_seed: u64,
+    /// Task kind (`"compile"`, `"success"`, …).
+    pub task: String,
+    /// The loss-coping strategy, for tasks that exercise one.
+    pub strategy: Option<String>,
+    /// The noise point's two-qubit gate success probability, for
+    /// tasks that price a schedule. Echoed into the row so harnesses
+    /// key results on the record itself rather than reconstructing
+    /// sweep coordinates from job-id arithmetic.
+    pub noise_p2: Option<f64>,
+    /// The measurement.
+    pub outcome: Outcome,
+}
+
+impl RunRecord {
+    /// Assembles the row for a finished job.
+    pub fn new(job: &Job, outcome: Outcome) -> Self {
+        let actual_size = match &job.source {
+            CircuitSource::Bench(b) => b.actual_size(job.size),
+            CircuitSource::Raw { circuit, .. } => circuit.num_qubits(),
+        };
+        let strategy = match &job.task {
+            Task::Tolerance { strategy, .. } | Task::LossTrace { strategy, .. } => {
+                Some(strategy.name().to_string())
+            }
+            Task::Campaign { config, .. } => Some(config.strategy.name().to_string()),
+            _ => None,
+        };
+        let noise_p2 = match &job.task {
+            Task::Success { params } | Task::Crosstalk { params, .. } => Some(params.p2),
+            Task::LossTrace { params, .. } => Some(params.p2),
+            Task::Campaign { config, .. } => Some(1.0 - config.two_qubit_error),
+            _ => None,
+        };
+        RunRecord {
+            id: job.id,
+            benchmark: job.source.label().to_string(),
+            size: job.size,
+            actual_size,
+            grid: format!("{}x{}", job.grid.width(), job.grid.height()),
+            holes: job.grid.num_holes(),
+            mid: job.config.mid,
+            native: job.config.native_multiqubit,
+            restriction: render_restriction(job.config.restriction),
+            circuit_seed: job.circuit_seed,
+            task: Task::name(&job.task).to_string(),
+            strategy,
+            noise_p2,
+            outcome,
+        }
+    }
+
+    /// The compiled metrics, when the outcome carries them.
+    pub fn compiled_metrics(&self) -> Option<&CompiledMetrics> {
+        match &self.outcome {
+            Outcome::Compiled { metrics, .. } | Outcome::Success { metrics, .. } => Some(metrics),
+            _ => None,
+        }
+    }
+
+    /// The success probability, when the outcome carries one.
+    pub fn probability(&self) -> Option<f64> {
+        match &self.outcome {
+            Outcome::Success { breakdown, .. } => Some(breakdown.probability()),
+            Outcome::Crosstalk { p_combined, .. } => Some(*p_combined),
+            _ => None,
+        }
+    }
+}
+
+fn render_restriction(policy: RestrictionPolicy) -> String {
+    match policy {
+        RestrictionPolicy::None => "none".to_string(),
+        RestrictionPolicy::HalfDistance => "d/2".to_string(),
+        RestrictionPolicy::FullDistance => "d".to_string(),
+        RestrictionPolicy::Constant(c) => format!("c={c}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ExperimentSpec, Task};
+    use na_arch::Grid;
+    use na_benchmarks::Benchmark;
+    use na_core::CompilerConfig;
+
+    #[test]
+    fn record_rows_serialize_and_round_trip() {
+        let mut spec = ExperimentSpec::new("t", Grid::new(4, 4));
+        spec.push(
+            Benchmark::Cnu,
+            9,
+            0,
+            CompilerConfig::new(3.0),
+            Task::Compile,
+        );
+        let record = RunRecord::new(
+            &spec.jobs()[0],
+            Outcome::Failed {
+                unroutable: false,
+                error: "nope".into(),
+            },
+        );
+        let line = serde_json::to_string(&record).unwrap();
+        assert!(line.contains("\"benchmark\":\"CNU\""));
+        assert!(line.contains("\"grid\":\"4x4\""));
+        let back: RunRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn restriction_renders_compactly() {
+        assert_eq!(render_restriction(RestrictionPolicy::HalfDistance), "d/2");
+        assert_eq!(render_restriction(RestrictionPolicy::None), "none");
+        assert_eq!(render_restriction(RestrictionPolicy::Constant(2.0)), "c=2");
+    }
+}

@@ -1,0 +1,301 @@
+//! The execution engine: a worker pool that fans jobs out across
+//! cores and reassembles results in job-id order.
+//!
+//! Determinism contract: a job's result depends only on the job's own
+//! fields (every RNG it touches is seeded from values stored in the
+//! job), and results are collected into a slot array indexed by job
+//! id. Running the same spec with 1 worker or N workers therefore
+//! produces identical — byte-identical once serialized — result rows.
+
+use crate::cache::{CacheStats, CompileCache};
+use crate::record::{Outcome, RunRecord};
+use crate::sink::ResultSink;
+use crate::spec::{ExperimentSpec, Job, LossSpec, Task};
+use na_loss::{run_campaign, LossOutcome, Strategy, StrategyState};
+use na_noise::{
+    crosstalk_exposures, crosstalk_success, success_probability, success_with_crosstalk,
+    CrosstalkParams, NoiseParams,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// The parallel experiment executor. Owns worker configuration and
+/// the shared [`CompileCache`]; cheap to clone specs through, reusable
+/// across many [`Engine::run`] calls (the cache persists between
+/// runs).
+#[derive(Debug)]
+pub struct Engine {
+    workers: usize,
+    cache: Arc<CompileCache>,
+    verify: bool,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with one worker per available core.
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Engine::with_workers(workers)
+    }
+
+    /// An engine with an explicit worker count (`1` = serial).
+    pub fn with_workers(workers: usize) -> Self {
+        Engine {
+            workers: workers.max(1),
+            cache: Arc::new(CompileCache::new()),
+            verify: false,
+        }
+    }
+
+    /// Enables schedule verification: every compiled circuit a
+    /// compile-family task produces is replayed through
+    /// [`na_core::verify`] before its metrics are reported, and a
+    /// constraint violation becomes an [`Outcome::Failed`] row.
+    /// Used by validation harnesses; off by default (verification
+    /// replays the whole schedule).
+    pub fn verified(mut self) -> Self {
+        self.verify = true;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shared compilation cache (persists across runs).
+    pub fn cache(&self) -> &CompileCache {
+        &self.cache
+    }
+
+    /// Counters of the shared compilation cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Executes every job of `spec` and returns the records in job-id
+    /// order. Job-level failures (e.g. unroutable points) are reported
+    /// as [`Outcome::Failed`] rows, not panics — sweeps over
+    /// infeasible regions are data, not errors.
+    pub fn run(&self, spec: &ExperimentSpec) -> Vec<RunRecord> {
+        let jobs = spec.jobs();
+        let slots: Vec<OnceLock<RunRecord>> = jobs.iter().map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+        let threads = self.workers.min(jobs.len()).max(1);
+
+        if threads == 1 {
+            for (job, slot) in jobs.iter().zip(&slots) {
+                slot.set(execute_job(job, &self.cache, self.verify))
+                    .expect("slot written once");
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        slots[i]
+                            .set(execute_job(&jobs[i], &self.cache, self.verify))
+                            .expect("slot written once");
+                    });
+                }
+            });
+        }
+
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every job ran"))
+            .collect()
+    }
+
+    /// Like [`Engine::run`], but also streams every record (in job-id
+    /// order) into `sink` before returning them.
+    pub fn run_into(&self, spec: &ExperimentSpec, sink: &mut dyn ResultSink) -> Vec<RunRecord> {
+        let records = self.run(spec);
+        crate::sink::write_records(&records, sink);
+        records
+    }
+}
+
+/// Runs one job to completion. Infallible by construction: errors
+/// become [`Outcome::Failed`] rows.
+fn execute_job(job: &Job, cache: &CompileCache, verify: bool) -> RunRecord {
+    let circuit = job.circuit();
+    // Compile through the cache, optionally replaying the schedule
+    // through the constraint verifier (Engine::verified).
+    let compile_cached = |outcome: &dyn Fn(Arc<na_core::CompiledCircuit>) -> Outcome| match cache
+        .get_or_compile(&circuit, &job.grid, &job.config)
+    {
+        Ok(compiled) => {
+            if verify {
+                if let Err(e) = na_core::verify(&compiled, &job.grid) {
+                    return Outcome::Failed {
+                        unroutable: false,
+                        error: format!("schedule verification failed: {e}"),
+                    };
+                }
+            }
+            outcome(compiled)
+        }
+        Err(e) => Outcome::from_error(&e),
+    };
+    let outcome = match &job.task {
+        Task::Compile => compile_cached(&|compiled| Outcome::Compiled {
+            source: compiled.circuit().metrics(),
+            metrics: compiled.metrics(),
+        }),
+        Task::Success { params } => compile_cached(&|compiled| Outcome::Success {
+            metrics: compiled.metrics(),
+            breakdown: success_probability(&compiled, params),
+        }),
+        Task::Crosstalk { params, crosstalk } => {
+            compile_cached(&|compiled| run_crosstalk(&compiled, params, crosstalk))
+        }
+        Task::Tolerance {
+            strategy,
+            trials,
+            seed,
+        } => match na_loss::mean_loss_tolerance(
+            &circuit,
+            &job.grid,
+            job.config.mid,
+            *strategy,
+            *trials,
+            *seed,
+        ) {
+            Ok((mean, std)) => Outcome::Tolerance {
+                mean,
+                std,
+                trials: *trials,
+            },
+            Err(e) => Outcome::from_error(&e),
+        },
+        Task::LossTrace {
+            strategy,
+            max_holes,
+            params,
+            seed,
+        } => run_loss_trace(&circuit, job, *strategy, *max_holes, params, *seed),
+        Task::Campaign { config, loss } => run_campaign_task(&circuit, job, config, loss),
+    };
+    RunRecord::new(job, outcome)
+}
+
+fn run_crosstalk(
+    compiled: &na_core::CompiledCircuit,
+    params: &NoiseParams,
+    crosstalk: &CrosstalkParams,
+) -> Outcome {
+    Outcome::Crosstalk {
+        depth: compiled.metrics().depth,
+        exposures: crosstalk_exposures(compiled, crosstalk),
+        p_crosstalk: crosstalk_success(compiled, crosstalk),
+        p_standard: success_probability(compiled, params).probability(),
+        p_combined: success_with_crosstalk(compiled, params, crosstalk),
+    }
+}
+
+/// The Fig. 11 measurement: lose atoms one at a time, letting the
+/// strategy absorb each loss, and record predicted shot success after
+/// every survived loss. Ends at the first forced reload.
+fn run_loss_trace(
+    circuit: &na_circuit::Circuit,
+    job: &Job,
+    strategy: Strategy,
+    max_holes: u32,
+    params: &NoiseParams,
+    seed: u64,
+) -> Outcome {
+    let mut state = match StrategyState::new(circuit, &job.grid, job.config.mid, strategy, None) {
+        Ok(s) => s,
+        Err(e) => return Outcome::from_error(&e),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut success = vec![success_probability(state.compiled(), params).probability()];
+    for _ in 1..=max_holes {
+        let usable: Vec<_> = state.grid().usable_sites().collect();
+        if usable.is_empty() {
+            break;
+        }
+        let victim = usable[rng.gen_range(0..usable.len())];
+        match state.apply_loss(victim) {
+            LossOutcome::NeedsReload => break,
+            LossOutcome::Recompiled { .. } => {
+                success.push(success_probability(state.compiled(), params).probability());
+            }
+            LossOutcome::Spare | LossOutcome::Tolerated { .. } => {
+                let p = success_probability(state.compiled(), params).probability()
+                    * state.swap_penalty(params.p2);
+                success.push(p);
+            }
+        }
+    }
+    Outcome::LossTrace { success }
+}
+
+fn run_campaign_task(
+    circuit: &na_circuit::Circuit,
+    job: &Job,
+    config: &na_loss::CampaignConfig,
+    loss: &LossSpec,
+) -> Outcome {
+    match run_campaign(circuit, &job.grid, loss.build(), config) {
+        Ok(result) => Outcome::Campaign(result),
+        Err(e) => Outcome::from_error(&e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use na_arch::Grid;
+    use na_benchmarks::Benchmark;
+    use na_core::CompilerConfig;
+
+    #[test]
+    fn failed_jobs_become_rows_not_panics() {
+        let mut spec = ExperimentSpec::new("t", Grid::new(5, 5));
+        // Native Toffoli at MID 1 is unroutable by design.
+        spec.push(
+            Benchmark::Cnu,
+            9,
+            0,
+            CompilerConfig::new(1.0),
+            Task::Compile,
+        );
+        let records = Engine::with_workers(2).run(&spec);
+        assert_eq!(records.len(), 1);
+        match &records[0].outcome {
+            Outcome::Failed { unroutable, .. } => assert!(unroutable),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_spec_runs_to_empty_result() {
+        let spec = ExperimentSpec::new("t", Grid::new(4, 4));
+        assert!(Engine::new().run(&spec).is_empty());
+    }
+
+    #[test]
+    fn cache_persists_across_runs() {
+        let engine = Engine::with_workers(2);
+        let mut spec = ExperimentSpec::new("t", Grid::new(6, 6));
+        spec.push(Benchmark::Bv, 8, 0, CompilerConfig::new(3.0), Task::Compile);
+        engine.run(&spec);
+        engine.run(&spec);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+}

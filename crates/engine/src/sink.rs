@@ -1,0 +1,134 @@
+//! Result sinks: where finished rows go.
+//!
+//! The engine always returns records in job-id order; a
+//! [`ResultSink`] receives them in that same order, so any sink
+//! output is byte-for-byte reproducible regardless of worker count.
+
+use crate::record::RunRecord;
+use std::io::Write;
+
+/// A destination for result rows.
+pub trait ResultSink {
+    /// Receives one finished row (rows arrive in job-id order).
+    fn write_record(&mut self, record: &RunRecord);
+
+    /// Flushes buffered output (no-op by default).
+    fn finish(&mut self) {}
+}
+
+/// Drains already-collected records into a sink, in order, and
+/// flushes. The one sink-draining loop shared by `Engine::run_into`,
+/// the CLI's `--jsonl` paths, and the harnesses' `NATOMS_JSONL` mode.
+pub fn write_records(records: &[RunRecord], sink: &mut dyn ResultSink) {
+    for record in records {
+        sink.write_record(record);
+    }
+    sink.finish();
+}
+
+/// Writes one compact JSON object per line.
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink over any writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+
+    /// Consumes the sink and returns the writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl JsonlSink<std::io::Stdout> {
+    /// A sink to standard output.
+    pub fn stdout() -> Self {
+        JsonlSink::new(std::io::stdout())
+    }
+}
+
+impl<W: Write> ResultSink for JsonlSink<W> {
+    fn write_record(&mut self, record: &RunRecord) {
+        let line = serde_json::to_string(record).expect("record serializes");
+        writeln!(self.writer, "{line}").expect("sink write");
+    }
+
+    fn finish(&mut self) {
+        self.writer.flush().expect("sink flush");
+    }
+}
+
+/// Collects rendered JSONL lines in memory (tests, diffing runs).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    /// The rendered lines, in job-id order.
+    pub lines: Vec<String>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// All lines joined with newlines (the exact JSONL byte content).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = self.lines.join("\n");
+        if !self.lines.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl ResultSink for MemorySink {
+    fn write_record(&mut self, record: &RunRecord) {
+        self.lines
+            .push(serde_json::to_string(record).expect("record serializes"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Outcome;
+    use crate::spec::{ExperimentSpec, Task};
+    use na_arch::Grid;
+    use na_benchmarks::Benchmark;
+    use na_core::CompilerConfig;
+
+    fn record() -> RunRecord {
+        let mut spec = ExperimentSpec::new("t", Grid::new(4, 4));
+        spec.push(Benchmark::Bv, 8, 0, CompilerConfig::new(2.0), Task::Compile);
+        RunRecord::new(
+            &spec.jobs()[0],
+            Outcome::Failed {
+                unroutable: true,
+                error: "x".into(),
+            },
+        )
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.write_record(&record());
+        sink.write_record(&record());
+        sink.finish();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn memory_sink_matches_jsonl_sink_bytes() {
+        let mut mem = MemorySink::new();
+        mem.write_record(&record());
+        let mut jsonl = JsonlSink::new(Vec::new());
+        jsonl.write_record(&record());
+        assert_eq!(mem.to_jsonl().into_bytes(), jsonl.into_inner());
+    }
+}

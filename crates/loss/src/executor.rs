@@ -182,10 +182,10 @@ pub fn run_campaign(
     let mut timeline: Vec<TimelineEvent> = Vec::new();
     let mut clock = 0.0f64;
     let record = |timeline: &mut Vec<TimelineEvent>,
-                      clock: &mut f64,
-                      kind: EventKind,
-                      duration: f64,
-                      on: bool| {
+                  clock: &mut f64,
+                  kind: EventKind,
+                  duration: f64,
+                  on: bool| {
         if on {
             timeline.push(TimelineEvent {
                 kind,
@@ -397,7 +397,10 @@ mod tests {
         let cfg = quick(Strategy::AlwaysReload, 100);
         let r = run_campaign(&program(), &grid(), LossModel::new(7), &cfg).unwrap();
         assert_eq!(r.ledger.reloads, r.discarded_by_loss);
-        assert!(r.ledger.reloads > 0, "2% measurement loss on 30 qubits must hit");
+        assert!(
+            r.ledger.reloads > 0,
+            "2% measurement loss on 30 qubits must hit"
+        );
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub use model::LossModel;
 pub use overhead::{OverheadLedger, OverheadTimes, RecompileCost};
 pub use reroute::{fixup_swaps, max_resolved_span, resolved_ok};
 pub use state::{LossOutcome, StrategyState};
-pub use strategy::Strategy;
+pub use strategy::{ParseStrategyError, Strategy};
 pub use timeline::{render_timeline, EventKind, TimelineEvent};
 pub use tolerance::{max_loss_tolerance, mean_loss_tolerance, ToleranceOutcome};

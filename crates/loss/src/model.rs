@@ -143,7 +143,10 @@ mod tests {
         let mut a = LossModel::destructive_readout(42);
         let mut b = LossModel::destructive_readout(42);
         for _ in 0..5 {
-            assert_eq!(a.draw_losses(&grid, &measured), b.draw_losses(&grid, &measured));
+            assert_eq!(
+                a.draw_losses(&grid, &measured),
+                b.draw_losses(&grid, &measured)
+            );
         }
     }
 
@@ -162,7 +165,10 @@ mod tests {
                 }
             }
         }
-        assert!(meas_lost > 10 * spare_lost.max(1) / 2, "{meas_lost} vs {spare_lost}");
+        assert!(
+            meas_lost > 10 * spare_lost.max(1) / 2,
+            "{meas_lost} vs {spare_lost}"
+        );
     }
 
     #[test]

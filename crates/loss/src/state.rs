@@ -168,7 +168,11 @@ impl StrategyState {
         let Some(dir) = self.vmap.best_shift_direction(&self.grid, site, &in_use) else {
             return LossOutcome::NeedsReload;
         };
-        if self.vmap.shift_from(&self.grid, site, dir, &in_use).is_err() {
+        if self
+            .vmap
+            .shift_from(&self.grid, site, dir, &in_use)
+            .is_err()
+        {
             return LossOutcome::NeedsReload;
         }
         if self.strategy.reroutes() {

@@ -67,9 +67,7 @@ impl Strategy {
     /// Compile-small variants leave one unit of slack.
     pub fn compile_mid(self, hardware_mid: f64) -> f64 {
         match self {
-            Strategy::CompileSmall | Strategy::CompileSmallReroute => {
-                (hardware_mid - 1.0).max(1.0)
-            }
+            Strategy::CompileSmall | Strategy::CompileSmallReroute => (hardware_mid - 1.0).max(1.0),
             _ => hardware_mid,
         }
     }
@@ -106,6 +104,41 @@ impl Strategy {
 impl fmt::Display for Strategy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// Error returned when a strategy name does not parse; lists the
+/// accepted spellings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseStrategyError(pub String);
+
+impl fmt::Display for ParseStrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown strategy {:?} (reload|recompile|remap|reroute|c-small|c-small-reroute)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseStrategyError {}
+
+impl std::str::FromStr for Strategy {
+    type Err = ParseStrategyError;
+
+    /// Parses the CLI spellings, case-insensitively. The shared name
+    /// table for every harness and the CLI.
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        match name.to_ascii_lowercase().as_str() {
+            "always-reload" | "reload" => Ok(Strategy::AlwaysReload),
+            "recompile" => Ok(Strategy::FullRecompile),
+            "virtual-remap" | "remap" => Ok(Strategy::VirtualRemap),
+            "reroute" => Ok(Strategy::MinorReroute),
+            "compile-small" | "c-small" => Ok(Strategy::CompileSmall),
+            "c-small-reroute" | "compile-small-reroute" => Ok(Strategy::CompileSmallReroute),
+            _ => Err(ParseStrategyError(name.to_string())),
+        }
     }
 }
 
@@ -149,7 +182,10 @@ mod tests {
 
     #[test]
     fn names_are_paper_labels() {
-        assert_eq!(Strategy::CompileSmallReroute.to_string(), "c. small+reroute");
+        assert_eq!(
+            Strategy::CompileSmallReroute.to_string(),
+            "c. small+reroute"
+        );
         assert_eq!(Strategy::FullRecompile.to_string(), "recompile");
     }
 }

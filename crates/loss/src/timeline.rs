@@ -58,7 +58,10 @@ pub fn render_timeline(events: &[TimelineEvent]) -> String {
     use std::collections::BTreeMap;
     let mut out = String::new();
     let total = events.last().map(TimelineEvent::end).unwrap_or(0.0);
-    out.push_str(&format!("timeline: {} events over {total:.3} s\n", events.len()));
+    out.push_str(&format!(
+        "timeline: {} events over {total:.3} s\n",
+        events.len()
+    ));
     let mut by_kind: BTreeMap<&'static str, (usize, f64)> = BTreeMap::new();
     for e in events {
         let name = match e.kind {
@@ -74,8 +77,14 @@ pub fn render_timeline(events: &[TimelineEvent]) -> String {
         entry.1 += e.duration;
     }
     for (name, (count, secs)) in by_kind {
-        let pct = if total > 0.0 { 100.0 * secs / total } else { 0.0 };
-        out.push_str(&format!("  {name:<13} x{count:<5} {secs:>10.4} s ({pct:>5.1}%)\n"));
+        let pct = if total > 0.0 {
+            100.0 * secs / total
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {name:<13} x{count:<5} {secs:>10.4} s ({pct:>5.1}%)\n"
+        ));
     }
     out
 }

@@ -51,9 +51,9 @@ pub fn max_loss_tolerance(
         let victim = usable[rng.gen_range(0..usable.len())];
         match state.apply_loss(victim) {
             LossOutcome::NeedsReload => break,
-            LossOutcome::Spare
-            | LossOutcome::Tolerated { .. }
-            | LossOutcome::Recompiled { .. } => holes += 1,
+            LossOutcome::Spare | LossOutcome::Tolerated { .. } | LossOutcome::Recompiled { .. } => {
+                holes += 1
+            }
         }
     }
 
@@ -112,7 +112,11 @@ mod tests {
             max_loss_tolerance(&program_30q(), &grid, 3.0, Strategy::AlwaysReload, 1).unwrap();
         // 30 in-use atoms out of 100: the first interfering hit ends
         // the run, so sustained losses are the spare-only prefix.
-        assert!(out.device_fraction < 0.71, "fraction {}", out.device_fraction);
+        assert!(
+            out.device_fraction < 0.71,
+            "fraction {}",
+            out.device_fraction
+        );
     }
 
     #[test]
@@ -129,7 +133,11 @@ mod tests {
         );
         // The paper's ideal: with a 30%-utilization program, recompile
         // approaches 70% device loss at sufficient MID.
-        assert!(rec.device_fraction > 0.3, "fraction {}", rec.device_fraction);
+        assert!(
+            rec.device_fraction > 0.3,
+            "fraction {}",
+            rec.device_fraction
+        );
     }
 
     #[test]

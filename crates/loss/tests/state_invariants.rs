@@ -1,72 +1,82 @@
-//! Property-based invariants of the loss-strategy state machine:
-//! random loss sequences must never corrupt the topology bookkeeping,
+//! Seeded-fuzz invariants of the loss-strategy state machine: random
+//! loss sequences must never corrupt the topology bookkeeping,
 //! whatever the strategy.
+//!
+//! (Originally written with `proptest`, which is unavailable offline;
+//! rewritten as deterministic seeded fuzzing over the vendored `rand`.)
 
 use na_arch::Grid;
 use na_benchmarks::Benchmark;
-use na_loss::{LossOutcome, StrategyState};
-use proptest::prelude::*;
+use na_loss::{LossOutcome, Strategy, StrategyState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_strategy() -> impl Strategy<Value = na_loss::Strategy> {
-    prop_oneof![
-        Just(na_loss::Strategy::AlwaysReload),
-        Just(na_loss::Strategy::FullRecompile),
-        Just(na_loss::Strategy::VirtualRemap),
-        Just(na_loss::Strategy::MinorReroute),
-        Just(na_loss::Strategy::CompileSmall),
-        Just(na_loss::Strategy::CompileSmallReroute),
-    ]
-}
+const ALL_STRATEGIES: [Strategy; 6] = [
+    Strategy::AlwaysReload,
+    Strategy::FullRecompile,
+    Strategy::VirtualRemap,
+    Strategy::MinorReroute,
+    Strategy::CompileSmall,
+    Strategy::CompileSmallReroute,
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Whatever happens, program atoms stay on usable traps, fixup SWAPs
+/// stay zero for non-rerouting strategies, and a reload always
+/// restores the pristine state.
+#[test]
+fn random_loss_sequences_preserve_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for case in 0..24u64 {
+        let strategy = ALL_STRATEGIES[rng.gen_range(0..ALL_STRATEGIES.len())];
+        let mid = f64::from(rng.gen_range(6u32..12)) / 2.0; // MID 3.0 .. 6.0
+        if !strategy.supports_mid(mid) {
+            continue;
+        }
+        let num_picks = rng.gen_range(1..30usize);
+        let reload_every = rng.gen_range(5..12usize);
 
-    /// Whatever happens, program atoms stay on usable traps, fixup
-    /// SWAPs stay zero for non-rerouting strategies, and a reload
-    /// always restores the pristine state.
-    #[test]
-    fn random_loss_sequences_preserve_invariants(
-        strategy in arb_strategy(),
-        mid_x2 in 6u32..12,                 // MID 3.0 .. 6.0
-        picks in proptest::collection::vec(0usize..usize::MAX, 1..30),
-        reload_every in 5usize..12,
-    ) {
-        let mid = f64::from(mid_x2) / 2.0;
-        prop_assume!(strategy.supports_mid(mid));
         let program = Benchmark::Cuccaro.generate(20, 0);
         let grid = Grid::new(8, 8);
         let mut state = StrategyState::new(&program, &grid, mid, strategy, None)
-            .expect("initial compile");
+            .unwrap_or_else(|e| panic!("case {case}: initial compile: {e}"));
         let pristine_measured = state.measured_sites();
 
-        for (step, pick) in picks.iter().enumerate() {
+        for step in 0..num_picks {
             let usable: Vec<_> = state.grid().usable_sites().collect();
-            prop_assert!(!usable.is_empty());
-            let victim = usable[pick % usable.len()];
+            assert!(!usable.is_empty(), "case {case}: grid emptied");
+            let victim = usable[rng.gen_range(0..usable.len())];
             match state.apply_loss(victim) {
                 LossOutcome::NeedsReload => {
                     state.reload();
-                    prop_assert_eq!(state.grid().num_holes(), 0);
-                    prop_assert_eq!(state.extra_swaps(), 0);
-                    prop_assert_eq!(state.measured_sites(), pristine_measured.clone());
+                    assert_eq!(state.grid().num_holes(), 0, "case {case}");
+                    assert_eq!(state.extra_swaps(), 0, "case {case}");
+                    assert_eq!(state.measured_sites(), pristine_measured, "case {case}");
                 }
                 LossOutcome::Spare => {
                     // A spare loss never touches the mapping.
-                    prop_assert!(state
-                        .measured_sites()
-                        .iter()
-                        .all(|&m| state.grid().is_usable(m)));
+                    assert!(
+                        state
+                            .measured_sites()
+                            .iter()
+                            .all(|&m| state.grid().is_usable(m)),
+                        "case {case}: mapping touched by spare loss"
+                    );
                 }
                 LossOutcome::Tolerated { .. } | LossOutcome::Recompiled { .. } => {
                     for m in state.measured_sites() {
-                        prop_assert!(state.grid().is_usable(m),
-                            "program atom on hole after tolerated loss");
+                        assert!(
+                            state.grid().is_usable(m),
+                            "case {case}: program atom on hole after tolerated loss"
+                        );
                     }
                     if !strategy.reroutes() {
-                        prop_assert_eq!(state.extra_swaps(), 0,
-                            "non-rerouting strategy acquired fixup swaps");
+                        assert_eq!(
+                            state.extra_swaps(),
+                            0,
+                            "case {case}: non-rerouting strategy acquired fixup swaps"
+                        );
                     }
-                    if strategy == na_loss::Strategy::FullRecompile {
+                    if strategy == Strategy::FullRecompile {
                         na_core::verify(state.compiled(), state.grid())
                             .expect("recompiled schedule verifies");
                     }
@@ -79,18 +89,21 @@ proptest! {
             }
         }
     }
+}
 
-    /// Swap penalties are always in (0, 1] and monotone in the swap
-    /// count.
-    #[test]
-    fn swap_penalty_is_well_formed(p2 in 0.5f64..0.9999) {
-        let program = Benchmark::Bv.generate(12, 0);
-        let grid = Grid::new(6, 6);
-        let state = StrategyState::new(&program, &grid, 3.0, na_loss::Strategy::MinorReroute, None)
-            .expect("compiles");
+/// Swap penalties are always in (0, 1] and monotone in the swap count.
+#[test]
+fn swap_penalty_is_well_formed() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let program = Benchmark::Bv.generate(12, 0);
+    let grid = Grid::new(6, 6);
+    let state =
+        StrategyState::new(&program, &grid, 3.0, Strategy::MinorReroute, None).expect("compiles");
+    for _ in 0..32 {
+        let p2 = rng.gen_range(0.5f64..0.9999);
         let penalty = state.swap_penalty(p2);
-        prop_assert!(penalty > 0.0 && penalty <= 1.0);
+        assert!(penalty > 0.0 && penalty <= 1.0);
         // Zero swaps initially: penalty is exactly 1.
-        prop_assert!((penalty - 1.0).abs() < 1e-12);
+        assert!((penalty - 1.0).abs() < 1e-12);
     }
 }

@@ -128,8 +128,14 @@ mod tests {
         let grid = Grid::new(8, 8);
         let compiled = compile(&c, &grid, &CompilerConfig::new(2.0)).unwrap();
         // Only two program qubits exist; both are operands.
-        assert_eq!(crosstalk_exposures(&compiled, &CrosstalkParams::default()), 0);
-        assert_eq!(crosstalk_success(&compiled, &CrosstalkParams::default()), 1.0);
+        assert_eq!(
+            crosstalk_exposures(&compiled, &CrosstalkParams::default()),
+            0
+        );
+        assert_eq!(
+            crosstalk_success(&compiled, &CrosstalkParams::default()),
+            1.0
+        );
     }
 
     #[test]
@@ -143,7 +149,10 @@ mod tests {
         .unwrap();
         let params = CrosstalkParams::default();
         let exposures = crosstalk_exposures(&compiled, &params);
-        assert!(exposures > 0, "12 qubits on 16 sites must expose spectators");
+        assert!(
+            exposures > 0,
+            "12 qubits on 16 sites must expose spectators"
+        );
         let p = crosstalk_success(&compiled, &params);
         assert!(p < 1.0 && p > 0.0);
     }
@@ -174,18 +183,17 @@ mod tests {
             e_strict < e_loose,
             "zones must cut exposures: {e_strict} vs {e_loose}"
         );
-        assert!(strict.metrics().depth >= loose.metrics().depth, "price is depth");
+        assert!(
+            strict.metrics().depth >= loose.metrics().depth,
+            "price is depth"
+        );
     }
 
     #[test]
     fn zero_range_means_zero_exposures() {
         let grid = Grid::new(4, 4);
-        let compiled = compile(
-            &dense_parallel_program(),
-            &grid,
-            &CompilerConfig::new(2.0),
-        )
-        .unwrap();
+        let compiled =
+            compile(&dense_parallel_program(), &grid, &CompilerConfig::new(2.0)).unwrap();
         let params = CrosstalkParams {
             range: 0.0,
             error_per_exposure: 0.5,
@@ -196,8 +204,8 @@ mod tests {
     #[test]
     fn combined_success_is_bounded_by_both_factors() {
         let grid = Grid::new(4, 4);
-        let compiled = compile(&dense_parallel_program(), &grid, &CompilerConfig::new(2.0))
-            .unwrap();
+        let compiled =
+            compile(&dense_parallel_program(), &grid, &CompilerConfig::new(2.0)).unwrap();
         let noise = NoiseParams::neutral_atom(1e-3);
         let ct = CrosstalkParams::default();
         let combined = success_with_crosstalk(&compiled, &noise, &ct);

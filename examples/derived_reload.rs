@@ -6,9 +6,7 @@
 
 use natoms::arch::{AssemblyParams, AssemblySimulator, Grid};
 use natoms::benchmarks::Benchmark;
-use natoms::loss::{
-    run_campaign, CampaignConfig, LossModel, OverheadTimes, ShotTarget, Strategy,
-};
+use natoms::loss::{run_campaign, CampaignConfig, LossModel, OverheadTimes, ShotTarget, Strategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grid = Grid::new(10, 10);

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // NA at MID 3 (native Toffoli) vs SC-style MID 1 (2q only), equal
     // two-qubit error rates.
-    println!("\n{:>9} {:>10} {:>10}", "2q error", "NA success", "SC success");
+    println!(
+        "\n{:>9} {:>10} {:>10}",
+        "2q error", "NA success", "SC success"
+    );
     let na = compile(&program, &grid, &CompilerConfig::new(3.0))?;
     let sc = compile(
         &program,

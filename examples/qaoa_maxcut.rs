@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 40;
     let seed = 7;
     let edges = random_graph(n, 0.1, seed);
-    println!("MAX-CUT instance: {n} vertices, {} edges (density 0.1)", edges.len());
+    println!(
+        "MAX-CUT instance: {n} vertices, {} edges (density 0.1)",
+        edges.len()
+    );
 
     let program = qaoa_maxcut(n, 0.1, seed);
     println!("ansatz: {}", program.metrics());
@@ -22,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grid = Grid::new(10, 10);
     let params = NoiseParams::neutral_atom(1e-3);
 
-    println!("\n{:>4} {:>7} {:>6} {:>7} {:>12} {:>9}", "MID", "gates", "swaps", "depth", "ideal depth", "success");
+    println!(
+        "\n{:>4} {:>7} {:>6} {:>7} {:>12} {:>9}",
+        "MID", "gates", "swaps", "depth", "ideal depth", "success"
+    );
     for mid in [1.0, 2.0, 3.0, 5.0, 8.0, 13.0] {
         let cfg = CompilerConfig::new(mid).with_native_multiqubit(false);
         let compiled = compile(&program, &grid, &cfg)?;

@@ -13,7 +13,10 @@
 //! * [`compiler`] — the NA-aware compiler (mapping/routing/scheduling);
 //! * [`noise`] — the success-probability model and NA-vs-SC parameters;
 //! * [`loss`] — atom-loss models, coping strategies, and campaign
-//!   simulation.
+//!   simulation;
+//! * [`engine`] — the parallel experiment-execution engine: sweep
+//!   specs, a multi-threaded worker pool with deterministic results,
+//!   a memoized compilation cache, and JSON-lines result sinks.
 //!
 //! # Quickstart
 //!
@@ -67,4 +70,9 @@ pub mod noise {
 /// Atom-loss machinery ([`na_loss`]).
 pub mod loss {
     pub use na_loss::*;
+}
+
+/// The parallel experiment-execution engine ([`na_engine`]).
+pub mod engine {
+    pub use na_engine::*;
 }

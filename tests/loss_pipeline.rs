@@ -5,8 +5,8 @@
 use natoms::arch::Grid;
 use natoms::benchmarks::Benchmark;
 use natoms::loss::{
-    max_loss_tolerance, run_campaign, CampaignConfig, LossModel, LossOutcome, ShotTarget,
-    Strategy, StrategyState,
+    max_loss_tolerance, run_campaign, CampaignConfig, LossModel, LossOutcome, ShotTarget, Strategy,
+    StrategyState,
 };
 
 fn grid() -> Grid {
@@ -33,7 +33,10 @@ fn strategy_tolerance_ordering_matches_paper() {
     let reroute = mean(Strategy::MinorReroute);
     let remap = mean(Strategy::VirtualRemap);
     let always = mean(Strategy::AlwaysReload);
-    assert!(recompile >= reroute, "recompile {recompile} vs reroute {reroute}");
+    assert!(
+        recompile >= reroute,
+        "recompile {recompile} vs reroute {reroute}"
+    );
     assert!(reroute >= remap, "reroute {reroute} vs remap {remap}");
     assert!(remap >= always * 0.9, "remap {remap} vs always {always}");
 }
@@ -41,8 +44,8 @@ fn strategy_tolerance_ordering_matches_paper() {
 #[test]
 fn measured_sites_stay_on_atoms_through_long_loss_sequences() {
     let program = Benchmark::Cuccaro.generate(30, 0);
-    let mut state = StrategyState::new(&program, &grid(), 5.0, Strategy::MinorReroute, None)
-        .expect("compiles");
+    let mut state =
+        StrategyState::new(&program, &grid(), 5.0, Strategy::MinorReroute, None).expect("compiles");
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(99);

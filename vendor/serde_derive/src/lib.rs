@@ -1,0 +1,349 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are not
+//! available offline, so this crate parses the item declaration
+//! directly from the raw [`proc_macro::TokenStream`]. It supports
+//! exactly the shapes this workspace derives:
+//!
+//! * structs with named fields, tuple structs (including newtypes),
+//!   and unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   matching serde's default representation);
+//! * no generic parameters and no `#[serde(...)]` attributes — the
+//!   macro rejects generics with a compile error rather than
+//!   mis-expanding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "entries.push((\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut entries: Vec<(String, serde::Value)> = Vec::new();\n{pushes}serde::Value::Object(entries)"
+            )
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let name = &item.name;
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => serde::Value::Object(vec![(\"{vname}\".to_string(), serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => serde::Value::Object(vec![(\"{vname}\".to_string(), serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "inner.push((\"{f}\".to_string(), serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\nlet mut inner: Vec<(String, serde::Value)> = Vec::new();\n{pushes}serde::Value::Object(vec![(\"{vname}\".to_string(), serde::Value::Object(inner))])\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl serde::Serialize for {} {{\nfn to_value(&self) -> serde::Value {{\n{}\n}}\n}}\n",
+        item.name, body
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: serde::Deserialize::from_value(value.get(\"{f}\").unwrap_or(&serde::Value::Null)).map_err(|e| serde::DeError(format!(\"{name}.{f}: {{e}}\")))?,\n"
+                ));
+            }
+            format!(
+                "match value {{\nserde::Value::Object(_) => Ok({name} {{\n{inits}}}),\n_ => Err(serde::DeError::expected(\"struct {name}\", value)),\n}}"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(value)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("v{i}")).collect();
+            let fields: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(v{i})?"))
+                .collect();
+            format!(
+                "match value.as_array() {{\nSome([{}]) => Ok({name}({})),\n_ => Err(serde::DeError::expected(\"{n}-element array for {name}\", value)),\n}}",
+                binds.join(", "),
+                fields.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => return Ok({name}::{vname}),\n"
+                    )),
+                    VariantShape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => return Ok({name}::{vname}(serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("v{i}")).collect();
+                        let fields: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(v{i})?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => match inner.as_array() {{\nSome([{}]) => return Ok({name}::{vname}({})),\n_ => return Err(serde::DeError::expected(\"{n}-element array for {name}::{vname}\", inner)),\n}},\n",
+                            binds.join(", "),
+                            fields.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: serde::Deserialize::from_value(inner.get(\"{f}\").unwrap_or(&serde::Value::Null))?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => return Ok({name}::{vname} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(tag) = value.as_str() {{\nmatch tag {{\n{unit_arms}_ => {{}}\n}}\n}}\nif let serde::Value::Object(entries) = value {{\nif entries.len() == 1 {{\nlet (tag, inner) = &entries[0];\nlet _ = inner;\nmatch tag.as_str() {{\n{tagged_arms}_ => {{}}\n}}\n}}\n}}\nErr(serde::DeError::expected(\"enum {name}\", value))"
+            )
+        }
+    };
+    let out = format!(
+        "impl serde::Deserialize for {name} {{\nfn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// A minimal item parser over the raw token stream
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic types ({name})");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unexpected struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body for {name}: {other:?}"),
+        },
+        other => panic!("cannot derive for item kind `{other}`"),
+    };
+    Item { name, shape }
+}
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips leading attributes (`#[...]`) and a visibility modifier
+/// (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &mut Tokens) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field body (`a: T, b: U, ...`).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field {name}, found {other:?}"),
+        }
+        skip_type(&mut tokens);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Consumes a type up to a top-level comma (commas inside `<...>` are
+/// part of the type; bracketed/parenthesized tokens arrive as groups
+/// and need no tracking).
+fn skip_type(tokens: &mut Tokens) {
+    let mut angle_depth = 0i32;
+    while let Some(tree) = tokens.peek() {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                tokens.next();
+                return;
+            }
+            _ => {}
+        }
+        tokens.next();
+    }
+}
+
+/// Number of fields in a tuple body (`pub u32, f64, ...`).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0usize;
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_type(&mut tokens);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while let Some(tree) = tokens.peek() {
+            if matches!(tree, TokenTree::Punct(p) if p.as_char() == ',') {
+                tokens.next();
+                break;
+            }
+            tokens.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}

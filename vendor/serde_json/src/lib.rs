@@ -1,0 +1,95 @@
+//! Offline vendored subset of `serde_json`: compact JSON rendering and
+//! parsing over the vendored `serde` [`Value`] data model.
+//!
+//! Supports the slice of the real API this workspace uses:
+//! [`to_string`], [`to_value`], [`from_str`], [`from_value`], and the
+//! [`Value`]/[`Number`] re-exports. Output is compact (no whitespace)
+//! and deterministic: struct fields serialize in declaration order and
+//! `HashMap` entries are sorted by key.
+
+pub use serde::{DeError, Number, Value};
+
+use std::fmt;
+
+/// Error type covering both syntax and shape errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+///
+/// Infallible for the vendored data model (non-finite floats render as
+/// `null`); the `Result` mirrors the real API.
+///
+/// # Errors
+///
+/// Never fails; the signature matches `serde_json::to_string`.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::ser::to_json_string(&value.to_value()))
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Never fails; the signature matches `serde_json::to_value`.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on invalid JSON or on shape mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::de::parse(text).map_err(Error)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Rebuilds a deserializable type from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] on shape mismatch.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value).map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_string_is_compact() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(to_string(&v).unwrap(), "[1,2,3]");
+    }
+
+    #[test]
+    fn from_str_round_trips() {
+        let v: Vec<f64> = from_str("[1.0,2.5]").unwrap();
+        assert_eq!(v, vec![1.0, 2.5]);
+        assert!(from_str::<Vec<f64>>("[1.0,").is_err());
+    }
+
+    #[test]
+    fn value_round_trips() {
+        let text = r#"{"rows":[{"mid":3.0,"gates":120}],"name":"fig03"}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(to_string(&v).unwrap(), text);
+    }
+}

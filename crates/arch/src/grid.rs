@@ -1,8 +1,8 @@
 //! The 2D atom array.
 
+use crate::interaction::{BfsScratch, InteractionGraph};
 use crate::{Direction, Site};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 use std::fmt;
 
 /// A rectangular 2D array of optical traps, some of which may have lost
@@ -218,26 +218,13 @@ impl Grid {
     /// to every site; `None` for unreachable or unusable sites.
     ///
     /// Returns an empty map-equivalent (all `None`) if `from` itself is
-    /// unusable.
+    /// unusable. Runs over the memoized [`InteractionGraph`] so the BFS
+    /// allocates nothing per hop.
     pub fn hop_distances(&self, from: Site, mid: f64) -> Vec<Option<u32>> {
-        let mut dist: Vec<Option<u32>> = vec![None; self.num_sites()];
-        if !self.is_usable(from) {
-            return dist;
-        }
-        let mut queue = VecDeque::new();
-        dist[self.idx(from)] = Some(0);
-        queue.push_back(from);
-        while let Some(s) = queue.pop_front() {
-            let d = dist[self.idx(s)].expect("visited site has distance");
-            for n in self.neighbors_within(s, mid) {
-                let i = self.idx(n);
-                if dist[i].is_none() {
-                    dist[i] = Some(d + 1);
-                    queue.push_back(n);
-                }
-            }
-        }
-        dist
+        let graph = InteractionGraph::cached(self, mid);
+        let mut out = Vec::new();
+        graph.hop_distances_into(from, &mut BfsScratch::new(), &mut out);
+        out
     }
 
     /// Hop distance between two usable sites, if connected.
@@ -245,7 +232,7 @@ impl Grid {
         if !self.contains(b) {
             return None;
         }
-        self.hop_distances(a, mid)[self.idx(b)]
+        InteractionGraph::cached(self, mid).hop_distance(a, b, &mut BfsScratch::new())
     }
 
     /// Shortest path (inclusive of both endpoints) between usable sites
@@ -257,27 +244,29 @@ impl Grid {
         if a == b {
             return Some(vec![a]);
         }
-        let mut prev: Vec<Option<Site>> = vec![None; self.num_sites()];
+        let graph = InteractionGraph::cached(self, mid);
+        let (ai, bi) = (self.idx(a), self.idx(b));
+        let mut prev: Vec<u32> = vec![u32::MAX; self.num_sites()];
         let mut seen = vec![false; self.num_sites()];
-        let mut queue = VecDeque::new();
-        seen[self.idx(a)] = true;
-        queue.push_back(a);
+        let mut queue = std::collections::VecDeque::new();
+        seen[ai] = true;
+        queue.push_back(ai as u32);
         while let Some(s) = queue.pop_front() {
-            for n in self.neighbors_within(s, mid) {
-                let i = self.idx(n);
+            for &n in graph.neighbors(s as usize) {
+                let i = n as usize;
                 if seen[i] {
                     continue;
                 }
                 seen[i] = true;
-                prev[i] = Some(s);
-                if n == b {
+                prev[i] = s;
+                if i == bi {
                     let mut path = vec![b];
-                    let mut cur = s;
+                    let mut cur = s as usize;
                     loop {
-                        path.push(cur);
-                        match prev[self.idx(cur)] {
-                            Some(p) => cur = p,
-                            None => break,
+                        path.push(self.site_at(cur));
+                        match prev[cur] {
+                            u32::MAX => break,
+                            p => cur = p as usize,
                         }
                     }
                     path.reverse();
@@ -292,29 +281,7 @@ impl Grid {
     /// Size of the largest connected component of the usable interaction
     /// graph at the given MID.
     pub fn largest_component(&self, mid: f64) -> usize {
-        let mut seen = vec![false; self.num_sites()];
-        let mut best = 0usize;
-        for start in self.usable_sites() {
-            if seen[self.idx(start)] {
-                continue;
-            }
-            let mut size = 0usize;
-            let mut queue = VecDeque::new();
-            seen[self.idx(start)] = true;
-            queue.push_back(start);
-            while let Some(s) = queue.pop_front() {
-                size += 1;
-                for n in self.neighbors_within(s, mid) {
-                    let i = self.idx(n);
-                    if !seen[i] {
-                        seen[i] = true;
-                        queue.push_back(n);
-                    }
-                }
-            }
-            best = best.max(size);
-        }
-        best
+        InteractionGraph::cached(self, mid).largest_component(&mut BfsScratch::new())
     }
 
     /// `true` if every usable atom can reach every other via MID hops.

@@ -27,11 +27,13 @@
 pub mod assembly;
 pub mod geometry;
 pub mod grid;
+pub mod interaction;
 pub mod restriction;
 pub mod vmap;
 
 pub use assembly::{AssemblyParams, AssemblyReport, AssemblySimulator};
 pub use geometry::{Direction, Site};
 pub use grid::Grid;
+pub use interaction::{BfsScratch, InteractionGraph};
 pub use restriction::{RestrictionPolicy, RestrictionZone};
 pub use vmap::VirtualMap;

@@ -218,8 +218,17 @@ impl<'a> Frontier<'a> {
     /// This is the `ℓ - ℓc` term of the paper's lookahead weight,
     /// recomputed as the schedule advances.
     pub fn remaining_layers(&self) -> Vec<Option<usize>> {
+        let mut rel = Vec::new();
+        self.remaining_layers_into(&mut rel);
+        rel
+    }
+
+    /// [`Frontier::remaining_layers`] into a caller-owned buffer, so a
+    /// scheduler recomputing layers every step reuses one allocation.
+    pub fn remaining_layers_into(&self, rel: &mut Vec<Option<usize>>) {
         let n = self.dag.len();
-        let mut rel: Vec<Option<usize>> = vec![None; n];
+        rel.clear();
+        rel.resize(n, None);
         // Process in id order: predecessors always have smaller ids
         // because gates are appended in program order.
         for i in 0..n {
@@ -235,7 +244,6 @@ impl<'a> Frontier<'a> {
                 .unwrap_or(0);
             rel[i] = Some(l);
         }
-        rel
     }
 }
 

@@ -74,6 +74,15 @@ pub enum Gate {
 impl Gate {
     /// The qubits this gate operates on, controls first.
     pub fn qubits(&self) -> Vec<Qubit> {
+        let mut v = Vec::with_capacity(self.arity());
+        self.qubits_into(&mut v);
+        v
+    }
+
+    /// Appends this gate's operands (controls first) to `out` without
+    /// allocating — the hot-path form of [`Gate::qubits`] used by the
+    /// scheduler's flattened operand table.
+    pub fn qubits_into(&self, out: &mut Vec<Qubit>) {
         match self {
             Gate::X(q)
             | Gate::Y(q)
@@ -86,15 +95,14 @@ impl Gate {
             | Gate::Rx(q, _)
             | Gate::Ry(q, _)
             | Gate::Rz(q, _)
-            | Gate::Measure(q) => vec![*q],
-            Gate::Cnot { control, target } => vec![*control, *target],
-            Gate::Cz(a, b) | Gate::Cphase(a, b, _) | Gate::Swap(a, b) => vec![*a, *b],
-            Gate::Toffoli { controls, target } => vec![controls[0], controls[1], *target],
-            Gate::Ccz(a, b, c) => vec![*a, *b, *c],
+            | Gate::Measure(q) => out.push(*q),
+            Gate::Cnot { control, target } => out.extend([*control, *target]),
+            Gate::Cz(a, b) | Gate::Cphase(a, b, _) | Gate::Swap(a, b) => out.extend([*a, *b]),
+            Gate::Toffoli { controls, target } => out.extend([controls[0], controls[1], *target]),
+            Gate::Ccz(a, b, c) => out.extend([*a, *b, *c]),
             Gate::Cnx { controls, target } => {
-                let mut v = controls.clone();
-                v.push(*target);
-                v
+                out.extend_from_slice(controls);
+                out.push(*target);
             }
         }
     }

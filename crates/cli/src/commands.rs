@@ -11,7 +11,9 @@ use na_arch::{AssemblySimulator, Grid, RestrictionPolicy};
 use na_benchmarks::Benchmark;
 use na_core::{compile, verify, CompiledCircuit, CompilerConfig};
 use na_engine::{derive_seed, Engine, ExperimentSpec, JsonlSink, LossSpec, Outcome, Task};
-use na_loss::{mean_loss_tolerance, render_timeline, CampaignConfig, ShotTarget, Strategy};
+use na_loss::{
+    mean_loss_tolerance, render_timeline, run_campaign, CampaignConfig, ShotTarget, Strategy,
+};
 use na_noise::{success_probability, NoiseParams};
 use std::error::Error;
 
@@ -146,7 +148,15 @@ pub fn sweep_cmd(args: &Args) -> CmdResult {
         }
         spec.push(c.benchmark, c.size, c.seed, cfg, Task::Compile);
     }
-    let records = engine(args)?.run(&spec);
+    let eng = engine(args)?;
+    let records = eng.run(&spec);
+    let stats = eng.cache_stats();
+    // Cache efficacy goes to stderr so it shows up in every run
+    // without disturbing table or JSONL stdout.
+    eprintln!(
+        "compile cache: {} hits, {} misses ({} entries)",
+        stats.hits, stats.misses, stats.entries
+    );
 
     if args.flag("jsonl") {
         na_engine::write_records(&records, &mut JsonlSink::stdout());
@@ -319,6 +329,136 @@ pub fn campaign_cmd(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// One timed workload of `natoms bench`.
+#[derive(Debug, serde::Serialize)]
+struct BenchWorkload {
+    /// Workload name (`fig07_compile`, `fig08_compile`, `loss_executor`).
+    name: String,
+    /// Timed repetitions of the whole workload.
+    passes: u32,
+    /// Work units (compiles or shots) in one pass.
+    units_per_pass: u32,
+    /// Total wall-clock seconds over all passes.
+    total_secs: f64,
+    /// Mean seconds per pass.
+    secs_per_pass: f64,
+    /// Work units per second.
+    units_per_sec: f64,
+}
+
+/// The machine-readable report of `natoms bench --json`.
+#[derive(Debug, serde::Serialize)]
+struct BenchReport {
+    /// Report format tag.
+    schema: String,
+    /// `"quick"` (CI smoke) or `"full"`.
+    mode: String,
+    /// Device the workloads compile onto.
+    grid: String,
+    /// The timed workloads.
+    workloads: Vec<BenchWorkload>,
+}
+
+/// `natoms bench` — wall-clock timings of the paper-grid compile and
+/// loss-executor workloads (the numbers tracked in
+/// `BENCH_compile.json`). `--json` emits the machine-readable report;
+/// `--quick` runs a reduced smoke-size variant for CI.
+pub fn bench_cmd(args: &Args) -> CmdResult {
+    use std::time::Instant;
+    let quick = args.flag("quick");
+    let grid = Grid::new(10, 10);
+    let na_cfg = CompilerConfig::new(3.0);
+    let sc_cfg = CompilerConfig::new(1.0)
+        .with_native_multiqubit(false)
+        .with_restriction(RestrictionPolicy::None);
+    let mut workloads = Vec::new();
+
+    let mut timed = |name: &str, passes: u32, units_per_pass: u32, work: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        for _ in 0..passes {
+            work();
+        }
+        let total_secs = t0.elapsed().as_secs_f64();
+        let secs_per_pass = total_secs / f64::from(passes);
+        workloads.push(BenchWorkload {
+            name: name.to_string(),
+            passes,
+            units_per_pass,
+            total_secs,
+            secs_per_pass,
+            units_per_sec: f64::from(passes * units_per_pass) / total_secs,
+        });
+    };
+
+    // Fig. 7 workload: one compile per (benchmark, architecture) at
+    // the paper's 50-qubit program size.
+    let fig07_size = if quick { 16 } else { 50 };
+    let fig07_passes = if quick { 1 } else { 3 };
+    timed(
+        "fig07_compile",
+        fig07_passes,
+        (Benchmark::ALL.len() * 2) as u32,
+        &mut || {
+            for b in Benchmark::ALL {
+                let c = b.generate(fig07_size, 0);
+                compile(&c, &grid, &na_cfg).expect("fig07 compiles");
+                compile(&c, &grid, &sc_cfg).expect("fig07 compiles");
+            }
+        },
+    );
+
+    // Fig. 8 workload: the size ladder, both architectures.
+    let fig08_sizes: Vec<u32> = if quick {
+        vec![10, 20]
+    } else {
+        (5..=100).step_by(5).collect()
+    };
+    timed(
+        "fig08_compile",
+        1,
+        (Benchmark::ALL.len() * fig08_sizes.len() * 2) as u32,
+        &mut || {
+            for b in Benchmark::ALL {
+                for &size in &fig08_sizes {
+                    let c = b.generate(size, 0);
+                    compile(&c, &grid, &na_cfg).expect("fig08 compiles");
+                    compile(&c, &grid, &sc_cfg).expect("fig08 compiles");
+                }
+            }
+        },
+    );
+
+    // Loss-executor workload: a Monte-Carlo campaign under atom loss
+    // (compile + per-shot loss draws, remaps, and reroute fixups).
+    let shots = if quick { 25 } else { 200 };
+    timed("loss_executor", 1, shots, &mut || {
+        let program = Benchmark::Bv.generate(30, 0);
+        let cfg = CampaignConfig::new(3.0, Strategy::CompileSmallReroute)
+            .with_target(ShotTarget::Attempts(shots))
+            .with_seed(1);
+        run_campaign(&program, &grid, na_loss::LossModel::new(1), &cfg).expect("campaign runs");
+    });
+
+    let report = BenchReport {
+        schema: "natoms-bench-v1".into(),
+        mode: if quick { "quick" } else { "full" }.into(),
+        grid: format!("{}x{}", grid.width(), grid.height()),
+        workloads,
+    };
+    if args.flag("json") {
+        println!("{}", serde_json::to_string(&report)?);
+    } else {
+        println!("== natoms bench ({}) on {} ==", report.mode, report.grid);
+        for w in &report.workloads {
+            println!(
+                "{:<16} {:>3} pass(es) x {:>4} units: {:.4} s/pass ({:.0} units/s)",
+                w.name, w.passes, w.units_per_pass, w.secs_per_pass, w.units_per_sec
+            );
+        }
+    }
+    Ok(())
+}
+
 /// `natoms reload-time`
 pub fn reload_time_cmd(args: &Args) -> CmdResult {
     let width: u32 = args.parse_or("width", 10)?;
@@ -442,6 +582,29 @@ mod tests {
             "3",
         ]);
         campaign_cmd(&args).unwrap();
+    }
+
+    #[test]
+    fn bench_quick_runs_and_report_serializes() {
+        let args = parse(&["bench", "--quick", "--json"]);
+        bench_cmd(&args).unwrap();
+        // The report type itself round-trips through serde_json.
+        let report = BenchReport {
+            schema: "natoms-bench-v1".into(),
+            mode: "quick".into(),
+            grid: "10x10".into(),
+            workloads: vec![BenchWorkload {
+                name: "fig07_compile".into(),
+                passes: 1,
+                units_per_pass: 10,
+                total_secs: 0.5,
+                secs_per_pass: 0.5,
+                units_per_sec: 20.0,
+            }],
+        };
+        let line = serde_json::to_string(&report).unwrap();
+        assert!(line.contains("\"schema\":\"natoms-bench-v1\""));
+        assert!(line.contains("\"units_per_pass\":10"));
     }
 
     #[test]

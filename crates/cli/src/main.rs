@@ -8,6 +8,7 @@
 //! natoms campaign --benchmark cnu --size 30 --mid 4 --strategy c-small-reroute \
 //!                 --shots 500 --error 0.035 --loss-factor 1 \
 //!                 [--campaigns 8] [--workers 8] [--jsonl] [--timeline]
+//! natoms bench    [--json] [--quick]
 //! natoms reload-time --width 10 --height 10 --margin 3 --trials 10
 //! ```
 //!
@@ -31,6 +32,7 @@ SUBCOMMANDS:
   success      predicted shot success, NA vs SC
   tolerance    max atom loss before reload, per strategy
   campaign     multi-shot campaign under atom loss
+  bench        time the paper-grid compile/loss workloads [--json] [--quick]
   reload-time  derive the array reload time from assembly physics
 
 COMMON OPTIONS:
@@ -64,6 +66,7 @@ fn main() -> ExitCode {
         Some("success") => commands::success_cmd(&args),
         Some("tolerance") => commands::tolerance_cmd(&args),
         Some("campaign") => commands::campaign_cmd(&args),
+        Some("bench") => commands::bench_cmd(&args),
         Some("reload-time") => commands::reload_time_cmd(&args),
         Some(other) => {
             eprintln!("error: unknown subcommand {other:?}\n\n{USAGE}");

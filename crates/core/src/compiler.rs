@@ -4,7 +4,7 @@
 use crate::placement::initial_placement;
 use crate::scheduler::{frontier_weights, run};
 use crate::{CompileError, CompilerConfig, QubitMap};
-use na_arch::{Grid, RestrictionZone, Site};
+use na_arch::{Grid, InteractionGraph, RestrictionZone, Site};
 use na_circuit::{decompose_circuit, Circuit, DecomposeLevel, Gate, Qubit};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -25,6 +25,9 @@ pub struct CompiledCircuit {
     final_map: HashMap<Qubit, Site>,
     num_timesteps: u32,
     config: CompilerConfig,
+    /// Every site the program touches, sorted and deduped once at
+    /// compile time (the loss strategies scan this per shot).
+    used_sites: Vec<Site>,
 }
 
 impl CompiledCircuit {
@@ -89,13 +92,18 @@ impl CompiledCircuit {
 
     /// The sites the program occupies at any point in the schedule
     /// (used by the loss strategies to distinguish in-use atoms from
-    /// spares).
-    pub fn used_sites(&self) -> Vec<Site> {
-        let mut sites: Vec<Site> = self
-            .initial_map
+    /// spares), sorted ascending — computed once at compile time, so
+    /// callers that only scan pay no per-call `Vec` churn and can
+    /// binary-search membership.
+    pub fn used_sites(&self) -> &[Site] {
+        &self.used_sites
+    }
+
+    fn compute_used_sites(initial_map: &HashMap<Qubit, Site>, ops: &[ScheduledOp]) -> Vec<Site> {
+        let mut sites: Vec<Site> = initial_map
             .values()
             .copied()
-            .chain(self.ops.iter().flat_map(|o| o.sites.iter().copied()))
+            .chain(ops.iter().flat_map(|o| o.sites.iter().copied()))
             .collect();
         sites.sort();
         sites.dedup();
@@ -196,8 +204,12 @@ pub fn compile(
     let map0 = initial_placement(&lowered, grid, &weights)?;
     let initial_table = map0.to_table();
 
-    let result = run(&lowered, grid, config, map0)?;
+    // The precomputed flat-index interaction graph every hot loop
+    // (SWAP scoring, forced hops) runs over; memoized per (grid, MID).
+    let graph = InteractionGraph::cached(grid, config.mid);
+    let result = run(&lowered, grid, &graph, config, map0)?;
 
+    let used_sites = CompiledCircuit::compute_used_sites(&initial_table, &result.ops);
     Ok(CompiledCircuit {
         circuit: lowered,
         ops: result.ops,
@@ -205,7 +217,49 @@ pub fn compile(
         final_map: result.final_map.to_table(),
         num_timesteps: result.num_timesteps,
         config: *config,
+        used_sites,
     })
+}
+
+/// A stable 64-bit digest of a compiled schedule: the timestep count,
+/// the initial placement, every op's `(time, source, sites)` in order,
+/// and the final placement, folded through the same FNV-1a the cache
+/// fingerprints use.
+///
+/// Two compilations agree on this digest iff they produced the same
+/// schedule byte for byte — the regression contract the flat-index
+/// overhaul is held to (see `tests/golden_digests.rs`).
+pub fn schedule_digest(compiled: &CompiledCircuit) -> u64 {
+    use na_circuit::fingerprint::fnv1a_extend;
+    fn fold_site(h: u64, s: Site) -> u64 {
+        fnv1a_extend(fnv1a_extend(h, s.x as i64 as u64), s.y as i64 as u64)
+    }
+    let mut h = fnv1a_extend(0xcbf2_9ce4_8422_2325, u64::from(compiled.num_timesteps()));
+    let mut init: Vec<_> = compiled
+        .initial_map()
+        .iter()
+        .map(|(&q, &s)| (q, s))
+        .collect();
+    init.sort();
+    for (q, s) in init {
+        h = fnv1a_extend(h, u64::from(q.0));
+        h = fold_site(h, s);
+    }
+    for op in compiled.ops() {
+        h = fnv1a_extend(h, u64::from(op.time));
+        h = fnv1a_extend(h, op.source.map_or(0, |g| g as u64 + 1));
+        h = fnv1a_extend(h, op.sites.len() as u64);
+        for &s in &op.sites {
+            h = fold_site(h, s);
+        }
+    }
+    let mut fin: Vec<_> = compiled.final_map().iter().map(|(&q, &s)| (q, s)).collect();
+    fin.sort();
+    for (q, s) in fin {
+        h = fnv1a_extend(h, u64::from(q.0));
+        h = fold_site(h, s);
+    }
+    h
 }
 
 /// Constraint violations reported by [`verify`].

@@ -51,7 +51,9 @@ pub mod placement;
 pub mod routing;
 pub mod scheduler;
 
-pub use compiler::{compile, verify, CompiledCircuit, CompiledMetrics, ScheduledOp, VerifyError};
+pub use compiler::{
+    compile, schedule_digest, verify, CompiledCircuit, CompiledMetrics, ScheduledOp, VerifyError,
+};
 pub use config::{CompileError, CompilerConfig};
-pub use lookahead::InteractionWeights;
+pub use lookahead::{InteractionWeights, WeightScratch};
 pub use mapping::QubitMap;

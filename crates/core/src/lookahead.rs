@@ -13,7 +13,22 @@
 //! in the future matter exponentially less.
 
 use na_circuit::Qubit;
-use std::collections::HashMap;
+
+/// Reusable working memory for [`InteractionWeights`] rebuilds: the
+/// flat pair-contribution list that replaces the hash map the builder
+/// used to allocate per call.
+#[derive(Debug, Clone, Default)]
+pub struct WeightScratch {
+    /// `(packed (u, v) pair, e^{-layer})` contributions in gate order.
+    contribs: Vec<(u64, f64)>,
+}
+
+impl WeightScratch {
+    /// Fresh scratch; grows to the circuit's pair count on first use.
+    pub fn new() -> Self {
+        WeightScratch::default()
+    }
+}
 
 /// The weighted interaction graph over program qubits.
 ///
@@ -26,6 +41,14 @@ pub struct InteractionWeights {
 }
 
 impl InteractionWeights {
+    /// An empty graph over `num_qubits` qubits (no interactions yet);
+    /// fill it with [`InteractionWeights::rebuild_from_layered_gates`].
+    pub fn empty(num_qubits: u32) -> Self {
+        InteractionWeights {
+            adj: vec![Vec::new(); num_qubits as usize],
+        }
+    }
+
     /// Builds weights from per-gate relative layers.
     ///
     /// `gates` yields `(operands, relative_layer)` for every pending
@@ -34,7 +57,32 @@ impl InteractionWeights {
     where
         I: IntoIterator<Item = (&'a [Qubit], usize)>,
     {
-        let mut pair_weights: HashMap<(Qubit, Qubit), f64> = HashMap::new();
+        let mut weights = InteractionWeights::empty(num_qubits);
+        weights.rebuild_from_layered_gates(gates, lookahead_depth, &mut WeightScratch::new());
+        weights
+    }
+
+    /// Rebuilds the graph in place from per-gate relative layers,
+    /// reusing this graph's adjacency buffers and `scratch` — the
+    /// scheduler calls this every time completions shift the frontier,
+    /// so the rebuild allocates nothing once buffers have grown.
+    ///
+    /// Weight values are bitwise-identical to
+    /// [`InteractionWeights::from_layered_gates`]: contributions are
+    /// accumulated per pair in gate order, exactly as the hash-map
+    /// builder did.
+    pub fn rebuild_from_layered_gates<'a, I>(
+        &mut self,
+        gates: I,
+        lookahead_depth: usize,
+        scratch: &mut WeightScratch,
+    ) where
+        I: IntoIterator<Item = (&'a [Qubit], usize)>,
+    {
+        for list in &mut self.adj {
+            list.clear();
+        }
+        scratch.contribs.clear();
         for (operands, layer) in gates {
             if layer > lookahead_depth {
                 continue;
@@ -42,23 +90,34 @@ impl InteractionWeights {
             let w = (-(layer as f64)).exp();
             for i in 0..operands.len() {
                 for j in (i + 1)..operands.len() {
-                    let key = if operands[i] < operands[j] {
+                    let (u, v) = if operands[i] < operands[j] {
                         (operands[i], operands[j])
                     } else {
                         (operands[j], operands[i])
                     };
-                    *pair_weights.entry(key).or_insert(0.0) += w;
+                    scratch
+                        .contribs
+                        .push(((u64::from(u.0) << 32) | u64::from(v.0), w));
                 }
             }
         }
-        let mut adj: Vec<Vec<(Qubit, f64)>> = vec![Vec::new(); num_qubits as usize];
-        let mut entries: Vec<_> = pair_weights.into_iter().collect();
-        entries.sort_by_key(|a| a.0);
-        for ((u, v), w) in entries {
-            adj[u.index()].push((v, w));
-            adj[v.index()].push((u, w));
+        // Stable sort keeps each pair's contributions in gate order, so
+        // the left-to-right sum below adds the same f64 sequence the
+        // old `HashMap` entry accumulation did.
+        scratch.contribs.sort_by_key(|&(key, _)| key);
+        let mut i = 0;
+        while i < scratch.contribs.len() {
+            let key = scratch.contribs[i].0;
+            let mut sum = 0.0f64;
+            while i < scratch.contribs.len() && scratch.contribs[i].0 == key {
+                sum += scratch.contribs[i].1;
+                i += 1;
+            }
+            let u = Qubit((key >> 32) as u32);
+            let v = Qubit(key as u32);
+            self.adj[u.index()].push((v, sum));
+            self.adj[v.index()].push((u, sum));
         }
-        InteractionWeights { adj }
     }
 
     /// The weight between two qubits (0 if they never interact in the
@@ -192,6 +251,32 @@ mod tests {
         assert!((only_q1 - 1.0).abs() < 1e-12);
         let both = w.weight_to_mapped(Qubit(0), |_| true);
         assert!((both - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_and_matches_fresh_build() {
+        let gates_a = [
+            (vec![Qubit(0), Qubit(1)], 0usize),
+            (vec![Qubit(1), Qubit(2)], 1),
+        ];
+        let gates_b = [(vec![Qubit(0), Qubit(2)], 0usize)];
+        let mut scratch = WeightScratch::new();
+        let mut w = InteractionWeights::empty(3);
+        for gates in [&gates_a[..], &gates_b[..], &gates_a[..]] {
+            w.rebuild_from_layered_gates(
+                gates.iter().map(|(q, l)| (q.as_slice(), *l)),
+                20,
+                &mut scratch,
+            );
+            let fresh = InteractionWeights::from_layered_gates(
+                3,
+                gates.iter().map(|(q, l)| (q.as_slice(), *l)),
+                20,
+            );
+            for u in 0..3u32 {
+                assert_eq!(w.partners(Qubit(u)), fresh.partners(Qubit(u)));
+            }
+        }
     }
 
     #[test]

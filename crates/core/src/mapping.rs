@@ -2,12 +2,20 @@
 
 use na_arch::Site;
 use na_circuit::Qubit;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Sentinel for "no qubit" in the flat site table.
+const EMPTY: u32 = u32::MAX;
 
 /// The placement `φ` from program qubits to trap sites, maintained
 /// bidirectionally so the router can ask both "where is qubit u?" and
 /// "who occupies site h?".
+///
+/// Both directions are flat arrays: `q2s` indexed by qubit, and a
+/// dense row-major site table covering the rectangle of sites seen so
+/// far (pre-sizable with [`QubitMap::with_extent`]), so the
+/// `site_of`/`qubit_at`/`swap_sites` hot path of the router never
+/// touches a hash map.
 ///
 /// # Example
 ///
@@ -22,18 +30,41 @@ use std::collections::HashMap;
 /// map.swap_sites(Site::new(0, 0), Site::new(1, 0));
 /// assert_eq!(map.site_of(Qubit(0)), Some(Site::new(1, 0)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QubitMap {
     q2s: Vec<Option<Site>>,
-    s2q: HashMap<Site, Qubit>,
+    /// Dense `extent_w × extent_h` row-major table of occupants
+    /// (`EMPTY` = free). Grows on demand when a site beyond the
+    /// current extent is occupied; sites with negative coordinates
+    /// cannot hold qubits (no grid produces them).
+    s2q: Vec<u32>,
+    extent_w: i32,
+    extent_h: i32,
+}
+
+impl PartialEq for QubitMap {
+    /// Two maps are equal iff they place the same qubits on the same
+    /// sites; the site-table extent is a capacity detail.
+    fn eq(&self, other: &Self) -> bool {
+        self.q2s == other.q2s
+    }
 }
 
 impl QubitMap {
     /// Creates an empty mapping for `num_qubits` program qubits.
     pub fn new(num_qubits: u32) -> Self {
+        QubitMap::with_extent(num_qubits, 0, 0)
+    }
+
+    /// Creates an empty mapping whose site table is pre-sized to a
+    /// `width × height` device, so no growth happens during placement
+    /// or routing.
+    pub fn with_extent(num_qubits: u32, width: u32, height: u32) -> Self {
         QubitMap {
             q2s: vec![None; num_qubits as usize],
-            s2q: HashMap::new(),
+            s2q: vec![EMPTY; width as usize * height as usize],
+            extent_w: width as i32,
+            extent_h: height as i32,
         }
     }
 
@@ -47,6 +78,36 @@ impl QubitMap {
         self.q2s.iter().filter(|s| s.is_some()).count()
     }
 
+    #[inline]
+    fn site_index(&self, site: Site) -> Option<usize> {
+        if site.x < 0 || site.y < 0 || site.x >= self.extent_w || site.y >= self.extent_h {
+            return None;
+        }
+        Some(site.y as usize * self.extent_w as usize + site.x as usize)
+    }
+
+    /// Grows the site table to cover `site`, preserving occupants.
+    fn grow_to_cover(&mut self, site: Site) {
+        assert!(
+            site.x >= 0 && site.y >= 0,
+            "site {site} with negative coordinates cannot hold a qubit"
+        );
+        let new_w = self.extent_w.max(site.x + 1);
+        let new_h = self.extent_h.max(site.y + 1);
+        if new_w == self.extent_w && new_h == self.extent_h {
+            return;
+        }
+        let mut table = vec![EMPTY; new_w as usize * new_h as usize];
+        for (i, s) in self.q2s.iter().enumerate() {
+            if let Some(s) = s {
+                table[s.y as usize * new_w as usize + s.x as usize] = i as u32;
+            }
+        }
+        self.s2q = table;
+        self.extent_w = new_w;
+        self.extent_h = new_h;
+    }
+
     /// The site holding `q`, if placed.
     #[inline]
     pub fn site_of(&self, q: Qubit) -> Option<Site> {
@@ -56,13 +117,16 @@ impl QubitMap {
     /// The program qubit at `site`, if occupied.
     #[inline]
     pub fn qubit_at(&self, site: Site) -> Option<Qubit> {
-        self.s2q.get(&site).copied()
+        match self.site_index(site) {
+            Some(i) if self.s2q[i] != EMPTY => Some(Qubit(self.s2q[i])),
+            _ => None,
+        }
     }
 
     /// `true` if no program qubit occupies `site`.
     #[inline]
     pub fn is_free(&self, site: Site) -> bool {
-        !self.s2q.contains_key(&site)
+        self.qubit_at(site).is_none()
     }
 
     /// Places `q` at `site`.
@@ -75,8 +139,10 @@ impl QubitMap {
         assert!(q.index() < self.q2s.len(), "qubit {q} out of range");
         assert!(self.q2s[q.index()].is_none(), "qubit {q} already placed");
         assert!(self.is_free(site), "site {site} already occupied");
+        self.grow_to_cover(site);
         self.q2s[q.index()] = Some(site);
-        self.s2q.insert(site, q);
+        let i = self.site_index(site).expect("grown to cover");
+        self.s2q[i] = q.0;
     }
 
     /// Exchanges the occupants of two sites (either may be empty); this
@@ -87,15 +153,29 @@ impl QubitMap {
     /// Panics if `a == b`.
     pub fn swap_sites(&mut self, a: Site, b: Site) {
         assert_ne!(a, b, "cannot swap a site with itself");
-        let qa = self.s2q.remove(&a);
-        let qb = self.s2q.remove(&b);
+        let qa = self.qubit_at(a);
+        let qb = self.qubit_at(b);
+        if qa.is_some() {
+            self.grow_to_cover(b);
+        }
+        if qb.is_some() {
+            self.grow_to_cover(a);
+        }
+        if let Some(i) = self.site_index(a) {
+            self.s2q[i] = EMPTY;
+        }
+        if let Some(i) = self.site_index(b) {
+            self.s2q[i] = EMPTY;
+        }
         if let Some(q) = qa {
             self.q2s[q.index()] = Some(b);
-            self.s2q.insert(b, q);
+            let i = self.site_index(b).expect("covered");
+            self.s2q[i] = q.0;
         }
         if let Some(q) = qb {
             self.q2s[q.index()] = Some(a);
-            self.s2q.insert(a, q);
+            let i = self.site_index(a).expect("covered");
+            self.s2q[i] = q.0;
         }
     }
 
@@ -192,5 +272,29 @@ mod tests {
         let t = m.to_table();
         let rebuilt = QubitMap::from_table(4, &t);
         assert_eq!(m, rebuilt);
+    }
+
+    #[test]
+    fn presized_extent_never_regrows_lookups() {
+        let mut m = QubitMap::with_extent(2, 10, 10);
+        m.assign(Qubit(0), Site::new(9, 9));
+        m.assign(Qubit(1), Site::new(0, 0));
+        m.swap_sites(Site::new(9, 9), Site::new(0, 0));
+        assert_eq!(m.qubit_at(Site::new(0, 0)), Some(Qubit(0)));
+        assert_eq!(m.qubit_at(Site::new(9, 9)), Some(Qubit(1)));
+        // Out-of-extent sites are simply free.
+        assert!(m.is_free(Site::new(50, 50)));
+        assert_eq!(m.qubit_at(Site::new(-1, 0)), None);
+    }
+
+    #[test]
+    fn equality_ignores_extent() {
+        let mut a = QubitMap::with_extent(2, 10, 10);
+        let mut b = QubitMap::new(2);
+        a.assign(Qubit(0), Site::new(3, 2));
+        b.assign(Qubit(0), Site::new(3, 2));
+        assert_eq!(a, b);
+        b.swap_sites(Site::new(3, 2), Site::new(0, 0));
+        assert_ne!(a, b);
     }
 }

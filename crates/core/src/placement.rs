@@ -35,7 +35,9 @@ pub fn initial_placement(
         });
     }
 
-    let mut map = QubitMap::new(n);
+    // Pre-size the flat site table to the device so placement and the
+    // downstream router never regrow it.
+    let mut map = QubitMap::with_extent(n, grid.width(), grid.height());
     let center = grid.center();
 
     // Seed: heaviest pair adjacent at the device center.

@@ -20,9 +20,8 @@
 //! topologies.
 
 use crate::{InteractionWeights, QubitMap};
-use na_arch::{Grid, Site};
+use na_arch::{BfsScratch, Grid, InteractionGraph, Site};
 use na_circuit::Qubit;
-use std::collections::VecDeque;
 
 /// A candidate SWAP: exchange the occupants of `from` and `to`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,10 +76,14 @@ pub fn all_within_mid(operands: &[Qubit], map: &QubitMap, mid: f64) -> bool {
 /// closer to its farthest co-operand. Returns `None` when no usable
 /// candidate site satisfies the strictly-closer constraint (the caller
 /// falls back to [`forced_hop`]).
+///
+/// Candidate sites come from the precomputed [`InteractionGraph`]
+/// (built at the same MID), so the scan is a flat slice walk with no
+/// per-call allocation.
 pub fn best_swap_for_gate(
     operands: &[Qubit],
     map: &QubitMap,
-    grid: &Grid,
+    graph: &InteractionGraph,
     weights: &InteractionWeights,
     mid: f64,
 ) -> Option<SwapMove> {
@@ -101,7 +104,8 @@ pub fn best_swap_for_gate(
         if su.within(st, mid) && operands.len() == 2 {
             continue; // this pair is already satisfied
         }
-        for h in grid.neighbors_within(su, mid) {
+        let su_index = graph.index_of(su).expect("mapped sites are on the grid");
+        for h in graph.neighbor_sites(su_index) {
             // Strictly-closer constraint toward the immediate partner.
             if h.distance(st) + 1e-12 >= su.distance(st) {
                 continue;
@@ -176,6 +180,12 @@ pub fn meeting_point(operands: &[Qubit], map: &QubitMap, grid: &Grid) -> Site {
         .iter()
         .map(|&q| map.site_of(q).expect("operand mapped"))
         .collect();
+    meeting_point_of_sites(&sites, grid)
+}
+
+/// [`meeting_point`] over already-resolved operand sites; the
+/// scheduler's fallback path calls this with its reusable site buffer.
+pub fn meeting_point_of_sites(sites: &[Site], grid: &Grid) -> Site {
     let mut best: Option<(f64, Site)> = None;
     for m in grid.usable_sites() {
         let worst = sites.iter().map(|s| s.distance(m)).fold(0.0f64, f64::max);
@@ -191,46 +201,11 @@ pub fn meeting_point(operands: &[Qubit], map: &QubitMap, grid: &Grid) -> Site {
 /// avoiding `blocked` sites as destinations. Returns the next site on
 /// a shortest hop path, or `None` if `goal` is unreachable or `from`
 /// is already at `goal`.
+///
+/// Convenience wrapper over [`InteractionGraph::hop_toward`]; the
+/// scheduler holds its own graph and scratch and calls that directly.
 pub fn forced_hop(grid: &Grid, from: Site, goal: Site, mid: f64, blocked: &[Site]) -> Option<Site> {
-    if from == goal {
-        return None;
-    }
-    // BFS from `from` to `goal` over usable sites, skipping blocked
-    // destinations (the goal itself may be blocked only if it is an
-    // intermediate congregation point — then stop one hop short).
-    let mut prev: std::collections::HashMap<Site, Site> = std::collections::HashMap::new();
-    let mut queue = VecDeque::new();
-    prev.insert(from, from);
-    queue.push_back(from);
-    let mut found = false;
-    while let Some(s) = queue.pop_front() {
-        if s == goal {
-            found = true;
-            break;
-        }
-        for n in grid.neighbors_within(s, mid) {
-            if prev.contains_key(&n) {
-                continue;
-            }
-            if blocked.contains(&n) && n != goal {
-                continue;
-            }
-            prev.insert(n, s);
-            queue.push_back(n);
-        }
-    }
-    if !found {
-        return None;
-    }
-    // Walk back from goal to the hop adjacent to `from`.
-    let mut cur = goal;
-    while prev[&cur] != from {
-        cur = prev[&cur];
-    }
-    if blocked.contains(&cur) {
-        return None;
-    }
-    Some(cur)
+    InteractionGraph::cached(grid, mid).hop_toward(from, goal, blocked, &mut BfsScratch::new())
 }
 
 #[cfg(test)]
@@ -268,9 +243,10 @@ mod tests {
     #[test]
     fn best_swap_moves_toward_partner() {
         let grid = Grid::new(7, 1);
+        let graph = InteractionGraph::cached(&grid, 2.0);
         let map = line_map(&[(0, 0), (6, 0)]);
         let w = weights_pair(2, Qubit(0), Qubit(1));
-        let mv = best_swap_for_gate(&[Qubit(0), Qubit(1)], &map, &grid, &w, 2.0).unwrap();
+        let mv = best_swap_for_gate(&[Qubit(0), Qubit(1)], &map, &graph, &w, 2.0).unwrap();
         // Either endpoint can move, but the move must make strict progress.
         let gain_from = mv.from.distance(if mv.from.x == 0 {
             Site::new(6, 0)
@@ -289,10 +265,11 @@ mod tests {
     #[test]
     fn best_swap_none_when_already_within() {
         let grid = Grid::new(7, 1);
+        let graph = InteractionGraph::cached(&grid, 2.0);
         let map = line_map(&[(0, 0), (1, 0)]);
         let w = weights_pair(2, Qubit(0), Qubit(1));
         assert_eq!(
-            best_swap_for_gate(&[Qubit(0), Qubit(1)], &map, &grid, &w, 2.0),
+            best_swap_for_gate(&[Qubit(0), Qubit(1)], &map, &graph, &w, 2.0),
             None
         );
     }
@@ -301,13 +278,14 @@ mod tests {
     fn best_swap_never_displaces_co_operand() {
         // Three operands in a row; moving q0 onto q1's site is banned.
         let grid = Grid::new(5, 1);
+        let graph = InteractionGraph::cached(&grid, 1.0);
         let map = line_map(&[(0, 0), (1, 0), (4, 0)]);
         let w = InteractionWeights::from_layered_gates(
             3,
             [(&[Qubit(0), Qubit(1), Qubit(2)][..], 0usize)],
             20,
         );
-        if let Some(mv) = best_swap_for_gate(&[Qubit(0), Qubit(1), Qubit(2)], &map, &grid, &w, 1.0)
+        if let Some(mv) = best_swap_for_gate(&[Qubit(0), Qubit(1), Qubit(2)], &map, &graph, &w, 1.0)
         {
             let displaced = map.qubit_at(mv.to);
             assert!(

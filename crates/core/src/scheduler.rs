@@ -13,10 +13,23 @@
 //!
 //! SWAPs update the mapping immediately; completed gates unlock their
 //! DAG successors at the end of the step.
+//!
+//! # Hot-path layout
+//!
+//! The inner loop runs over the precomputed
+//! [`InteractionGraph`](na_arch::InteractionGraph) and allocates
+//! nothing per timestep in steady state: gate operands live in a
+//! flattened CSR table built once per compile, the per-step
+//! `ready`/`in_range`/zone collections are reusable buffers, completion
+//! is a bit mask, zone conflicts go through a bounding-box prefilter,
+//! and lookahead weights are rebuilt lazily (only when a completed gate
+//! has shifted the frontier *and* a long-distance gate actually needs a
+//! SWAP scored) into reused adjacency buffers. The only remaining
+//! allocations are the output [`ScheduledOp`]s themselves.
 
-use crate::routing::{all_within_mid, best_swap_for_gate, forced_hop, meeting_point};
-use crate::{CompileError, CompilerConfig, InteractionWeights, QubitMap};
-use na_arch::{Grid, RestrictionZone, Site};
+use crate::routing::{all_within_mid, best_swap_for_gate, meeting_point_of_sites};
+use crate::{CompileError, CompilerConfig, InteractionWeights, QubitMap, WeightScratch};
+use na_arch::{BfsScratch, Grid, InteractionGraph, RestrictionPolicy, Site};
 use na_circuit::{Circuit, Frontier, GateId, Qubit};
 
 /// One operation in the compiled schedule.
@@ -46,14 +59,18 @@ impl ScheduledOp {
 
     /// Maximum pairwise distance between operand sites.
     pub fn span(&self) -> f64 {
-        let mut d: f64 = 0.0;
-        for i in 0..self.sites.len() {
-            for j in (i + 1)..self.sites.len() {
-                d = d.max(self.sites[i].distance(self.sites[j]));
-            }
-        }
-        d
+        max_pairwise_distance(&self.sites)
     }
+}
+
+fn max_pairwise_distance(sites: &[Site]) -> f64 {
+    let mut d: f64 = 0.0;
+    for i in 0..sites.len() {
+        for j in (i + 1)..sites.len() {
+            d = d.max(sites[i].distance(sites[j]));
+        }
+    }
+    d
 }
 
 /// Output of [`run`]: the time-stamped ops, the final mapping, and the
@@ -64,10 +81,150 @@ pub(crate) struct ScheduleResult {
     pub num_timesteps: u32,
 }
 
+/// Flattened per-gate operand lists in CSR layout, built once per
+/// compile so the scheduler never calls the allocating
+/// [`na_circuit::Gate::qubits`] in its inner loop.
+pub(crate) struct GateOperands {
+    offsets: Vec<u32>,
+    qubits: Vec<Qubit>,
+}
+
+impl GateOperands {
+    pub(crate) fn of(circuit: &Circuit) -> Self {
+        let mut offsets = Vec::with_capacity(circuit.len() + 1);
+        let mut qubits = Vec::new();
+        offsets.push(0u32);
+        for gate in circuit.iter() {
+            gate.qubits_into(&mut qubits);
+            offsets.push(qubits.len() as u32);
+        }
+        GateOperands { offsets, qubits }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Operands of gate `id`, controls first.
+    #[inline]
+    pub(crate) fn get(&self, id: usize) -> &[Qubit] {
+        &self.qubits[self.offsets[id] as usize..self.offsets[id + 1] as usize]
+    }
+}
+
+/// Completed-gate bit mask: `contains` is one word probe instead of a
+/// linear scan over the step's completion list.
+struct GateMask {
+    words: Vec<u64>,
+}
+
+impl GateMask {
+    fn new(num_gates: usize) -> Self {
+        GateMask {
+            words: vec![0; num_gates.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, id: usize) {
+        self.words[id / 64] |= 1 << (id % 64);
+    }
+
+    #[inline]
+    fn contains(&self, id: usize) -> bool {
+        self.words[id / 64] & (1 << (id % 64)) != 0
+    }
+}
+
+/// The per-timestep set of claimed restriction zones, flattened into
+/// reusable buffers with a bounding-box prefilter in front of the
+/// exact disc-intersection test.
+///
+/// Semantics match chaining [`na_arch::RestrictionZone::for_gate`] +
+/// `intersects` over every already-claimed zone: gates conflict when
+/// they share an operand site or any two discs overlap strictly.
+struct ZoneBuffer {
+    policy: RestrictionPolicy,
+    /// All claimed operand sites this step, flat.
+    centers: Vec<Site>,
+    /// Per-zone: centers range, disc radius, radius-expanded bbox.
+    zones: Vec<ZoneEntry>,
+}
+
+struct ZoneEntry {
+    start: u32,
+    end: u32,
+    radius: f64,
+    min_x: f64,
+    max_x: f64,
+    min_y: f64,
+    max_y: f64,
+}
+
+impl ZoneBuffer {
+    fn new(policy: RestrictionPolicy) -> Self {
+        ZoneBuffer {
+            policy,
+            centers: Vec::new(),
+            zones: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.centers.clear();
+        self.zones.clear();
+    }
+
+    /// Claims the zone of a gate over `sites` if it conflicts with no
+    /// zone claimed so far this step; returns whether it was claimed.
+    fn try_claim(&mut self, sites: &[Site]) -> bool {
+        let radius = self.policy.radius(max_pairwise_distance(sites));
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in sites {
+            min_x = min_x.min(f64::from(s.x) - radius);
+            max_x = max_x.max(f64::from(s.x) + radius);
+            min_y = min_y.min(f64::from(s.y) - radius);
+            max_y = max_y.max(f64::from(s.y) + radius);
+        }
+        for zone in &self.zones {
+            // Bounding-box prefilter: disc overlap (strict) or a shared
+            // operand site both imply the expanded boxes touch, so a
+            // separated box pair can never conflict.
+            if zone.min_x > max_x || min_x > zone.max_x || zone.min_y > max_y || min_y > zone.max_y
+            {
+                continue;
+            }
+            let claimed = &self.centers[zone.start as usize..zone.end as usize];
+            for a in claimed {
+                for b in sites {
+                    if a == b || a.distance(*b) < zone.radius + radius {
+                        return false;
+                    }
+                }
+            }
+        }
+        let start = self.centers.len() as u32;
+        self.centers.extend_from_slice(sites);
+        self.zones.push(ZoneEntry {
+            start,
+            end: self.centers.len() as u32,
+            radius,
+            min_x,
+            max_x,
+            min_y,
+            max_y,
+        });
+        true
+    }
+}
+
 /// Schedules a (pre-lowered) circuit starting from `initial` placement.
 pub(crate) fn run(
     circuit: &Circuit,
     grid: &Grid,
+    graph: &InteractionGraph,
     config: &CompilerConfig,
     initial: QubitMap,
 ) -> Result<ScheduleResult, CompileError> {
@@ -81,8 +238,32 @@ pub(crate) fn run(
         .saturating_mul(circuit.len().max(1))
         .saturating_add(1024);
 
-    // Lookahead weights change only when gates complete.
-    let mut weights = frontier_weights(circuit, &frontier, config.lookahead_depth);
+    let operands = GateOperands::of(circuit);
+
+    // Lookahead weights change only when gates complete, and are only
+    // read when a long-distance gate needs a SWAP scored — rebuild
+    // lazily at first use after a completion.
+    let mut weights = InteractionWeights::empty(circuit.num_qubits());
+    let mut weight_scratch = WeightScratch::new();
+    let mut layer_scratch: Vec<Option<usize>> = Vec::new();
+    rebuild_weights(
+        &operands,
+        &frontier,
+        config.lookahead_depth,
+        &mut layer_scratch,
+        &mut weight_scratch,
+        &mut weights,
+    );
+    let mut weights_dirty = false;
+
+    // Reusable per-step buffers (see module docs).
+    let mut ready: Vec<GateId> = Vec::new();
+    let mut in_range: Vec<(GateId, f64)> = Vec::new();
+    let mut completed: Vec<GateId> = Vec::new();
+    let mut completed_mask = GateMask::new(circuit.len());
+    let mut zones = ZoneBuffer::new(config.restriction);
+    let mut site_scratch: Vec<Site> = Vec::new();
+    let mut bfs_scratch = BfsScratch::new();
 
     while !frontier.is_done() {
         if time as usize > step_budget {
@@ -90,68 +271,86 @@ pub(crate) fn run(
                 steps: time as usize,
             });
         }
-        let ready: Vec<GateId> = frontier.ready().to_vec();
-        let mut zones: Vec<RestrictionZone> = Vec::new();
-        let mut completed: Vec<GateId> = Vec::new();
+        ready.clear();
+        ready.extend_from_slice(frontier.ready());
+        zones.clear();
+        completed.clear();
         let mut scheduled = 0usize;
 
         // Phase A: execute in-range, zone-compatible ready gates.
         // Packing short-span gates first fits more gates per step: a
         // long-range gate claims a large zone that can forbid many
         // small ones, but never the other way around.
-        let mut in_range: Vec<(GateId, Vec<Site>, f64)> = Vec::new();
+        in_range.clear();
         for &id in &ready {
-            let operands = circuit.gates()[id.0].qubits();
-            if operands.len() >= 2 && !all_within_mid(&operands, &map, config.mid) {
+            let ops_of_gate = operands.get(id.0);
+            if ops_of_gate.len() >= 2 && !all_within_mid(ops_of_gate, &map, config.mid) {
                 continue;
             }
-            let sites: Vec<Site> = operands
-                .iter()
-                .map(|&q| map.site_of(q).expect("all program qubits placed"))
-                .collect();
             let mut span: f64 = 0.0;
-            for i in 0..sites.len() {
-                for j in (i + 1)..sites.len() {
-                    span = span.max(sites[i].distance(sites[j]));
+            for i in 0..ops_of_gate.len() {
+                let si = map
+                    .site_of(ops_of_gate[i])
+                    .expect("all program qubits placed");
+                for &qj in &ops_of_gate[(i + 1)..] {
+                    let sj = map.site_of(qj).expect("all program qubits placed");
+                    span = span.max(si.distance(sj));
                 }
             }
-            in_range.push((id, sites, span));
+            in_range.push((id, span));
         }
         in_range.sort_by(|a, b| {
-            a.2.partial_cmp(&b.2)
+            a.1.partial_cmp(&b.1)
                 .expect("finite spans")
                 .then(a.0.cmp(&b.0))
         });
-        for (id, sites, _) in in_range {
-            let zone = RestrictionZone::for_gate(&sites, config.restriction);
-            if zones.iter().any(|z| z.intersects(&zone)) {
+        for &(id, _) in &in_range {
+            site_scratch.clear();
+            site_scratch.extend(
+                operands
+                    .get(id.0)
+                    .iter()
+                    .map(|&q| map.site_of(q).expect("all program qubits placed")),
+            );
+            if !zones.try_claim(&site_scratch) {
                 continue;
             }
             ops.push(ScheduledOp {
                 time,
                 source: Some(id.0),
-                sites,
+                sites: site_scratch.clone(),
             });
-            zones.push(zone);
+            completed_mask.set(id.0);
             completed.push(id);
             scheduled += 1;
         }
 
         // Phase B: one routing SWAP per remaining long-distance gate.
         for &id in &ready {
-            if completed.contains(&id) {
+            if completed_mask.contains(id.0) {
                 continue;
             }
-            let operands = circuit.gates()[id.0].qubits();
-            if operands.len() < 2 || all_within_mid(&operands, &map, config.mid) {
+            let ops_of_gate = operands.get(id.0);
+            if ops_of_gate.len() < 2 || all_within_mid(ops_of_gate, &map, config.mid) {
                 // In range but zone-blocked: just wait.
                 continue;
             }
-            let Some(mv) = best_swap_for_gate(&operands, &map, grid, &weights, config.mid) else {
+            if weights_dirty {
+                rebuild_weights(
+                    &operands,
+                    &frontier,
+                    config.lookahead_depth,
+                    &mut layer_scratch,
+                    &mut weight_scratch,
+                    &mut weights,
+                );
+                weights_dirty = false;
+            }
+            let Some(mv) = best_swap_for_gate(ops_of_gate, &map, graph, &weights, config.mid)
+            else {
                 continue;
             };
-            let zone = RestrictionZone::for_gate(&[mv.from, mv.to], config.restriction);
-            if zones.iter().any(|z| z.intersects(&zone)) {
+            if !zones.try_claim(&[mv.from, mv.to]) {
                 continue;
             }
             ops.push(ScheduledOp {
@@ -159,7 +358,6 @@ pub(crate) fn run(
                 source: None,
                 sites: vec![mv.from, mv.to],
             });
-            zones.push(zone);
             map.swap_sites(mv.from, mv.to);
             scheduled += 1;
         }
@@ -167,8 +365,14 @@ pub(crate) fn run(
         // Fallback: force one BFS hop so the schedule always advances.
         if scheduled == 0 {
             let id = ready[0];
-            let operands = circuit.gates()[id.0].qubits();
-            let (from, to) = forced_move(&operands, &map, grid, config.mid)?;
+            let (from, to) = forced_move(
+                operands.get(id.0),
+                &map,
+                grid,
+                graph,
+                &mut bfs_scratch,
+                &mut site_scratch,
+            )?;
             ops.push(ScheduledOp {
                 time,
                 source: None,
@@ -181,7 +385,7 @@ pub(crate) fn run(
             frontier.complete(*id);
         }
         if !completed.is_empty() && !frontier.is_done() {
-            weights = frontier_weights(circuit, &frontier, config.lookahead_depth);
+            weights_dirty = true;
         }
         time += 1;
     }
@@ -199,17 +403,35 @@ pub(crate) fn frontier_weights(
     frontier: &Frontier<'_>,
     lookahead_depth: usize,
 ) -> InteractionWeights {
-    let rel = frontier.remaining_layers();
-    let gates: Vec<(Vec<Qubit>, usize)> = circuit
-        .iter()
-        .enumerate()
-        .filter_map(|(i, g)| rel[i].map(|l| (g.qubits(), l)))
-        .collect();
-    InteractionWeights::from_layered_gates(
-        circuit.num_qubits(),
-        gates.iter().map(|(q, l)| (q.as_slice(), *l)),
+    let operands = GateOperands::of(circuit);
+    let mut weights = InteractionWeights::empty(circuit.num_qubits());
+    rebuild_weights(
+        &operands,
+        frontier,
         lookahead_depth,
-    )
+        &mut Vec::new(),
+        &mut WeightScratch::new(),
+        &mut weights,
+    );
+    weights
+}
+
+/// Rebuilds `weights` in place from the frontier's remaining layers,
+/// reusing every buffer involved.
+fn rebuild_weights(
+    operands: &GateOperands,
+    frontier: &Frontier<'_>,
+    lookahead_depth: usize,
+    layer_scratch: &mut Vec<Option<usize>>,
+    weight_scratch: &mut WeightScratch,
+    weights: &mut InteractionWeights,
+) {
+    frontier.remaining_layers_into(layer_scratch);
+    weights.rebuild_from_layered_gates(
+        (0..operands.len()).filter_map(|i| layer_scratch[i].map(|l| (operands.get(i), l))),
+        lookahead_depth,
+        weight_scratch,
+    );
 }
 
 /// Deterministic forced hop: move the operand farthest from the gate's
@@ -218,34 +440,40 @@ fn forced_move(
     operands: &[Qubit],
     map: &QubitMap,
     grid: &Grid,
-    mid: f64,
+    graph: &InteractionGraph,
+    bfs_scratch: &mut BfsScratch,
+    site_scratch: &mut Vec<Site>,
 ) -> Result<(Site, Site), CompileError> {
     debug_assert!(operands.len() >= 2);
-    let op_sites: Vec<Site> = operands
-        .iter()
-        .map(|&q| map.site_of(q).expect("placed"))
-        .collect();
+    site_scratch.clear();
+    site_scratch.extend(operands.iter().map(|&q| map.site_of(q).expect("placed")));
+    let op_sites: &[Site] = site_scratch;
 
     // Congregation goal: the meeting point, displaced to the nearest
     // usable non-operand site if an operand already sits there.
-    let m = meeting_point(operands, map, grid);
+    let m = meeting_point_of_sites(op_sites, grid);
     let goal = if op_sites.contains(&m) {
-        nearest_usable_excluding(grid, m, &op_sites).ok_or(CompileError::Disconnected)?
+        nearest_usable_excluding(grid, m, op_sites).ok_or(CompileError::Disconnected)?
     } else {
         m
     };
 
     // Move the operand farthest from the goal (ties: operand order).
     let (mut mover, mut worst) = (op_sites[0], -1.0f64);
-    for &s in &op_sites {
+    for &s in op_sites {
         let d = s.distance(goal);
         if d > worst + 1e-12 {
             mover = s;
             worst = d;
         }
     }
-    let blocked: Vec<Site> = op_sites.iter().copied().filter(|&s| s != mover).collect();
-    let hop = forced_hop(grid, mover, goal, mid, &blocked).ok_or(CompileError::Disconnected)?;
+    // Reuse the tail of the site buffer for the blocked set (the
+    // non-mover operands): compact it in place.
+    let mover_site = mover;
+    site_scratch.retain(|&s| s != mover_site);
+    let hop = graph
+        .hop_toward(mover, goal, site_scratch, bfs_scratch)
+        .ok_or(CompileError::Disconnected)?;
     Ok((mover, hop))
 }
 
@@ -274,7 +502,8 @@ mod tests {
         let frontier = dag.frontier();
         let w = frontier_weights(circuit, &frontier, config.lookahead_depth);
         let map = initial_placement(circuit, grid, &w).unwrap();
-        run(circuit, grid, config, map).unwrap()
+        let graph = InteractionGraph::cached(grid, config.mid);
+        run(circuit, grid, &graph, config, map).unwrap()
     }
 
     #[test]
@@ -419,5 +648,48 @@ mod tests {
         let result = schedule_circuit(&c, &grid, &CompilerConfig::new(1.0));
         assert!(result.ops.is_empty());
         assert_eq!(result.num_timesteps, 0);
+    }
+
+    #[test]
+    fn zone_buffer_matches_restriction_zone_semantics() {
+        use na_arch::RestrictionZone;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for policy in [
+            RestrictionPolicy::HalfDistance,
+            RestrictionPolicy::None,
+            RestrictionPolicy::FullDistance,
+            RestrictionPolicy::Constant(1.5),
+        ] {
+            for _ in 0..64 {
+                let gate = |rng: &mut StdRng| -> Vec<Site> {
+                    let n = rng.gen_range(1..=3);
+                    let mut sites = Vec::new();
+                    while sites.len() < n {
+                        let s = Site::new(rng.gen_range(0..8), rng.gen_range(0..8));
+                        if !sites.contains(&s) {
+                            sites.push(s);
+                        }
+                    }
+                    sites
+                };
+                let mut buffer = ZoneBuffer::new(policy);
+                let mut reference: Vec<RestrictionZone> = Vec::new();
+                for _ in 0..5 {
+                    let sites = gate(&mut rng);
+                    let zone = RestrictionZone::for_gate(&sites, policy);
+                    let expect_free = !reference.iter().any(|z| z.intersects(&zone));
+                    assert_eq!(
+                        buffer.try_claim(&sites),
+                        expect_free,
+                        "zone semantics diverged for {sites:?} under {policy:?}"
+                    );
+                    if expect_free {
+                        reference.push(zone);
+                    }
+                }
+            }
+        }
     }
 }

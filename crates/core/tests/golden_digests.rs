@@ -1,0 +1,97 @@
+//! Golden-determinism regression tests for the scheduler.
+//!
+//! The flat-index hot-path overhaul (cached interaction graph, flat
+//! `QubitMap`, allocation-free scheduler loop) carries a byte-identical
+//! output contract: every schedule must match the seed scheduler
+//! exactly. These digests were recorded by compiling the full
+//! benchmark suite with the pre-overhaul scheduler (commit `9afc909`)
+//! through [`na_core::schedule_digest`]; any scheduling change — an
+//! altered tie-break, a float reassociation in the lookahead weights,
+//! a reordered neighbor scan — flips a digest here.
+//!
+//! MID 1 runs with multiqubit gates lowered (native Toffolis are
+//! unroutable below MID √2), exactly like the paper's MID sweeps.
+
+use na_arch::Grid;
+use na_benchmarks::Benchmark;
+use na_core::{compile, schedule_digest, verify, CompilerConfig};
+
+/// `(benchmark, size budget, mid, digest)` recorded from the seed.
+const GOLDEN: &[(Benchmark, u32, f64, u64)] = &[
+    (Benchmark::Bv, 16, 1.0, 0x7df59c60db3bd29f),
+    (Benchmark::Bv, 16, 2.0, 0xd0150d297baa6b99),
+    (Benchmark::Bv, 16, 3.0, 0xe794c672a80920e6),
+    (Benchmark::Bv, 40, 1.0, 0xf54506c420673ecd),
+    (Benchmark::Bv, 40, 2.0, 0x7f6aae5d87962a1b),
+    (Benchmark::Bv, 40, 3.0, 0xc9a15ecfb224e23b),
+    (Benchmark::Cnu, 16, 1.0, 0x96610748cd8898fa),
+    (Benchmark::Cnu, 16, 2.0, 0x3b966816e2db770a),
+    (Benchmark::Cnu, 16, 3.0, 0x3b966816e2db770a),
+    (Benchmark::Cnu, 40, 1.0, 0xd6639ca7f87622f7),
+    (Benchmark::Cnu, 40, 2.0, 0xc4fa7ef20019b501),
+    (Benchmark::Cnu, 40, 3.0, 0x9df9b7069f8f8db1),
+    (Benchmark::Cuccaro, 16, 1.0, 0xc90eb83fc6833f50),
+    (Benchmark::Cuccaro, 16, 2.0, 0xa98397414e1d554e),
+    (Benchmark::Cuccaro, 16, 3.0, 0xa98397414e1d554e),
+    (Benchmark::Cuccaro, 40, 1.0, 0x3d670aa8f2ae1dd6),
+    (Benchmark::Cuccaro, 40, 2.0, 0xedfe8804fa07d6cb),
+    (Benchmark::Cuccaro, 40, 3.0, 0xd54d23ef567ebbfb),
+    (Benchmark::QftAdder, 16, 1.0, 0xa235fb82cf15ac1e),
+    (Benchmark::QftAdder, 16, 2.0, 0x604e596f2cb66bd8),
+    (Benchmark::QftAdder, 16, 3.0, 0x07588b1ba263869e),
+    (Benchmark::QftAdder, 40, 1.0, 0x6ecdbcd893efc955),
+    (Benchmark::QftAdder, 40, 2.0, 0xb760a4e382bee4db),
+    (Benchmark::QftAdder, 40, 3.0, 0x64059fbff532afb0),
+    (Benchmark::Qaoa, 16, 1.0, 0xffc672924970e1c8),
+    (Benchmark::Qaoa, 16, 2.0, 0x977fa2b828bb90e8),
+    (Benchmark::Qaoa, 16, 3.0, 0xf07da54c163df4dc),
+    (Benchmark::Qaoa, 40, 1.0, 0xb45847682de66719),
+    (Benchmark::Qaoa, 40, 2.0, 0x01ba0db8112a204a),
+    (Benchmark::Qaoa, 40, 3.0, 0x93bba2347032a3c8),
+];
+
+fn config_for(mid: f64) -> CompilerConfig {
+    let cfg = CompilerConfig::new(mid);
+    if mid * mid < 2.0 {
+        cfg.with_native_multiqubit(false)
+    } else {
+        cfg
+    }
+}
+
+#[test]
+fn schedules_match_seed_scheduler_byte_for_byte() {
+    let grid = Grid::new(10, 10);
+    for &(benchmark, size, mid, expected) in GOLDEN {
+        let circuit = benchmark.generate(size, 0);
+        let compiled = compile(&circuit, &grid, &config_for(mid)).expect("compiles");
+        assert_eq!(
+            schedule_digest(&compiled),
+            expected,
+            "{benchmark} size {size} at MID {mid} diverged from the seed scheduler"
+        );
+    }
+}
+
+#[test]
+fn golden_schedules_still_verify() {
+    // The digests pin the output; this pins its validity, so a stale
+    // digest table cannot mask a constraint violation.
+    let grid = Grid::new(10, 10);
+    for &(benchmark, size, mid, _) in GOLDEN.iter().step_by(5) {
+        let circuit = benchmark.generate(size, 0);
+        let compiled = compile(&circuit, &grid, &config_for(mid)).expect("compiles");
+        verify(&compiled, &grid).expect("golden schedule verifies");
+    }
+}
+
+#[test]
+fn digest_is_sensitive_to_schedule_content() {
+    // Same circuit, different MID -> different schedule -> different
+    // digest (guards against a digest that ignores its input).
+    let grid = Grid::new(10, 10);
+    let circuit = Benchmark::Bv.generate(16, 0);
+    let a = schedule_digest(&compile(&circuit, &grid, &config_for(1.0)).unwrap());
+    let b = schedule_digest(&compile(&circuit, &grid, &config_for(3.0)).unwrap());
+    assert_ne!(a, b);
+}

@@ -114,6 +114,18 @@ impl CompileCache {
         result.clone()
     }
 
+    /// `true` if a completed compilation (or cached failure) for `key`
+    /// is already present. Used to derive the deterministic per-row
+    /// hit flag: an entry claimed but still compiling on another
+    /// thread does not count.
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .get(key)
+            .is_some_and(|entry| entry.get().is_some())
+    }
+
     /// Current counters and size.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

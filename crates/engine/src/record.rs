@@ -123,6 +123,14 @@ pub struct RunRecord {
     /// key results on the record itself rather than reconstructing
     /// sweep coordinates from job-id arithmetic.
     pub noise_p2: Option<f64>,
+    /// Whether this row's compilation was served from the engine's
+    /// memoized compile cache; `None` for tasks that bypass it.
+    ///
+    /// Defined in *spec order* — `true` iff the job's compile key was
+    /// already cached before the run or appears on an earlier job of
+    /// the same spec — so the flag is identical at any worker count
+    /// and rows stay byte-reproducible.
+    pub cache_hit: Option<bool>,
     /// The measurement.
     pub outcome: Outcome,
 }
@@ -161,6 +169,7 @@ impl RunRecord {
             task: Task::name(&job.task).to_string(),
             strategy,
             noise_p2,
+            cache_hit: None,
             outcome,
         }
     }
@@ -221,6 +230,27 @@ mod tests {
         assert!(line.contains("\"benchmark\":\"CNU\""));
         assert!(line.contains("\"grid\":\"4x4\""));
         let back: RunRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn rows_without_cache_hit_field_still_deserialize() {
+        // Rows written before the cache_hit field existed have no such
+        // key; a missing key must read back as `None`, not an error.
+        let mut spec = ExperimentSpec::new("t", Grid::new(4, 4));
+        spec.push(Benchmark::Bv, 8, 0, CompilerConfig::new(2.0), Task::Compile);
+        let record = RunRecord::new(
+            &spec.jobs()[0],
+            Outcome::Failed {
+                unroutable: false,
+                error: "x".into(),
+            },
+        );
+        let mut line = serde_json::to_string(&record).unwrap();
+        line = line.replace("\"cache_hit\":null,", "");
+        assert!(!line.contains("cache_hit"));
+        let back: RunRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.cache_hit, None);
         assert_eq!(back, record);
     }
 

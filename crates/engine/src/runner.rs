@@ -7,10 +7,11 @@
 //! id. Running the same spec with 1 worker or N workers therefore
 //! produces identical — byte-identical once serialized — result rows.
 
-use crate::cache::{CacheStats, CompileCache};
+use crate::cache::{CacheKey, CacheStats, CompileCache};
 use crate::record::{Outcome, RunRecord};
 use crate::sink::ResultSink;
-use crate::spec::{ExperimentSpec, Job, LossSpec, Task};
+use crate::spec::{CircuitSource, ExperimentSpec, Job, LossSpec, Task};
+use na_benchmarks::Benchmark;
 use na_loss::{run_campaign, LossOutcome, Strategy, StrategyState};
 use na_noise::{
     crosstalk_exposures, crosstalk_success, success_probability, success_with_crosstalk,
@@ -18,6 +19,7 @@ use na_noise::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -88,6 +90,10 @@ impl Engine {
     /// infeasible regions are data, not errors.
     pub fn run(&self, spec: &ExperimentSpec) -> Vec<RunRecord> {
         let jobs = spec.jobs();
+        // Deterministic per-row cache flags, derived in spec order
+        // *before* any job executes (see `RunRecord::cache_hit`):
+        // execution order must not leak into the rows.
+        let cache_flags = self.cache_hit_flags(jobs);
         let slots: Vec<OnceLock<RunRecord>> = jobs.iter().map(|_| OnceLock::new()).collect();
         let cursor = AtomicUsize::new(0);
         let threads = self.workers.min(jobs.len()).max(1);
@@ -115,7 +121,43 @@ impl Engine {
 
         slots
             .into_iter()
-            .map(|slot| slot.into_inner().expect("every job ran"))
+            .zip(cache_flags)
+            .map(|(slot, cache_hit)| {
+                let mut record = slot.into_inner().expect("every job ran");
+                record.cache_hit = cache_hit;
+                record
+            })
+            .collect()
+    }
+
+    /// `cache_hit` for every job: `None` for tasks that bypass the
+    /// compile cache, otherwise whether the job's compile key is
+    /// already cached or claimed by an earlier job of this spec.
+    fn cache_hit_flags(&self, jobs: &[Job]) -> Vec<Option<bool>> {
+        let mut claimed: HashSet<CacheKey> = HashSet::new();
+        // A benchmark circuit's fingerprint depends only on
+        // (benchmark, size, seed); memoize it so a sweep pricing one
+        // compilation at many noise points generates the circuit once
+        // here, not once per job.
+        let mut bench_fingerprints: HashMap<(Benchmark, u32, u64), u64> = HashMap::new();
+        jobs.iter()
+            .map(|job| {
+                if !job.task.uses_compile_cache() {
+                    return None;
+                }
+                let circuit_fp = match &job.source {
+                    CircuitSource::Raw { circuit, .. } => circuit.fingerprint(),
+                    CircuitSource::Bench(b) => *bench_fingerprints
+                        .entry((*b, job.size, job.circuit_seed))
+                        .or_insert_with(|| job.circuit().fingerprint()),
+                };
+                let key = CacheKey {
+                    circuit: circuit_fp,
+                    grid: job.grid.fingerprint(),
+                    config: job.config.fingerprint(),
+                };
+                Some(self.cache.contains(&key) || !claimed.insert(key))
+            })
             .collect()
     }
 
@@ -297,5 +339,90 @@ mod tests {
         engine.run(&spec);
         let stats = engine.cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    /// `Task::uses_compile_cache` must agree with what `execute_job`
+    /// actually routes through the cache: run one job per task kind on
+    /// a fresh engine and compare the flag against observed lookups.
+    #[test]
+    fn uses_compile_cache_matches_execute_job_dispatch() {
+        let params = na_noise::NoiseParams::neutral_atom(1e-3);
+        let tasks = vec![
+            Task::Compile,
+            Task::Success { params },
+            Task::Crosstalk {
+                params,
+                crosstalk: na_noise::CrosstalkParams::default(),
+            },
+            Task::Tolerance {
+                strategy: Strategy::VirtualRemap,
+                trials: 1,
+                seed: 0,
+            },
+            Task::LossTrace {
+                strategy: Strategy::VirtualRemap,
+                max_holes: 1,
+                params,
+                seed: 0,
+            },
+            Task::Campaign {
+                config: na_loss::CampaignConfig::new(4.0, Strategy::VirtualRemap)
+                    .with_target(na_loss::ShotTarget::Attempts(1)),
+                loss: LossSpec::new(0),
+            },
+        ];
+        for task in tasks {
+            let expected = task.uses_compile_cache();
+            let engine = Engine::with_workers(1);
+            let mut spec = ExperimentSpec::new("t", Grid::new(6, 6));
+            spec.push(Benchmark::Bv, 8, 0, CompilerConfig::new(4.0), task.clone());
+            engine.run(&spec);
+            let touched_cache = engine.cache_stats().lookups() > 0;
+            assert_eq!(
+                touched_cache,
+                expected,
+                "Task::{} disagrees with execute_job's cache dispatch",
+                Task::name(&task)
+            );
+        }
+    }
+
+    #[test]
+    fn rows_carry_deterministic_cache_hit_flags() {
+        let engine = Engine::with_workers(4);
+        let cfg = CompilerConfig::new(3.0);
+        let mut spec = ExperimentSpec::new("t", Grid::new(6, 6));
+        spec.push(Benchmark::Bv, 8, 0, cfg, Task::Compile);
+        // Same compile key as the first job: a hit in spec order.
+        spec.push(
+            Benchmark::Bv,
+            8,
+            0,
+            cfg,
+            Task::Success {
+                params: na_noise::NoiseParams::neutral_atom(1e-3),
+            },
+        );
+        // Distinct compile key: a miss.
+        spec.push(Benchmark::Bv, 9, 0, cfg, Task::Compile);
+        // Bypasses the compile cache entirely.
+        spec.push(
+            Benchmark::Bv,
+            8,
+            0,
+            CompilerConfig::new(4.0),
+            Task::Tolerance {
+                strategy: na_loss::Strategy::VirtualRemap,
+                trials: 1,
+                seed: 0,
+            },
+        );
+        let records = engine.run(&spec);
+        let flags: Vec<Option<bool>> = records.iter().map(|r| r.cache_hit).collect();
+        assert_eq!(flags, vec![Some(false), Some(true), Some(false), None]);
+
+        // A re-run of the same spec is served entirely from the cache.
+        let again = engine.run(&spec);
+        assert!(again.iter().all(|r| r.cache_hit != Some(false)));
     }
 }

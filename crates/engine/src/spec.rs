@@ -141,6 +141,15 @@ pub enum Task {
 }
 
 impl Task {
+    /// `true` for the compile-family tasks served through the engine's
+    /// memoized [`CompileCache`](crate::CompileCache).
+    pub fn uses_compile_cache(&self) -> bool {
+        matches!(
+            self,
+            Task::Compile | Task::Success { .. } | Task::Crosstalk { .. }
+        )
+    }
+
     /// Short task name used in result rows.
     pub fn name(&self) -> &'static str {
         match self {

@@ -9,15 +9,17 @@
 //! * [`fixup_swaps`] — if not, how many SWAPs does the
 //!   swap-out/execute/swap-back fixup of Fig. 9c cost per shot?
 
-use na_arch::{Grid, Site, VirtualMap};
+use na_arch::{BfsScratch, Grid, InteractionGraph, Site, VirtualMap};
 use na_core::CompiledCircuit;
 
 /// The largest pairwise operand distance any scheduled interaction has
 /// after resolving through `vmap`.
 pub fn max_resolved_span(compiled: &CompiledCircuit, vmap: &VirtualMap) -> f64 {
     let mut worst: f64 = 0.0;
+    let mut sites: Vec<Site> = Vec::new();
     for op in compiled.ops() {
-        let sites: Vec<Site> = op.sites.iter().map(|&s| vmap.resolve(s)).collect();
+        sites.clear();
+        sites.extend(op.sites.iter().map(|&s| vmap.resolve(s)));
         for i in 0..sites.len() {
             for j in (i + 1)..sites.len() {
                 worst = worst.max(sites[i].distance(sites[j]));
@@ -35,8 +37,10 @@ pub fn resolved_ok(
     grid: &Grid,
     hardware_mid: f64,
 ) -> bool {
+    let mut sites: Vec<Site> = Vec::new();
     for op in compiled.ops() {
-        let sites: Vec<Site> = op.sites.iter().map(|&s| vmap.resolve(s)).collect();
+        sites.clear();
+        sites.extend(op.sites.iter().map(|&s| vmap.resolve(s)));
         for &s in &sites {
             if !grid.is_usable(s) {
                 return false;
@@ -70,9 +74,18 @@ pub fn fixup_swaps(
     grid: &Grid,
     hardware_mid: f64,
 ) -> Option<u32> {
+    // One interaction graph and one BFS scratch serve every
+    // out-of-range pair; nothing allocates per hop. Built uncached:
+    // each loss event leaves a unique cumulative hole pattern that
+    // would never be hit again, so memoizing it would only churn the
+    // process-wide cache that the compile path relies on.
+    let graph = InteractionGraph::build(grid, hardware_mid);
+    let mut scratch = BfsScratch::new();
+    let mut sites: Vec<Site> = Vec::new();
     let mut total = 0u32;
     for op in compiled.ops() {
-        let sites: Vec<Site> = op.sites.iter().map(|&s| vmap.resolve(s)).collect();
+        sites.clear();
+        sites.extend(op.sites.iter().map(|&s| vmap.resolve(s)));
         for &s in &sites {
             if !grid.is_usable(s) {
                 return None;
@@ -83,12 +96,12 @@ pub fn fixup_swaps(
                 if sites[i].within(sites[j], hardware_mid) {
                     continue;
                 }
-                let path = grid.shortest_path(sites[i], sites[j], hardware_mid)?;
-                // Walk one endpoint to the penultimate path node (then
-                // it is within one hop — hence within MID — of the
-                // other), and walk it back afterwards.
-                let hops = path.len() as u32 - 2;
-                total += 2 * hops;
+                // Walk one endpoint to the penultimate node of a
+                // shortest hop path (then it is within one hop — hence
+                // within MID — of the other), and walk it back
+                // afterwards: 2 · (hop distance − 1) SWAPs.
+                let dist = graph.hop_distance(sites[i], sites[j], &mut scratch)?;
+                total += 2 * (dist - 1);
             }
         }
     }
@@ -179,7 +192,7 @@ mod tests {
             let usable: Vec<Site> = g.usable_sites().collect();
             let victim = usable[rng.gen_range(0..usable.len())];
             g.remove_atom(victim);
-            let used2 = used.clone();
+            let used2 = used.to_vec();
             let in_use = move |a: Site| used2.contains(&a);
             if in_use(vmap.address_of(victim)) {
                 let Some(dir) = vmap.best_shift_direction(&g, victim, &in_use) else {

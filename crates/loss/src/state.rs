@@ -66,7 +66,7 @@ impl StrategyState {
     ) -> Result<Self, CompileError> {
         let cfg = CompilerConfig::new(strategy.compile_mid(hardware_mid));
         let compiled = compile(program, grid_template, &cfg)?;
-        let used = compiled.used_sites();
+        let used = compiled.used_sites().to_vec();
         Ok(StrategyState {
             strategy,
             hardware_mid,
@@ -120,12 +120,17 @@ impl StrategyState {
 
     /// `true` if losing the atom at `site` would interfere with the
     /// program as currently mapped.
+    ///
+    /// `used_addresses` stays in the sorted order
+    /// [`CompiledCircuit::used_sites`] produces, so membership is a
+    /// binary search (this runs once per drawn loss, every shot).
     pub fn is_interfering(&self, site: Site) -> bool {
-        if self.strategy.remaps() {
-            self.used_addresses.contains(&self.vmap.address_of(site))
+        let address = if self.strategy.remaps() {
+            self.vmap.address_of(site)
         } else {
-            self.used_addresses.contains(&site)
-        }
+            site
+        };
+        self.used_addresses.binary_search(&address).is_ok()
     }
 
     /// Removes the atom at `site` and lets the strategy react.
@@ -149,7 +154,7 @@ impl StrategyState {
                 let t0 = Instant::now();
                 match compile(&self.program, &self.grid, &self.compiler_config) {
                     Ok(c) => {
-                        self.used_addresses = c.used_sites();
+                        self.used_addresses = c.used_sites().to_vec();
                         self.compiled = c;
                         LossOutcome::Recompiled {
                             compile_seconds: t0.elapsed().as_secs_f64(),
@@ -209,7 +214,7 @@ impl StrategyState {
         self.extra_swaps = 0;
         if self.strategy == Strategy::FullRecompile {
             self.compiled = self.original.clone();
-            self.used_addresses = self.compiled.used_sites();
+            self.used_addresses = self.compiled.used_sites().to_vec();
         }
     }
 }

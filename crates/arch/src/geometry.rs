@@ -86,6 +86,94 @@ impl fmt::Display for Site {
     }
 }
 
+/// An axis-aligned bounding box over a non-empty set of sites.
+///
+/// The compiler's placement fast path collapses the mapped partners of
+/// a qubit into their bounding box: the Chebyshev distance from a
+/// candidate site to the box ([`BBox::chebyshev_to`]) lower-bounds the
+/// Chebyshev — hence the Euclidean — distance to *every* site inside,
+/// which makes `Σ w · d` prunable in O(1) per candidate.
+///
+/// # Example
+///
+/// ```
+/// use na_arch::{BBox, Site};
+///
+/// let b = BBox::of(Site::new(2, 3)).including(Site::new(5, 1));
+/// assert_eq!(b.chebyshev_to(Site::new(3, 2)), 0); // inside
+/// assert_eq!(b.chebyshev_to(Site::new(9, 2)), 4); // 4 columns east
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BBox {
+    /// Smallest contained column.
+    pub min_x: i32,
+    /// Smallest contained row.
+    pub min_y: i32,
+    /// Largest contained column.
+    pub max_x: i32,
+    /// Largest contained row.
+    pub max_y: i32,
+}
+
+impl BBox {
+    /// The degenerate box holding exactly `site`.
+    #[inline]
+    pub const fn of(site: Site) -> Self {
+        BBox {
+            min_x: site.x,
+            min_y: site.y,
+            max_x: site.x,
+            max_y: site.y,
+        }
+    }
+
+    /// The smallest box containing every site yielded by `sites`, or
+    /// `None` for an empty iterator.
+    pub fn containing(sites: impl IntoIterator<Item = Site>) -> Option<Self> {
+        let mut it = sites.into_iter();
+        let mut b = BBox::of(it.next()?);
+        for s in it {
+            b.insert(s);
+        }
+        Some(b)
+    }
+
+    /// Expands the box to cover `site`.
+    #[inline]
+    pub fn insert(&mut self, site: Site) {
+        self.min_x = self.min_x.min(site.x);
+        self.min_y = self.min_y.min(site.y);
+        self.max_x = self.max_x.max(site.x);
+        self.max_y = self.max_y.max(site.y);
+    }
+
+    /// The box expanded to cover `site` (by-value [`BBox::insert`]).
+    #[inline]
+    #[must_use]
+    pub fn including(mut self, site: Site) -> Self {
+        self.insert(site);
+        self
+    }
+
+    /// `true` if `site` lies inside the box.
+    #[inline]
+    pub fn contains(&self, site: Site) -> bool {
+        (self.min_x..=self.max_x).contains(&site.x) && (self.min_y..=self.max_y).contains(&site.y)
+    }
+
+    /// Chebyshev (L∞) distance from `site` to the nearest point of the
+    /// box; 0 when `site` is inside.
+    ///
+    /// For every site `v` contained in the box this is a lower bound on
+    /// `site.chebyshev(v)`, and therefore on `site.distance(v)`.
+    #[inline]
+    pub fn chebyshev_to(&self, site: Site) -> i32 {
+        let dx = (self.min_x - site.x).max(site.x - self.max_x).max(0);
+        let dy = (self.min_y - site.y).max(site.y - self.max_y).max(0);
+        dx.max(dy)
+    }
+}
+
 /// The four cardinal directions used by the row/column shift of the
 /// virtual-remapping loss strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -209,6 +297,53 @@ mod tests {
             let b = Site::new(rng.gen_range(-20i32..20), rng.gen_range(-20i32..20));
             let c = Site::new(rng.gen_range(-20i32..20), rng.gen_range(-20i32..20));
             assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn bbox_grows_and_contains() {
+        let mut b = BBox::of(Site::new(3, 3));
+        assert!(b.contains(Site::new(3, 3)));
+        assert_eq!(b.chebyshev_to(Site::new(3, 3)), 0);
+        b.insert(Site::new(1, 5));
+        assert_eq!((b.min_x, b.min_y, b.max_x, b.max_y), (1, 3, 3, 5));
+        assert!(b.contains(Site::new(2, 4)));
+        assert!(!b.contains(Site::new(0, 4)));
+        assert_eq!(BBox::containing(std::iter::empty()), None);
+        assert_eq!(
+            BBox::containing([Site::new(1, 5), Site::new(3, 3)]),
+            Some(b)
+        );
+    }
+
+    #[test]
+    fn bbox_chebyshev_is_zero_inside_and_rises_outside() {
+        let b = BBox::of(Site::new(2, 2)).including(Site::new(4, 4));
+        assert_eq!(b.chebyshev_to(Site::new(3, 3)), 0);
+        assert_eq!(b.chebyshev_to(Site::new(4, 2)), 0); // corner
+        assert_eq!(b.chebyshev_to(Site::new(7, 3)), 3);
+        assert_eq!(b.chebyshev_to(Site::new(0, 0)), 2);
+        assert_eq!(b.chebyshev_to(Site::new(5, 8)), 4);
+    }
+
+    #[test]
+    fn prop_bbox_chebyshev_lower_bounds_distance_to_members() {
+        // The load-bearing inequality of the placement fast path: for
+        // any site set S and probe h,
+        //   bbox(S).chebyshev_to(h) <= min_{v in S} h.distance(v).
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..256 {
+            let n = rng.gen_range(1..8);
+            let members: Vec<Site> = (0..n)
+                .map(|_| Site::new(rng.gen_range(-15i32..15), rng.gen_range(-15i32..15)))
+                .collect();
+            let b = BBox::containing(members.iter().copied()).unwrap();
+            let h = Site::new(rng.gen_range(-20i32..20), rng.gen_range(-20i32..20));
+            for &v in &members {
+                assert!(b.contains(v));
+                assert!(f64::from(b.chebyshev_to(h)) <= h.distance(v) + 1e-9);
+                assert!(b.chebyshev_to(h) <= h.chebyshev(v));
+            }
         }
     }
 

@@ -32,7 +32,7 @@ pub mod restriction;
 pub mod vmap;
 
 pub use assembly::{AssemblyParams, AssemblyReport, AssemblySimulator};
-pub use geometry::{Direction, Site};
+pub use geometry::{BBox, Direction, Site};
 pub use grid::Grid;
 pub use interaction::{BfsScratch, InteractionGraph};
 pub use restriction::{RestrictionPolicy, RestrictionZone};

@@ -332,7 +332,8 @@ pub fn campaign_cmd(args: &Args) -> CmdResult {
 /// One timed workload of `natoms bench`.
 #[derive(Debug, serde::Serialize)]
 struct BenchWorkload {
-    /// Workload name (`fig07_compile`, `fig08_compile`, `loss_executor`).
+    /// Workload name (`fig07_compile`, `fig08_compile`, `placement`,
+    /// `placement_reference`, `loss_executor`).
     name: String,
     /// Timed repetitions of the whole workload.
     passes: u32,
@@ -424,6 +425,54 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
                     compile(&c, &grid, &na_cfg).expect("fig08 compiles");
                     compile(&c, &grid, &sc_cfg).expect("fig08 compiles");
                 }
+            }
+        },
+    );
+
+    // Placement workload: the initial-mapping slice of the compile
+    // pipeline, isolated. Circuits are pre-lowered and their lookahead
+    // weights pre-built outside the timed loop, so the numbers measure
+    // placement alone — the fast path (`placement`) against the seed
+    // O(n² · sites) placer kept as the in-tree oracle
+    // (`placement_reference`). Full mode uses the largest ladder
+    // programs (size 100) on the paper grid.
+    let placement_size = if quick { 16 } else { 100 };
+    let placement_passes = if quick { 1 } else { 10 };
+    let layouts: Vec<(na_circuit::Circuit, na_core::InteractionWeights)> = Benchmark::ALL
+        .iter()
+        .flat_map(|b| {
+            let c = b.generate(placement_size, 0);
+            [&na_cfg, &sc_cfg].map(|cfg| {
+                let lowered = na_core::lower_for(&c, cfg);
+                let weights = na_core::circuit_weights(&lowered, cfg.lookahead_depth);
+                (lowered, weights)
+            })
+        })
+        .collect();
+    let mut scratch = na_core::PlacementScratch::new();
+    // Untimed warmup so neither placement path pays the one-off
+    // cold-cache/allocation cost inside its timed loop.
+    for (c, w) in &layouts {
+        na_core::initial_placement_with(c, &grid, w, &mut scratch).expect("places");
+        na_core::initial_placement_reference(c, &grid, w).expect("places");
+    }
+    timed(
+        "placement",
+        placement_passes,
+        layouts.len() as u32,
+        &mut || {
+            for (c, w) in &layouts {
+                na_core::initial_placement_with(c, &grid, w, &mut scratch).expect("places");
+            }
+        },
+    );
+    timed(
+        "placement_reference",
+        placement_passes,
+        layouts.len() as u32,
+        &mut || {
+            for (c, w) in &layouts {
+                na_core::initial_placement_reference(c, &grid, w).expect("places");
             }
         },
     );

@@ -1,7 +1,7 @@
 //! The compile driver, compiled-circuit container, and schedule
 //! verifier.
 
-use crate::placement::initial_placement;
+use crate::placement::{initial_placement_with, PlacementScratch};
 use crate::scheduler::{frontier_weights, run};
 use crate::{CompileError, CompilerConfig, QubitMap};
 use na_arch::{Grid, InteractionGraph, RestrictionZone, Site};
@@ -175,11 +175,27 @@ pub fn compile(
     grid: &Grid,
     config: &CompilerConfig,
 ) -> Result<CompiledCircuit, CompileError> {
-    let lowered = if config.native_multiqubit {
-        na_circuit::decompose::decompose_to_max_arity(circuit, config.max_native_arity)
-    } else {
-        decompose_circuit(circuit, DecomposeLevel::TwoQubit)
-    };
+    compile_with(circuit, grid, config, &mut PlacementScratch::new())
+}
+
+/// [`compile`] reusing caller-held placement working memory.
+///
+/// Repeated compilations — the experiment engine's workers, the loss
+/// executor's recompile strategy — hand the same
+/// [`PlacementScratch`] back in so the placement fast path's free-site
+/// list and ordering caches are reused instead of reallocated per
+/// program. The result is identical to [`compile`].
+///
+/// # Errors
+///
+/// Exactly as [`compile`].
+pub fn compile_with(
+    circuit: &Circuit,
+    grid: &Grid,
+    config: &CompilerConfig,
+    scratch: &mut PlacementScratch,
+) -> Result<CompiledCircuit, CompileError> {
+    let lowered = lower_for(circuit, config);
 
     // An arity-k gate needs k atoms pairwise within the MID; the
     // tightest k-site cluster on a grid is a ⌈√k⌉×⌈√k⌉ block whose
@@ -201,7 +217,7 @@ pub fn compile(
     let dag = lowered.dag();
     let frontier = dag.frontier();
     let weights = frontier_weights(&lowered, &frontier, config.lookahead_depth);
-    let map0 = initial_placement(&lowered, grid, &weights)?;
+    let map0 = initial_placement_with(&lowered, grid, &weights, scratch)?;
     let initial_table = map0.to_table();
 
     // The precomputed flat-index interaction graph every hot loop
@@ -219,6 +235,20 @@ pub fn compile(
         config: *config,
         used_sites,
     })
+}
+
+/// Lowers `circuit` to the gate set `config` selects (native
+/// multiqubit capped at `max_native_arity`, or the two-qubit set) —
+/// the exact front half of [`compile`], shared with
+/// [`crate::placement::initial_layout`] and the `natoms bench`
+/// placement workload so a lowering change can never silently drift
+/// between the compiler and the harnesses that mirror it.
+pub fn lower_for(circuit: &Circuit, config: &CompilerConfig) -> Circuit {
+    if config.native_multiqubit {
+        na_circuit::decompose::decompose_to_max_arity(circuit, config.max_native_arity)
+    } else {
+        decompose_circuit(circuit, DecomposeLevel::TwoQubit)
+    }
 }
 
 /// A stable 64-bit digest of a compiled schedule: the timestep count,

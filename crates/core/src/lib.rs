@@ -52,8 +52,13 @@ pub mod routing;
 pub mod scheduler;
 
 pub use compiler::{
-    compile, schedule_digest, verify, CompiledCircuit, CompiledMetrics, ScheduledOp, VerifyError,
+    compile, compile_with, lower_for, schedule_digest, verify, CompiledCircuit, CompiledMetrics,
+    ScheduledOp, VerifyError,
 };
 pub use config::{CompileError, CompilerConfig};
 pub use lookahead::{InteractionWeights, WeightScratch};
 pub use mapping::QubitMap;
+pub use placement::{
+    circuit_weights, initial_layout, initial_placement, initial_placement_reference,
+    initial_placement_with, placement_digest, PlacementScratch,
+};

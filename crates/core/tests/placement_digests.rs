@@ -1,0 +1,111 @@
+//! Golden-determinism regression tests for the initial placement.
+//!
+//! The placement fast-path overhaul (free-site list, branch-and-bound
+//! site scan with a Chebyshev-bbox lower bound, lazily cached
+//! weight-to-mapped ordering) carries the same byte-identical output
+//! contract as the scheduler overhaul: every placement must match the
+//! pre-overhaul greedy placer exactly. These digests were recorded
+//! from the benchmark suite with the O(n² · sites) placer *before* the
+//! fast path landed, through [`na_core::placement_digest`]; any
+//! placement change — a pruned site that would have won, a reordered
+//! scan, a float reassociation in the weight-to-mapped ordering —
+//! flips a digest here.
+//!
+//! MID 1 runs with multiqubit gates lowered (native Toffolis are
+//! unroutable below MID √2), exactly like the schedule digests.
+
+use na_arch::Grid;
+use na_benchmarks::Benchmark;
+use na_core::{initial_layout, placement_digest, CompilerConfig};
+
+/// `(benchmark, size budget, mid, digest)` recorded from the greedy
+/// placer at the parent of the fast-path commit.
+const GOLDEN: &[(Benchmark, u32, f64, u64)] = &[
+    (Benchmark::Bv, 16, 1.0, 0x3e6aa6015abe0fc4),
+    (Benchmark::Bv, 16, 2.0, 0x3e6aa6015abe0fc4),
+    (Benchmark::Bv, 16, 3.0, 0x3e6aa6015abe0fc4),
+    (Benchmark::Bv, 40, 1.0, 0x8022df99938062c2),
+    (Benchmark::Bv, 40, 2.0, 0x8022df99938062c2),
+    (Benchmark::Bv, 40, 3.0, 0x8022df99938062c2),
+    (Benchmark::Cnu, 16, 1.0, 0xc8ebbb1d29524f69),
+    (Benchmark::Cnu, 16, 2.0, 0x147378989b12618b),
+    (Benchmark::Cnu, 16, 3.0, 0x147378989b12618b),
+    (Benchmark::Cnu, 40, 1.0, 0xc989a3d60eb51749),
+    (Benchmark::Cnu, 40, 2.0, 0xa125c62724e44748),
+    (Benchmark::Cnu, 40, 3.0, 0xa125c62724e44748),
+    (Benchmark::Cuccaro, 16, 1.0, 0xf076e58b4606ec26),
+    (Benchmark::Cuccaro, 16, 2.0, 0xf73cfbea3769430c),
+    (Benchmark::Cuccaro, 16, 3.0, 0xf73cfbea3769430c),
+    (Benchmark::Cuccaro, 40, 1.0, 0x0e2cf00cccc6f108),
+    (Benchmark::Cuccaro, 40, 2.0, 0x10ea9a95e1709da5),
+    (Benchmark::Cuccaro, 40, 3.0, 0x10ea9a95e1709da5),
+    (Benchmark::QftAdder, 16, 1.0, 0xda5df4a97b21fd05),
+    (Benchmark::QftAdder, 16, 2.0, 0xda5df4a97b21fd05),
+    (Benchmark::QftAdder, 16, 3.0, 0xda5df4a97b21fd05),
+    (Benchmark::QftAdder, 40, 1.0, 0xd9ba0bd2ed18d002),
+    (Benchmark::QftAdder, 40, 2.0, 0xd9ba0bd2ed18d002),
+    (Benchmark::QftAdder, 40, 3.0, 0xd9ba0bd2ed18d002),
+    (Benchmark::Qaoa, 16, 1.0, 0xa0db2d5e3bf1c600),
+    (Benchmark::Qaoa, 16, 2.0, 0xa0db2d5e3bf1c600),
+    (Benchmark::Qaoa, 16, 3.0, 0xa0db2d5e3bf1c600),
+    (Benchmark::Qaoa, 40, 1.0, 0xe6e1f28300dee964),
+    (Benchmark::Qaoa, 40, 2.0, 0xe6e1f28300dee964),
+    (Benchmark::Qaoa, 40, 3.0, 0xe6e1f28300dee964),
+];
+
+fn config_for(mid: f64) -> CompilerConfig {
+    let cfg = CompilerConfig::new(mid);
+    if mid * mid < 2.0 {
+        cfg.with_native_multiqubit(false)
+    } else {
+        cfg
+    }
+}
+
+#[test]
+fn placements_match_seed_placer_byte_for_byte() {
+    let grid = Grid::new(10, 10);
+    for &(benchmark, size, mid, expected) in GOLDEN {
+        let circuit = benchmark.generate(size, 0);
+        let map = initial_layout(&circuit, &grid, &config_for(mid)).expect("places");
+        assert_eq!(
+            placement_digest(&map),
+            expected,
+            "{benchmark} size {size} at MID {mid} diverged from the seed placer"
+        );
+    }
+}
+
+#[test]
+fn digest_is_sensitive_to_placement_content() {
+    // Same circuit, different grid -> different placement -> different
+    // digest (guards against a digest that ignores its input).
+    let circuit = Benchmark::Qaoa.generate(16, 0);
+    let cfg = config_for(3.0);
+    let a = placement_digest(&initial_layout(&circuit, &Grid::new(10, 10), &cfg).unwrap());
+    let b = placement_digest(&initial_layout(&circuit, &Grid::new(7, 13), &cfg).unwrap());
+    assert_ne!(a, b);
+}
+
+#[test]
+fn layout_matches_the_compiled_initial_map() {
+    // initial_layout must be the exact placement slice of compile():
+    // the compiled circuit's initial map and the standalone layout
+    // agree site for site.
+    let grid = Grid::new(10, 10);
+    for &(benchmark, size, mid) in &[
+        (Benchmark::Bv, 16, 1.0),
+        (Benchmark::Cuccaro, 40, 2.0),
+        (Benchmark::Qaoa, 40, 3.0),
+    ] {
+        let circuit = benchmark.generate(size, 0);
+        let cfg = config_for(mid);
+        let map = initial_layout(&circuit, &grid, &cfg).unwrap();
+        let compiled = na_core::compile(&circuit, &grid, &cfg).unwrap();
+        assert_eq!(
+            &map.to_table(),
+            compiled.initial_map(),
+            "{benchmark} size {size} at MID {mid}: layout != compile's initial map"
+        );
+    }
+}

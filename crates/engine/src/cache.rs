@@ -23,10 +23,18 @@
 
 use na_arch::Grid;
 use na_circuit::Circuit;
-use na_core::{compile, CompileError, CompiledCircuit, CompilerConfig};
+use na_core::{compile_with, CompileError, CompiledCircuit, CompilerConfig, PlacementScratch};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+thread_local! {
+    /// One placement scratch per worker thread: every cache miss this
+    /// thread compiles reuses the placement fast path's free-site list
+    /// and ordering caches instead of reallocating them per program.
+    static PLACEMENT_SCRATCH: RefCell<PlacementScratch> = RefCell::new(PlacementScratch::new());
+}
 
 /// Cache key: the three structural fingerprints of a compilation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -104,7 +112,9 @@ impl CompileCache {
         let mut ran_compiler = false;
         let result = entry.get_or_init(|| {
             ran_compiler = true;
-            compile(circuit, grid, config).map(Arc::new)
+            PLACEMENT_SCRATCH
+                .with(|s| compile_with(circuit, grid, config, &mut s.borrow_mut()))
+                .map(Arc::new)
         });
         if ran_compiler {
             self.misses.fetch_add(1, Ordering::Relaxed);

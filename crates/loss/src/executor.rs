@@ -124,9 +124,14 @@ pub struct CampaignResult {
 
 impl CampaignResult {
     /// Mean successful shots per completed reload interval; falls back
-    /// to the open interval when no reload ever happened.
+    /// to the open interval when no reload ever happened, and to 0.0
+    /// when `shots_between_reloads` is empty (a campaign that stopped
+    /// before recording any interval, e.g. `max_attempts: 0` or a
+    /// result built on an early error path).
     pub fn mean_shots_before_reload(&self) -> f64 {
-        let completed = &self.shots_between_reloads[..self.shots_between_reloads.len() - 1];
+        let Some((_open, completed)) = self.shots_between_reloads.split_last() else {
+            return 0.0;
+        };
         let slice: &[u32] = if completed.is_empty() {
             &self.shots_between_reloads
         } else {
@@ -456,5 +461,35 @@ mod tests {
             timeline: Vec::new(),
         };
         assert!((r.mean_shots_before_reload() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_shots_before_reload_handles_empty_and_degenerate_campaigns() {
+        // Regression: the `..len()-1` slice underflowed and panicked on
+        // an empty interval list. An empty list now reports 0.0.
+        let empty = CampaignResult {
+            shots_attempted: 0,
+            shots_successful: 0,
+            discarded_by_loss: 0,
+            failed_by_noise: 0,
+            ledger: OverheadLedger::default(),
+            shots_between_reloads: Vec::new(),
+            timeline: Vec::new(),
+        };
+        assert_eq!(empty.mean_shots_before_reload(), 0.0);
+
+        // A single open interval still falls back to itself.
+        let open_only = CampaignResult {
+            shots_between_reloads: vec![7],
+            ..empty.clone()
+        };
+        assert!((open_only.mean_shots_before_reload() - 7.0).abs() < 1e-12);
+
+        // And a zero-attempt campaign run end-to-end records the empty
+        // open interval without panicking.
+        let cfg = quick(Strategy::AlwaysReload, 0).with_target(ShotTarget::Attempts(0));
+        let r = run_campaign(&program(), &grid(), LossModel::new(1), &cfg).unwrap();
+        assert_eq!(r.shots_attempted, 0);
+        assert_eq!(r.mean_shots_before_reload(), 0.0);
     }
 }

@@ -74,13 +74,28 @@ pub fn fixup_swaps(
     grid: &Grid,
     hardware_mid: f64,
 ) -> Option<u32> {
-    // One interaction graph and one BFS scratch serve every
-    // out-of-range pair; nothing allocates per hop. Built uncached:
-    // each loss event leaves a unique cumulative hole pattern that
-    // would never be hit again, so memoizing it would only churn the
-    // process-wide cache that the compile path relies on.
+    fixup_swaps_with(compiled, vmap, grid, hardware_mid, &mut BfsScratch::new())
+}
+
+/// [`fixup_swaps`] reusing a caller-held BFS scratch.
+///
+/// The campaign executor calls the fixup costing on every interfering
+/// loss of every shot; [`crate::StrategyState`] holds one scratch for
+/// the campaign's lifetime so those calls stop reallocating the BFS
+/// queue and distance buffers.
+pub fn fixup_swaps_with(
+    compiled: &CompiledCircuit,
+    vmap: &VirtualMap,
+    grid: &Grid,
+    hardware_mid: f64,
+    scratch: &mut BfsScratch,
+) -> Option<u32> {
+    // One interaction graph serves every out-of-range pair; nothing
+    // allocates per hop. Built uncached: each loss event leaves a
+    // unique cumulative hole pattern that would never be hit again, so
+    // memoizing it would only churn the process-wide cache that the
+    // compile path relies on.
     let graph = InteractionGraph::build(grid, hardware_mid);
-    let mut scratch = BfsScratch::new();
     let mut sites: Vec<Site> = Vec::new();
     let mut total = 0u32;
     for op in compiled.ops() {
@@ -100,7 +115,7 @@ pub fn fixup_swaps(
                 // shortest hop path (then it is within one hop — hence
                 // within MID — of the other), and walk it back
                 // afterwards: 2 · (hop distance − 1) SWAPs.
-                let dist = graph.hop_distance(sites[i], sites[j], &mut scratch)?;
+                let dist = graph.hop_distance(sites[i], sites[j], scratch)?;
                 total += 2 * (dist - 1);
             }
         }

@@ -7,11 +7,11 @@
 //! [`StrategyState`] owns that loop body so every harness agrees on
 //! the semantics.
 
-use crate::reroute::{fixup_swaps, resolved_ok};
+use crate::reroute::{fixup_swaps_with, resolved_ok};
 use crate::Strategy;
-use na_arch::{Grid, Site, VirtualMap};
+use na_arch::{BfsScratch, Grid, Site, VirtualMap};
 use na_circuit::Circuit;
-use na_core::{compile, CompileError, CompiledCircuit, CompilerConfig};
+use na_core::{compile_with, CompileError, CompiledCircuit, CompilerConfig, PlacementScratch};
 use std::time::Instant;
 
 /// How the strategy absorbed one atom loss.
@@ -47,6 +47,13 @@ pub struct StrategyState {
     /// Reroute SWAP budget; `None` disables the success-floor check
     /// (architectural tolerance analysis).
     max_fixup_swaps: Option<u32>,
+    /// BFS working memory reused by every fixup costing this state
+    /// performs (one per interfering loss, every shot) instead of a
+    /// fresh allocation per call.
+    fixup_scratch: BfsScratch,
+    /// Placement working memory reused by the FullRecompile strategy's
+    /// per-loss recompilations.
+    placement_scratch: PlacementScratch,
 }
 
 impl StrategyState {
@@ -65,7 +72,8 @@ impl StrategyState {
         max_fixup_swaps: Option<u32>,
     ) -> Result<Self, CompileError> {
         let cfg = CompilerConfig::new(strategy.compile_mid(hardware_mid));
-        let compiled = compile(program, grid_template, &cfg)?;
+        let mut placement_scratch = PlacementScratch::new();
+        let compiled = compile_with(program, grid_template, &cfg, &mut placement_scratch)?;
         let used = compiled.used_sites().to_vec();
         Ok(StrategyState {
             strategy,
@@ -80,6 +88,8 @@ impl StrategyState {
             used_addresses: used,
             extra_swaps: 0,
             max_fixup_swaps,
+            fixup_scratch: BfsScratch::new(),
+            placement_scratch,
         })
     }
 
@@ -152,7 +162,12 @@ impl StrategyState {
             Strategy::AlwaysReload => LossOutcome::NeedsReload,
             Strategy::FullRecompile => {
                 let t0 = Instant::now();
-                match compile(&self.program, &self.grid, &self.compiler_config) {
+                match compile_with(
+                    &self.program,
+                    &self.grid,
+                    &self.compiler_config,
+                    &mut self.placement_scratch,
+                ) {
                     Ok(c) => {
                         self.used_addresses = c.used_sites().to_vec();
                         self.compiled = c;
@@ -181,7 +196,13 @@ impl StrategyState {
             return LossOutcome::NeedsReload;
         }
         if self.strategy.reroutes() {
-            match fixup_swaps(&self.compiled, &self.vmap, &self.grid, self.hardware_mid) {
+            match fixup_swaps_with(
+                &self.compiled,
+                &self.vmap,
+                &self.grid,
+                self.hardware_mid,
+                &mut self.fixup_scratch,
+            ) {
                 Some(n) => {
                     if let Some(budget) = self.max_fixup_swaps {
                         if n > budget {

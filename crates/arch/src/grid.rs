@@ -130,6 +130,28 @@ impl Grid {
         self.contains(site) && self.usable[self.idx(site)]
     }
 
+    /// The usability vector in row-major flat-index order —
+    /// `usable_mask()[i]` ⇔ the site with flat index `i` holds an
+    /// atom. This *is* the grid's internal state (not a copy), so it
+    /// can be handed directly to hole-masked queries like
+    /// `InteractionGraph::hop_distance_masked` without any mirror
+    /// bookkeeping.
+    #[inline]
+    pub fn usable_mask(&self) -> &[bool] {
+        &self.usable
+    }
+
+    /// The row-major flat index of `site` (the `usable_mask`
+    /// position, inverse of [`Grid::site_at`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `site` is out of bounds.
+    #[inline]
+    pub fn flat_index(&self, site: Site) -> usize {
+        self.idx(site)
+    }
+
     /// Marks the atom at `site` as lost. Returns `true` if an atom was
     /// present.
     ///

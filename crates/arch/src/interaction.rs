@@ -228,6 +228,23 @@ impl InteractionGraph {
         if !self.usable[ai] || !self.usable[bi] {
             return None;
         }
+        // CSR neighbor lists already contain only usable sites, so no
+        // extra per-hop filter is needed.
+        self.bfs_hop_distance(ai, bi, |_| true, scratch)
+    }
+
+    /// The shared BFS kernel of the hop-distance queries: shortest hop
+    /// count from `ai` to `bi` over CSR neighbors passing `admit`.
+    /// Both public entry points must stay on this one body — the
+    /// compile path and the loss path drifting apart in BFS semantics
+    /// is exactly what the digest contracts forbid.
+    fn bfs_hop_distance(
+        &self,
+        ai: usize,
+        bi: usize,
+        admit: impl Fn(usize) -> bool,
+        scratch: &mut BfsScratch,
+    ) -> Option<u32> {
         if ai == bi {
             return Some(0);
         }
@@ -237,7 +254,7 @@ impl InteractionGraph {
         while let Some(s) = scratch.queue.pop_front() {
             let d = scratch.dist[s as usize];
             for &n in self.neighbors(s as usize) {
-                if scratch.is_visited(n as usize) {
+                if scratch.is_visited(n as usize) || !admit(n as usize) {
                     continue;
                 }
                 if n as usize == bi {
@@ -248,6 +265,35 @@ impl InteractionGraph {
             }
         }
         None
+    }
+
+    /// [`InteractionGraph::hop_distance`] restricted to sites the
+    /// caller still considers usable: `usable[i]` masks the site with
+    /// flat index `i` (a `false` entry is treated as a hole, both as
+    /// an endpoint and as a waypoint).
+    ///
+    /// This is the loss path's costing primitive: the campaign
+    /// executor builds this graph **once** for the full (hole-free)
+    /// device, then threads the shot-by-shot hole pattern through the
+    /// mask instead of rebuilding a CSR graph per loss event. The
+    /// result is exactly what `InteractionGraph::build(holey_grid,
+    /// mid).hop_distance(a, b)` would return — BFS distance over the
+    /// same effective vertex set — without the O(sites × stencil)
+    /// rebuild.
+    pub fn hop_distance_masked(
+        &self,
+        a: Site,
+        b: Site,
+        usable: &[bool],
+        scratch: &mut BfsScratch,
+    ) -> Option<u32> {
+        debug_assert_eq!(usable.len(), self.num_sites(), "mask sized to the grid");
+        let ai = self.index_of(a)?;
+        let bi = self.index_of(b)?;
+        if !self.usable[ai] || !usable[ai] || !self.usable[bi] || !usable[bi] {
+            return None;
+        }
+        self.bfs_hop_distance(ai, bi, |i| usable[i], scratch)
     }
 
     /// Hop distances from `from` to every site (`None` for unreachable
@@ -489,6 +535,31 @@ mod tests {
             let from = Site::new(rng.gen_range(0..6), rng.gen_range(0..6));
             graph.hop_distances_into(from, &mut scratch, &mut out);
             assert_eq!(out, g.hop_distances(from, 2.0));
+        }
+    }
+
+    #[test]
+    fn masked_hop_distance_matches_holey_rebuild() {
+        // The loss-path contract: BFS over the full-grid graph with a
+        // usability mask must agree with a graph rebuilt from the
+        // holey grid, for every endpoint pair.
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut scratch = BfsScratch::new();
+        for _ in 0..10 {
+            let full = Grid::new(7, 6);
+            let holey = random_grid(&mut rng, 7, 6, 10);
+            let mid = f64::from(rng.gen_range(1u32..4));
+            let full_graph = InteractionGraph::build(&full, mid);
+            let holey_graph = InteractionGraph::build(&holey, mid);
+            for _ in 0..32 {
+                let a = Site::new(rng.gen_range(0..7), rng.gen_range(0..6));
+                let b = Site::new(rng.gen_range(0..7), rng.gen_range(0..6));
+                assert_eq!(
+                    full_graph.hop_distance_masked(a, b, holey.usable_mask(), &mut scratch),
+                    holey_graph.hop_distance(a, b, &mut scratch),
+                    "{a}->{b} at MID {mid}"
+                );
+            }
         }
     }
 

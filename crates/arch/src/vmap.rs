@@ -10,9 +10,11 @@
 
 use crate::{Direction, Grid, Site};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+
+/// Sentinel in the flat tables for "identity at this index".
+const NONE: u32 = u32::MAX;
 
 /// Error returned by [`VirtualMap::shift_from`] when no spare capacity
 /// exists in the requested direction.
@@ -42,6 +44,14 @@ impl Error for NoSpareError {}
 /// to the trap that actually holds the atom. A fresh map is the
 /// identity.
 ///
+/// Both directions are dense flat `Vec`s indexed by the grid's
+/// row-major flat site index (the `QubitMap` layout), sized lazily on
+/// the first [`VirtualMap::shift_from`]: `resolve`/`address_of` are
+/// O(1) loads on the loss executor's hottest paths (per-shot measured
+/// sets, interference checks, fixup costing) instead of `HashMap`
+/// probes. Sites outside the adopted grid always resolve to
+/// themselves, matching the old sparse-map behavior.
+///
 /// # Example
 ///
 /// ```
@@ -56,10 +66,28 @@ impl Error for NoSpareError {}
 /// assert_eq!(vmap.resolve(Site::new(1, 0)), Site::new(2, 0));
 /// assert_eq!(vmap.resolve(Site::new(0, 0)), Site::new(0, 0));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct VirtualMap {
-    fwd: HashMap<Site, Site>,
-    inv: HashMap<Site, Site>,
+    width: u32,
+    height: u32,
+    /// `fwd[flat(addr)]` is the flat index of the physical trap, or
+    /// [`NONE`] for identity.
+    fwd: Vec<u32>,
+    /// `inv[flat(phys)]` is the flat index of the address, or [`NONE`].
+    inv: Vec<u32>,
+}
+
+impl PartialEq for VirtualMap {
+    /// Two maps are equal iff they represent the same indirection:
+    /// the same ordered non-identity `address → physical` pairs,
+    /// compared as sites so the adopted dimensions don't matter. An
+    /// unsized fresh map equals a sized map that was reset.
+    fn eq(&self, other: &Self) -> bool {
+        let as_sites = |v: &Self, (a, p): (usize, u32)| (v.site_of(a), v.site_of(p as usize));
+        self.non_identity_entries()
+            .map(|e| as_sites(self, e))
+            .eq(other.non_identity_entries().map(|e| as_sites(other, e)))
+    }
 }
 
 impl VirtualMap {
@@ -68,37 +96,108 @@ impl VirtualMap {
         Self::default()
     }
 
+    /// Flat index of `site`, if it lies within the adopted grid.
+    #[inline]
+    fn index_of(&self, site: Site) -> Option<usize> {
+        if site.x >= 0
+            && site.y >= 0
+            && (site.x as u32) < self.width
+            && (site.y as u32) < self.height
+        {
+            Some(site.y as usize * self.width as usize + site.x as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The site of a flat index within the adopted grid.
+    #[inline]
+    fn site_of(&self, index: usize) -> Site {
+        Site::new(
+            (index % self.width as usize) as i32,
+            (index / self.width as usize) as i32,
+        )
+    }
+
+    /// Non-identity `(address index, physical index)` pairs, ascending
+    /// in address index.
+    fn non_identity_entries(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.fwd
+            .iter()
+            .enumerate()
+            .filter(|&(i, &p)| p != NONE && p as usize != i)
+            .map(|(i, &p)| (i, p))
+    }
+
+    /// Adopts `grid`'s dimensions on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map was already sized for a different device.
+    fn ensure_sized(&mut self, grid: &Grid) {
+        if self.width == 0 {
+            self.width = grid.width();
+            self.height = grid.height();
+            self.fwd = vec![NONE; grid.num_sites()];
+            self.inv = vec![NONE; grid.num_sites()];
+            return;
+        }
+        assert!(
+            self.width == grid.width() && self.height == grid.height(),
+            "virtual map sized for {}x{} used with a {}x{} grid",
+            self.width,
+            self.height,
+            grid.width(),
+            grid.height()
+        );
+    }
+
     /// The physical trap an address currently resolves to.
     #[inline]
     pub fn resolve(&self, addr: Site) -> Site {
-        self.fwd.get(&addr).copied().unwrap_or(addr)
+        match self.index_of(addr) {
+            Some(i) => match self.fwd[i] {
+                NONE => addr,
+                p => self.site_of(p as usize),
+            },
+            None => addr,
+        }
     }
 
     /// The address currently resolving to a physical trap.
     #[inline]
     pub fn address_of(&self, phys: Site) -> Site {
-        self.inv.get(&phys).copied().unwrap_or(phys)
+        match self.index_of(phys) {
+            Some(i) => match self.inv[i] {
+                NONE => phys,
+                a => self.site_of(a as usize),
+            },
+            None => phys,
+        }
     }
 
     /// `true` if no address has been remapped.
     pub fn is_identity(&self) -> bool {
-        self.fwd.iter().all(|(a, p)| a == p)
+        self.non_identity_entries().next().is_none()
     }
 
     /// Number of addresses resolving somewhere other than themselves.
     pub fn remapped_count(&self) -> usize {
-        self.fwd.iter().filter(|(a, p)| a != p).count()
+        self.non_identity_entries().count()
     }
 
-    /// Resets to the identity (used after an array reload).
+    /// Resets to the identity (used after an array reload), keeping
+    /// the flat tables allocated.
     pub fn reset(&mut self) {
-        self.fwd.clear();
-        self.inv.clear();
+        self.fwd.fill(NONE);
+        self.inv.fill(NONE);
     }
 
     fn set(&mut self, addr: Site, phys: Site) {
-        self.fwd.insert(addr, phys);
-        self.inv.insert(phys, addr);
+        let ai = self.index_of(addr).expect("address on the adopted grid");
+        let pi = self.index_of(phys).expect("trap on the adopted grid");
+        self.fwd[ai] = pi as u32;
+        self.inv[pi] = ai as u32;
     }
 
     /// Shifts addresses away from a lost atom, absorbing one spare.
@@ -127,6 +226,7 @@ impl VirtualMap {
         dir: Direction,
         in_use_addr: &dyn Fn(Site) -> bool,
     ) -> Result<Vec<(Site, Site)>, NoSpareError> {
+        self.ensure_sized(grid);
         // The ray of trap sites from the hole (inclusive) to the edge.
         let mut ray = Vec::new();
         let mut cur = lost_phys;
@@ -345,6 +445,38 @@ mod tests {
             v.best_shift_direction(&grid, Site::new(1, 0), &in_use),
             None
         );
+    }
+
+    #[test]
+    fn out_of_grid_addresses_stay_identity() {
+        // The flat tables cover only the adopted device; anything
+        // outside resolves to itself, like the old sparse map.
+        let mut grid = Grid::new(4, 1);
+        let mut v = VirtualMap::new();
+        let far = Site::new(100, -3);
+        assert_eq!(v.resolve(far), far);
+        assert_eq!(v.address_of(far), far);
+        let in_use = |a: Site| a.x <= 1 && a.y == 0;
+        grid.remove_atom(Site::new(0, 0));
+        v.shift_from(&grid, Site::new(0, 0), Direction::East, &in_use)
+            .unwrap();
+        assert_eq!(v.resolve(far), far);
+        assert_eq!(v.address_of(far), far);
+    }
+
+    #[test]
+    fn reset_map_equals_fresh_map() {
+        // Semantic equality: a sized-then-reset map and a fresh
+        // (unsized) map are both the identity.
+        let mut grid = Grid::new(4, 1);
+        let mut v = VirtualMap::new();
+        let in_use = |a: Site| a.x <= 1 && a.y == 0;
+        grid.remove_atom(Site::new(0, 0));
+        v.shift_from(&grid, Site::new(0, 0), Direction::East, &in_use)
+            .unwrap();
+        assert_ne!(v, VirtualMap::new());
+        v.reset();
+        assert_eq!(v, VirtualMap::new());
     }
 
     #[test]

@@ -488,6 +488,26 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
         run_campaign(&program, &grid, na_loss::LossModel::new(1), &cfg).expect("campaign runs");
     });
 
+    // Heavy loss-executor workload: destructive (50% measurement loss)
+    // readout on a larger program, so nearly every shot draws
+    // interfering losses and the per-shot remap + reroute-fixup
+    // costing dominates instead of the RNG draws.
+    let heavy_shots = if quick { 25 } else { 400 };
+    let heavy_size = if quick { 16 } else { 40 };
+    timed("loss_executor_heavy", 1, heavy_shots, &mut || {
+        let program = Benchmark::Cuccaro.generate(heavy_size, 0);
+        let cfg = CampaignConfig::new(4.0, Strategy::CompileSmallReroute)
+            .with_target(ShotTarget::Attempts(heavy_shots))
+            .with_seed(1);
+        run_campaign(
+            &program,
+            &grid,
+            na_loss::LossModel::destructive_readout(1),
+            &cfg,
+        )
+        .expect("heavy campaign runs");
+    });
+
     let report = BenchReport {
         schema: "natoms-bench-v1".into(),
         mode: if quick { "quick" } else { "full" }.into(),

@@ -3,7 +3,7 @@
 use crate::state::{LossOutcome, StrategyState};
 use crate::timeline::{EventKind, TimelineEvent};
 use crate::{LossModel, OverheadLedger, OverheadTimes, Strategy};
-use na_arch::Grid;
+use na_arch::{Grid, Site};
 use na_circuit::Circuit;
 use na_core::CompileError;
 use na_noise::{success_probability, NoiseParams};
@@ -218,6 +218,10 @@ pub fn run_campaign(
         timeline: Vec::new(),
     };
     let mut streak = 0u32;
+    // Per-shot buffers reused across the whole campaign: the measured
+    // set as a flat-index mask and the drawn-loss list.
+    let mut measured_mask: Vec<bool> = Vec::new();
+    let mut losses: Vec<Site> = Vec::new();
 
     loop {
         let done = match cfg.target {
@@ -250,18 +254,14 @@ pub fn run_campaign(
             cfg.overheads.fluorescence,
             cfg.record_timeline,
         );
-        let measured = state.measured_sites();
-        let losses = loss.draw_losses(state.grid(), &measured);
-        let interfering: Vec<_> = losses
-            .iter()
-            .copied()
-            .filter(|&s| state.is_interfering(s))
-            .collect();
+        state.write_measured_mask(&mut measured_mask);
+        loss.draw_losses_with(state.grid(), &measured_mask, &mut losses);
+        let any_interfering = losses.iter().any(|&s| state.is_interfering(s));
 
-        if interfering.is_empty() && noise_ok {
+        if !any_interfering && noise_ok {
             result.shots_successful += 1;
             streak += 1;
-        } else if !interfering.is_empty() {
+        } else if any_interfering {
             result.discarded_by_loss += 1;
         } else {
             result.failed_by_noise += 1;
@@ -269,9 +269,15 @@ pub fn run_campaign(
 
         // 3. Absorb the losses.
         let mut need_reload = false;
-        for site in losses {
+        for &site in &losses {
             if !state.grid().is_usable(site) {
-                continue; // already swallowed by a reload this shot
+                // Duplicate/stale-loss protection: `apply_loss` panics
+                // on a site that is already a hole. `draw_losses`
+                // yields strictly ascending unique usable sites, so
+                // this never fires today — it guards against a future
+                // loss model emitting duplicates or sites lost earlier
+                // in this same shot.
+                continue;
             }
             match state.apply_loss(site) {
                 LossOutcome::Spare => {}

@@ -38,7 +38,10 @@ pub mod tolerance;
 pub use executor::{run_campaign, CampaignConfig, CampaignResult, ShotTarget};
 pub use model::LossModel;
 pub use overhead::{OverheadLedger, OverheadTimes, RecompileCost};
-pub use reroute::{fixup_swaps, fixup_swaps_with, max_resolved_span, resolved_ok};
+pub use reroute::{
+    fixup_swaps, fixup_swaps_summary, fixup_swaps_with, max_resolved_span, resolved_ok,
+    resolved_ok_summary, InteractionSummary,
+};
 pub use state::{LossOutcome, StrategyState};
 pub use strategy::{ParseStrategyError, Strategy};
 pub use timeline::{render_timeline, EventKind, TimelineEvent};

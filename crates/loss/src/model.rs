@@ -108,19 +108,57 @@ impl LossModel {
     /// loss; atoms in `measured` additionally risk measurement loss.
     /// Returns the lost sites in ascending order.
     pub fn draw_losses(&mut self, grid: &Grid, measured: &[Site]) -> Vec<Site> {
+        let mut mask = vec![false; grid.num_sites()];
+        for s in measured {
+            // Out-of-grid measured sites can never be drawn (the old
+            // linear `contains` scan simply never matched them), so
+            // they are skipped rather than indexed.
+            if grid.contains(*s) {
+                mask[grid.flat_index(*s)] = true;
+            }
+        }
         let mut lost = Vec::new();
+        self.draw_losses_with(grid, &mask, &mut lost);
+        lost
+    }
+
+    /// [`LossModel::draw_losses`] with the measured set as a
+    /// flat-index mask and the result written into a reused buffer.
+    ///
+    /// The campaign executor calls this every shot; the mask turns the
+    /// per-site `measured.contains` scan into an O(1) load and the
+    /// `out` buffer stops a `Vec` allocation per shot. The RNG draw
+    /// sequence is identical to `draw_losses`: one `gen_bool` per
+    /// usable site, in ascending site order, with the same per-site
+    /// probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `mask` is not sized to the grid.
+    pub fn draw_losses_with(&mut self, grid: &Grid, measured_mask: &[bool], out: &mut Vec<Site>) {
+        debug_assert_eq!(
+            measured_mask.len(),
+            grid.num_sites(),
+            "measured mask sized to the grid"
+        );
+        out.clear();
+        // Loss processes are independent; either suffices.
+        let p_measured = 1.0 - (1.0 - self.vacuum_loss) * (1.0 - self.measurement_loss);
         for s in grid.usable_sites() {
-            let p = if measured.contains(&s) {
-                // Loss processes are independent; either suffices.
-                1.0 - (1.0 - self.vacuum_loss) * (1.0 - self.measurement_loss)
+            let p = if measured_mask[grid.flat_index(s)] {
+                p_measured
             } else {
                 self.vacuum_loss
             };
             if p > 0.0 && self.rng.gen_bool(p) {
-                lost.push(s);
+                out.push(s);
             }
         }
-        lost
+        // `usable_sites` walks flat indices upward, so the drawn
+        // losses are strictly ascending in row-major order — hence
+        // unique. The executor's absorb loop relies on this (each
+        // drawn site is lost at most once per shot).
+        debug_assert!(out.windows(2).all(|w| (w[0].y, w[0].x) < (w[1].y, w[1].x)));
     }
 }
 
@@ -189,6 +227,65 @@ mod tests {
             .with_vacuum_loss(0.0)
             .with_measurement_loss(0.0);
         assert!(m.draw_losses(&grid, &measured).is_empty());
+    }
+
+    #[test]
+    fn draws_are_strictly_ascending_unique_usable_sites() {
+        // The executor's absorb loop and its duplicate/stale-loss
+        // guard rely on this (debug_assert-backed in
+        // `draw_losses_with`): one draw per usable site, emitted in
+        // strictly ascending row-major order — never a duplicate,
+        // never a hole.
+        let mut grid = Grid::new(8, 8);
+        grid.remove_atom(Site::new(3, 3));
+        grid.remove_atom(Site::new(0, 7));
+        let measured: Vec<Site> = grid.usable_sites().take(20).collect();
+        let mut m = LossModel::destructive_readout(9).with_measurement_loss(0.9);
+        for _ in 0..50 {
+            let losses = m.draw_losses(&grid, &measured);
+            for w in losses.windows(2) {
+                assert!(
+                    (w[0].y, w[0].x) < (w[1].y, w[1].x),
+                    "losses out of order: {} then {}",
+                    w[0],
+                    w[1]
+                );
+            }
+            for s in losses {
+                assert!(grid.is_usable(s), "drew a loss at hole {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_grid_measured_sites_are_ignored() {
+        // The old linear-scan implementation never matched sites
+        // outside the grid; the mask-building wrapper must keep that
+        // contract instead of panicking on the flat index.
+        let grid = Grid::new(4, 4);
+        let mut m = LossModel::new(2);
+        let weird = [Site::new(-1, 0), Site::new(100, 100), Site::new(0, -7)];
+        let mut a = LossModel::new(2);
+        assert_eq!(m.draw_losses(&grid, &weird), a.draw_losses(&grid, &[]));
+    }
+
+    #[test]
+    fn draw_losses_with_matches_draw_losses_sequence() {
+        // The mask-based entry point must consume the RNG identically
+        // to the list-based one: same seed, same shot-by-shot draws.
+        let grid = Grid::new(10, 10);
+        let measured: Vec<Site> = grid.usable_sites().skip(15).take(40).collect();
+        let mut mask = vec![false; grid.num_sites()];
+        for s in &measured {
+            mask[s.y as usize * grid.width() as usize + s.x as usize] = true;
+        }
+        let mut a = LossModel::destructive_readout(77);
+        let mut b = LossModel::destructive_readout(77);
+        let mut out = Vec::new();
+        for _ in 0..20 {
+            b.draw_losses_with(&grid, &mask, &mut out);
+            assert_eq!(a.draw_losses(&grid, &measured), out);
+        }
     }
 
     #[test]

@@ -8,9 +8,129 @@
 //!   hardware MID (the virtual-remap go/no-go)?
 //! * [`fixup_swaps`] — if not, how many SWAPs does the
 //!   swap-out/execute/swap-back fixup of Fig. 9c cost per shot?
+//!
+//! Both questions depend on the schedule only through its *distinct*
+//! operand pairs: a pair scheduled twenty times costs twenty fixups
+//! but needs one BFS. [`InteractionSummary`] precomputes that deduped
+//! pair multiset once per compiled schedule, and the `_summary`
+//! variants ([`resolved_ok_summary`], [`fixup_swaps_summary`]) answer
+//! from it — per distinct pair instead of per scheduled op, with the
+//! BFS running over a hole-masked full-grid [`InteractionGraph`]
+//! instead of a graph rebuilt per loss event. The per-op originals
+//! are retained verbatim as the reference costing path; randomized
+//! differential tests hold the two bit-for-bit equal.
 
 use na_arch::{BfsScratch, Grid, InteractionGraph, Site, VirtualMap};
 use na_core::CompiledCircuit;
+
+/// The deduped interaction-pair summary of one compiled schedule.
+///
+/// `pairs` holds every unordered operand *address* pair any scheduled
+/// op interacts, normalized `(min, max)`, with its multiplicity
+/// (scheduled occurrence count); `operands` holds every distinct
+/// operand address. Both are sorted ascending. Addresses resolve
+/// through the [`VirtualMap`] at query time, so one summary serves a
+/// whole campaign until the schedule itself changes (FullRecompile).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InteractionSummary {
+    pairs: Vec<(Site, Site, u32)>,
+    operands: Vec<Site>,
+}
+
+impl InteractionSummary {
+    /// Builds the summary of `compiled`'s scheduled ops.
+    pub fn of(compiled: &CompiledCircuit) -> Self {
+        let mut raw: Vec<(Site, Site)> = Vec::new();
+        let mut operands: Vec<Site> = Vec::new();
+        for op in compiled.ops() {
+            operands.extend(op.sites.iter().copied());
+            for i in 0..op.sites.len() {
+                for j in (i + 1)..op.sites.len() {
+                    let (a, b) = (op.sites[i], op.sites[j]);
+                    raw.push(if a <= b { (a, b) } else { (b, a) });
+                }
+            }
+        }
+        raw.sort();
+        operands.sort();
+        operands.dedup();
+        let mut pairs: Vec<(Site, Site, u32)> = Vec::new();
+        for (a, b) in raw {
+            match pairs.last_mut() {
+                Some(&mut (pa, pb, ref mut n)) if (pa, pb) == (a, b) => *n += 1,
+                _ => pairs.push((a, b, 1)),
+            }
+        }
+        InteractionSummary { pairs, operands }
+    }
+
+    /// The distinct unordered address pairs with multiplicities,
+    /// ascending.
+    pub fn pairs(&self) -> &[(Site, Site, u32)] {
+        &self.pairs
+    }
+
+    /// The distinct operand addresses, ascending.
+    pub fn operands(&self) -> &[Site] {
+        &self.operands
+    }
+}
+
+/// [`resolved_ok`] answered from a precomputed [`InteractionSummary`]:
+/// every distinct operand must resolve to a usable atom and every
+/// distinct pair must resolve within `hardware_mid`. Equivalent to the
+/// per-op scan — a violation exists in one iff it exists in the other.
+pub fn resolved_ok_summary(
+    summary: &InteractionSummary,
+    vmap: &VirtualMap,
+    grid: &Grid,
+    hardware_mid: f64,
+) -> bool {
+    summary
+        .operands()
+        .iter()
+        .all(|&a| grid.is_usable(vmap.resolve(a)))
+        && summary
+            .pairs()
+            .iter()
+            .all(|&(a, b, _)| vmap.resolve(a).within(vmap.resolve(b), hardware_mid))
+}
+
+/// [`fixup_swaps_with`] answered from a precomputed
+/// [`InteractionSummary`] and a hole-masked full-grid graph: one BFS
+/// per distinct out-of-range pair, its `2 · (hops − 1)` SWAP cost
+/// multiplied by the pair's scheduled multiplicity. `usable` is the
+/// current hole pattern as a flat-index mask (`graph` itself is built
+/// from the hole-free device, so it never needs rebuilding as losses
+/// accrue).
+///
+/// Returns `None` exactly when the reference path does: some operand
+/// resolves to a lost atom, or some required pair is disconnected.
+pub fn fixup_swaps_summary(
+    summary: &InteractionSummary,
+    vmap: &VirtualMap,
+    graph: &InteractionGraph,
+    usable: &[bool],
+    hardware_mid: f64,
+    scratch: &mut BfsScratch,
+) -> Option<u32> {
+    for &a in summary.operands() {
+        let i = graph.index_of(vmap.resolve(a))?;
+        if !usable[i] {
+            return None;
+        }
+    }
+    let mut total = 0u32;
+    for &(a, b, mult) in summary.pairs() {
+        let (ra, rb) = (vmap.resolve(a), vmap.resolve(b));
+        if ra.within(rb, hardware_mid) {
+            continue;
+        }
+        let dist = graph.hop_distance_masked(ra, rb, usable, scratch)?;
+        total += mult * 2 * (dist - 1);
+    }
+    Some(total)
+}
 
 /// The largest pairwise operand distance any scheduled interaction has
 /// after resolving through `vmap`.

@@ -7,11 +7,12 @@
 //! [`StrategyState`] owns that loop body so every harness agrees on
 //! the semantics.
 
-use crate::reroute::{fixup_swaps_with, resolved_ok};
+use crate::reroute::{fixup_swaps_summary, resolved_ok_summary, InteractionSummary};
 use crate::Strategy;
-use na_arch::{BfsScratch, Grid, Site, VirtualMap};
+use na_arch::{BfsScratch, Grid, InteractionGraph, Site, VirtualMap};
 use na_circuit::Circuit;
 use na_core::{compile_with, CompileError, CompiledCircuit, CompilerConfig, PlacementScratch};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How the strategy absorbed one atom loss.
@@ -54,6 +55,17 @@ pub struct StrategyState {
     /// Placement working memory reused by the FullRecompile strategy's
     /// per-loss recompilations.
     placement_scratch: PlacementScratch,
+    /// Distinct operand pairs (with multiplicities) of `compiled`,
+    /// precomputed once so fixup costing iterates distinct pairs
+    /// instead of scheduled ops. Rebuilt only when `compiled` changes
+    /// (FullRecompile's per-loss recompilations and its reload).
+    summary: InteractionSummary,
+    /// The hole-free device's interaction graph at the hardware MID,
+    /// fingerprint-cached like the compile path's graphs. Fixup BFS
+    /// runs over this fixed graph with the live grid's
+    /// [`Grid::usable_mask`] as the hole pattern — no per-loss-event
+    /// graph rebuild and no mirror bookkeeping.
+    full_graph: Arc<InteractionGraph>,
 }
 
 impl StrategyState {
@@ -75,6 +87,12 @@ impl StrategyState {
         let mut placement_scratch = PlacementScratch::new();
         let compiled = compile_with(program, grid_template, &cfg, &mut placement_scratch)?;
         let used = compiled.used_sites().to_vec();
+        let summary = InteractionSummary::of(&compiled);
+        // The costing graph is built from the *hole-free* template (a
+        // template normally is one), so every state on the same device
+        // and MID shares one cached graph; holes are threaded through
+        // `usable_mask` instead.
+        let full_graph = InteractionGraph::cached(grid_template, hardware_mid);
         Ok(StrategyState {
             strategy,
             hardware_mid,
@@ -90,6 +108,8 @@ impl StrategyState {
             max_fixup_swaps,
             fixup_scratch: BfsScratch::new(),
             placement_scratch,
+            summary,
+            full_graph,
         })
     }
 
@@ -126,6 +146,20 @@ impl StrategyState {
             .iter()
             .map(|&a| self.vmap.resolve(a))
             .collect()
+    }
+
+    /// Writes the measured set as a flat-index mask over the grid
+    /// (`mask[i]` ⇔ the program occupies the site with flat index
+    /// `i`), reusing the caller's buffer. The campaign executor feeds
+    /// this to [`crate::LossModel::draw_losses_with`] every shot
+    /// instead of materializing a `Vec<Site>` and scanning it per
+    /// site.
+    pub fn write_measured_mask(&self, mask: &mut Vec<bool>) {
+        mask.clear();
+        mask.resize(self.grid.num_sites(), false);
+        for &a in &self.used_addresses {
+            mask[self.grid.flat_index(self.vmap.resolve(a))] = true;
+        }
     }
 
     /// `true` if losing the atom at `site` would interfere with the
@@ -170,6 +204,7 @@ impl StrategyState {
                 ) {
                     Ok(c) => {
                         self.used_addresses = c.used_sites().to_vec();
+                        self.summary = InteractionSummary::of(&c);
                         self.compiled = c;
                         LossOutcome::Recompiled {
                             compile_seconds: t0.elapsed().as_secs_f64(),
@@ -183,8 +218,11 @@ impl StrategyState {
     }
 
     fn apply_remap_loss(&mut self, site: Site) -> LossOutcome {
-        let used = self.used_addresses.clone();
-        let in_use = move |addr: Site| used.contains(&addr);
+        // `used_addresses` stays sorted (the `used_sites` contract), so
+        // membership is a binary search over a borrow — no clone of the
+        // list per interfering loss.
+        let used = &self.used_addresses;
+        let in_use = |addr: Site| used.binary_search(&addr).is_ok();
         let Some(dir) = self.vmap.best_shift_direction(&self.grid, site, &in_use) else {
             return LossOutcome::NeedsReload;
         };
@@ -196,10 +234,11 @@ impl StrategyState {
             return LossOutcome::NeedsReload;
         }
         if self.strategy.reroutes() {
-            match fixup_swaps_with(
-                &self.compiled,
+            match fixup_swaps_summary(
+                &self.summary,
                 &self.vmap,
-                &self.grid,
+                &self.full_graph,
+                self.grid.usable_mask(),
                 self.hardware_mid,
                 &mut self.fixup_scratch,
             ) {
@@ -217,7 +256,7 @@ impl StrategyState {
                 }
                 None => LossOutcome::NeedsReload,
             }
-        } else if resolved_ok(&self.compiled, &self.vmap, &self.grid, self.hardware_mid) {
+        } else if resolved_ok_summary(&self.summary, &self.vmap, &self.grid, self.hardware_mid) {
             LossOutcome::Tolerated {
                 remaps: 1,
                 refixed: false,
@@ -236,6 +275,7 @@ impl StrategyState {
         if self.strategy == Strategy::FullRecompile {
             self.compiled = self.original.clone();
             self.used_addresses = self.compiled.used_sites().to_vec();
+            self.summary = InteractionSummary::of(&self.compiled);
         }
     }
 }
@@ -375,6 +415,79 @@ mod tests {
         assert_eq!(s.extra_swaps(), 0);
         let measured = s.measured_sites();
         assert_eq!(measured, s.compiled().used_sites());
+    }
+
+    #[test]
+    fn remap_membership_binary_search_matches_linear_contains() {
+        // `apply_remap_loss` switched from cloning `used_addresses`
+        // and scanning it linearly to borrowing it and binary
+        // searching; sound because `used_sites` is sorted and deduped.
+        // Check the precondition and the predicate equivalence over
+        // the whole device.
+        let s = state(Strategy::CompileSmallReroute, 4.0);
+        let used = &s.used_addresses;
+        assert!(
+            used.windows(2).all(|w| w[0] < w[1]),
+            "used_addresses must be sorted and unique"
+        );
+        for site in s.grid().sites() {
+            let addr = s.vmap.address_of(site);
+            assert_eq!(
+                used.contains(&addr),
+                used.binary_search(&addr).is_ok(),
+                "membership predicates diverge at {site}"
+            );
+        }
+    }
+
+    #[test]
+    fn state_costing_matches_reference_through_loss_sequences() {
+        // Differential check on the live state machine: every
+        // tolerated loss's recorded outcome must agree with the
+        // retained per-op reference costing recomputed on the current
+        // holey grid and virtual map.
+        use crate::reroute::{fixup_swaps_with, resolved_ok};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC057);
+        let mut scratch = BfsScratch::new();
+        for strategy in [
+            Strategy::VirtualRemap,
+            Strategy::CompileSmall,
+            Strategy::MinorReroute,
+            Strategy::CompileSmallReroute,
+        ] {
+            let mut s = state(strategy, 3.0);
+            for _ in 0..30 {
+                let usable: Vec<Site> = s.grid().usable_sites().collect();
+                let victim = usable[rng.gen_range(0..usable.len())];
+                match s.apply_loss(victim) {
+                    LossOutcome::Tolerated { .. } => {
+                        if strategy.reroutes() {
+                            assert_eq!(
+                                fixup_swaps_with(
+                                    &s.compiled,
+                                    &s.vmap,
+                                    &s.grid,
+                                    s.hardware_mid,
+                                    &mut scratch,
+                                ),
+                                Some(s.extra_swaps()),
+                                "{strategy}: fixup cost diverged from reference"
+                            );
+                        } else {
+                            assert!(
+                                resolved_ok(&s.compiled, &s.vmap, &s.grid, s.hardware_mid),
+                                "{strategy}: tolerated a loss the reference rejects"
+                            );
+                        }
+                    }
+                    LossOutcome::NeedsReload => break,
+                    LossOutcome::Spare => {}
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]

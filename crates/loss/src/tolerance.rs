@@ -43,18 +43,26 @@ pub fn max_loss_tolerance(
     let total_sites = grid_template.num_sites();
     let mut holes = 0usize;
 
+    // The usable-site list is maintained incrementally: `apply_loss`
+    // removes exactly the victim (reload never happens inside this
+    // loop), so deleting it by its drawn index reproduces the
+    // row-major order — and therefore the RNG victim sequence — of
+    // re-collecting `usable_sites()` per loss, without the O(sites)
+    // re-collection and allocation each time.
+    let mut usable: Vec<Site> = state.grid().usable_sites().collect();
     loop {
-        let usable: Vec<Site> = state.grid().usable_sites().collect();
         if usable.is_empty() {
             break;
         }
-        let victim = usable[rng.gen_range(0..usable.len())];
+        let picked = rng.gen_range(0..usable.len());
+        let victim = usable[picked];
         match state.apply_loss(victim) {
             LossOutcome::NeedsReload => break,
             LossOutcome::Spare | LossOutcome::Tolerated { .. } | LossOutcome::Recompiled { .. } => {
                 holes += 1
             }
         }
+        usable.remove(picked);
     }
 
     Ok(ToleranceOutcome {
@@ -63,7 +71,13 @@ pub fn max_loss_tolerance(
     })
 }
 
-/// Averages [`max_loss_tolerance`] over `trials` seeds.
+/// Averages [`max_loss_tolerance`] over `trials` seeds, returning
+/// `(mean, standard deviation)` of the sustained device fraction.
+///
+/// `trials == 0` returns `(0.0, 0.0)`: zero requested trials mean
+/// zero observed tolerance, not a `0.0 / 0.0 = NaN` (the same
+/// degenerate-input family as `mean_shots_before_reload` on an empty
+/// interval list).
 ///
 /// # Errors
 ///
@@ -76,6 +90,9 @@ pub fn mean_loss_tolerance(
     trials: u32,
     base_seed: u64,
 ) -> Result<(f64, f64), CompileError> {
+    if trials == 0 {
+        return Ok((0.0, 0.0));
+    }
     let mut fractions = Vec::with_capacity(trials as usize);
     for t in 0..trials {
         let out = max_loss_tolerance(
@@ -200,5 +217,18 @@ mod tests {
             mean_loss_tolerance(&program, &grid, 3.0, Strategy::VirtualRemap, 5, 0).unwrap();
         assert!((0.0..=1.0).contains(&mean));
         assert!(std >= 0.0);
+    }
+
+    #[test]
+    fn mean_tolerance_with_zero_trials_is_zero_not_nan() {
+        // Regression: `trials == 0` summed an empty fraction list and
+        // divided 0.0 / 0.0, silently reporting `(NaN, NaN)` — the
+        // same degenerate-input family as the
+        // `mean_shots_before_reload` underflow fixed in PR 3.
+        let grid = Grid::new(8, 8);
+        let program = Benchmark::Bv.generate(16, 0);
+        let (mean, std) =
+            mean_loss_tolerance(&program, &grid, 3.0, Strategy::VirtualRemap, 0, 0).unwrap();
+        assert_eq!((mean, std), (0.0, 0.0));
     }
 }

@@ -36,4 +36,4 @@ pub use geometry::{BBox, Direction, Site};
 pub use grid::Grid;
 pub use interaction::{BfsScratch, InteractionGraph};
 pub use restriction::{RestrictionPolicy, RestrictionZone};
-pub use vmap::VirtualMap;
+pub use vmap::{NoSpareError, ShiftScratch, VirtualMap};

@@ -36,6 +36,38 @@ impl fmt::Display for NoSpareError {
 
 impl Error for NoSpareError {}
 
+/// Reusable working memory for [`VirtualMap::shift_from_with`].
+///
+/// One shift needs four small ordered lists (the in-use addresses on
+/// the ray, the absorbing targets, the freed traps, and the displaced
+/// unused addresses) plus the change list it reports. The campaign
+/// shot loop costs one shift per interfering loss; holding the
+/// buffers in the caller's strategy state instead of allocating them
+/// per call removes the last allocations on that path. The buffers
+/// are plain state — reuse changes nothing about the shift itself
+/// (the campaign digest tests pin this).
+#[derive(Debug, Clone, Default)]
+pub struct ShiftScratch {
+    shifted: Vec<Site>,
+    targets: Vec<Site>,
+    freed: Vec<Site>,
+    displaced: Vec<Site>,
+    changes: Vec<(Site, Site)>,
+}
+
+impl ShiftScratch {
+    /// Empty scratch; buffers grow on first use and are retained.
+    pub fn new() -> Self {
+        ShiftScratch::default()
+    }
+
+    /// The `(address, new_physical)` pairs changed by the most recent
+    /// successful [`VirtualMap::shift_from_with`].
+    pub fn changes(&self) -> &[(Site, Site)] {
+        &self.changes
+    }
+}
+
 /// A bijective indirection table from program-facing addresses to
 /// physical trap sites.
 ///
@@ -226,65 +258,95 @@ impl VirtualMap {
         dir: Direction,
         in_use_addr: &dyn Fn(Site) -> bool,
     ) -> Result<Vec<(Site, Site)>, NoSpareError> {
+        let mut scratch = ShiftScratch::new();
+        self.shift_from_with(grid, lost_phys, dir, in_use_addr, &mut scratch)?;
+        Ok(std::mem::take(&mut scratch.changes))
+    }
+
+    /// [`VirtualMap::shift_from`] reusing caller-held working memory —
+    /// the allocation-free form the campaign shot loop calls once per
+    /// interfering loss. Returns the number of changed addresses; the
+    /// pairs themselves are in [`ShiftScratch::changes`].
+    ///
+    /// # Errors
+    ///
+    /// See [`VirtualMap::shift_from`].
+    pub fn shift_from_with(
+        &mut self,
+        grid: &Grid,
+        lost_phys: Site,
+        dir: Direction,
+        in_use_addr: &dyn Fn(Site) -> bool,
+        scratch: &mut ShiftScratch,
+    ) -> Result<usize, NoSpareError> {
         self.ensure_sized(grid);
-        // The ray of trap sites from the hole (inclusive) to the edge.
-        let mut ray = Vec::new();
+        let ShiftScratch {
+            shifted,
+            targets,
+            freed,
+            displaced,
+            changes,
+        } = scratch;
+        shifted.clear();
+        targets.clear();
+        freed.clear();
+        displaced.clear();
+        changes.clear();
+
+        // In-use addresses whose atom sits on the ray from the hole
+        // (inclusive) to the device edge, in ray order. The ray is
+        // walked directly — it never needs materializing.
         let mut cur = lost_phys;
         while grid.contains(cur) {
-            ray.push(cur);
+            if cur == lost_phys || grid.is_usable(cur) {
+                let addr = self.address_of(cur);
+                if in_use_addr(addr) {
+                    shifted.push(addr);
+                }
+            }
             cur = cur.step(dir);
         }
-
-        // In-use addresses whose atom sits on the ray, in ray order.
-        let shifted: Vec<Site> = ray
-            .iter()
-            .filter(|&&p| p == lost_phys || grid.is_usable(p))
-            .map(|&p| self.address_of(p))
-            .filter(|&a| in_use_addr(a))
-            .collect();
         if shifted.is_empty() {
-            return Ok(Vec::new());
+            return Ok(0);
         }
 
-        // Usable atoms strictly beyond the hole, in ray order.
-        let targets: Vec<Site> = ray
-            .iter()
-            .skip(1)
-            .copied()
-            .filter(|&p| grid.is_usable(p))
-            .collect();
+        // Usable atoms strictly beyond the hole, in ray order; only
+        // the first `shifted.len()` are consumed.
+        let mut cur = lost_phys.step(dir);
+        while grid.contains(cur) {
+            if grid.is_usable(cur) {
+                targets.push(cur);
+            }
+            cur = cur.step(dir);
+        }
         if targets.len() < shifted.len() {
             return Err(NoSpareError { direction: dir });
         }
+        targets.truncate(shifted.len());
 
         // Old homes freed by the shift (starting at the hole itself).
-        let freed: Vec<Site> = shifted.iter().map(|&a| self.resolve(a)).collect();
-
-        let mut changes = Vec::new();
-        let consumed = &targets[..shifted.len()];
+        freed.extend(shifted.iter().map(|&a| self.resolve(a)));
 
         // Unused addresses displaced from consumed targets rotate onto
         // freed traps, keeping the map bijective.
-        let displaced: Vec<Site> = consumed
-            .iter()
-            .map(|&t| self.address_of(t))
-            .filter(|a| !shifted.contains(a))
-            .collect();
+        displaced.extend(
+            targets
+                .iter()
+                .map(|&t| self.address_of(t))
+                .filter(|a| !shifted.contains(a)),
+        );
 
-        for (&addr, &target) in shifted.iter().zip(consumed) {
+        for (&addr, &target) in shifted.iter().zip(targets.iter()) {
             if self.resolve(addr) != target {
                 self.set(addr, target);
                 changes.push((addr, target));
             }
         }
-        let reclaimed: Vec<Site> = freed
-            .into_iter()
-            .filter(|p| !consumed.contains(p))
-            .collect();
-        for (&addr, &phys) in displaced.iter().zip(reclaimed.iter()) {
+        let reclaimed = freed.iter().filter(|p| !targets.contains(p));
+        for (&addr, &phys) in displaced.iter().zip(reclaimed) {
             self.set(addr, phys);
         }
-        Ok(changes)
+        Ok(changes.len())
     }
 
     /// Picks the cardinal direction with the most spare (usable but
@@ -490,6 +552,45 @@ mod tests {
         assert!(!v.is_identity());
         v.reset();
         assert!(v.is_identity());
+    }
+
+    /// One reused scratch across a whole random loss sequence produces
+    /// the same maps and the same change lists as the allocating form.
+    #[test]
+    fn prop_shift_with_scratch_matches_allocating_shift() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for round in 0..24 {
+            let mut grid = Grid::new(9, 3);
+            let mut a = VirtualMap::new();
+            let mut b = VirtualMap::new();
+            let mut scratch = ShiftScratch::new();
+            let in_use = |addr: Site| addr.x < 5;
+            for _ in 0..rng.gen_range(1..8usize) {
+                let lost = Site::new(rng.gen_range(0i32..9), rng.gen_range(0i32..3));
+                if !grid.is_usable(lost) {
+                    continue;
+                }
+                grid.remove_atom(lost);
+                let dir = match a.best_shift_direction(&grid, lost, &in_use) {
+                    Some(d) => d,
+                    None => break,
+                };
+                let via_alloc = a.shift_from(&grid, lost, dir, &in_use);
+                let via_scratch = b.shift_from_with(&grid, lost, dir, &in_use, &mut scratch);
+                match (via_alloc, via_scratch) {
+                    (Ok(changes), Ok(n)) => {
+                        assert_eq!(changes.len(), n, "round {round}");
+                        assert_eq!(changes, scratch.changes(), "round {round}");
+                    }
+                    (Err(ea), Err(eb)) => {
+                        assert_eq!(ea, eb, "round {round}");
+                        break;
+                    }
+                    (x, y) => panic!("round {round}: diverged ({x:?} vs {y:?})"),
+                }
+                assert_eq!(a, b, "round {round}: maps diverged");
+            }
+        }
     }
 
     /// Random loss sequences keep the map bijective and never leave

@@ -30,4 +30,4 @@ pub use cnu::{cnu, cnu_controls_for_size};
 pub use cuccaro::cuccaro;
 pub use qaoa::{qaoa_maxcut, random_graph};
 pub use qft::{inverse_qft, qft, qft_adder};
-pub use suite::{Benchmark, ParseBenchmarkError};
+pub use suite::{Benchmark, ParseBenchmarkError, Workload};

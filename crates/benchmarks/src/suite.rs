@@ -1,9 +1,12 @@
-//! The benchmark suite behind the paper's figures.
+//! The benchmark suite behind the paper's figures, and the
+//! [`Workload`] wrapper that lets external circuits (e.g. imported
+//! OpenQASM programs) ride the same sweep interfaces.
 
 use crate::{bv, cnu, cnu_controls_for_size, cuccaro, qaoa_maxcut, qft_adder};
 use na_circuit::Circuit;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// One of the paper's five benchmark families, sweepable by *program
 /// size* (total qubit budget).
@@ -101,6 +104,92 @@ impl fmt::Display for Benchmark {
     }
 }
 
+/// A sweepable workload: one of the paper's benchmark families *or* a
+/// custom circuit (typically imported from OpenQASM via
+/// [`na_circuit::qasm::parse_qasm`]).
+///
+/// Every harness that used to be hardwired to [`Benchmark`] can speak
+/// `Workload` instead: benchmarks keep their size-parametrized
+/// generation, custom circuits are fixed programs that ignore the size
+/// budget and seed. The circuit is held behind an [`Arc`] so sweeps
+/// that evaluate one program at many configuration points share it
+/// without copying.
+///
+/// # Example
+///
+/// ```
+/// use na_benchmarks::{Benchmark, Workload};
+/// use na_circuit::{Circuit, Qubit};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(Qubit(0));
+/// bell.cnot(Qubit(0), Qubit(1));
+/// let w = Workload::custom("bell", bell);
+/// assert_eq!(w.name(), "bell");
+/// assert_eq!(w.actual_size(30), 2, "custom circuits ignore the budget");
+/// assert_eq!(Workload::from(Benchmark::Bv).actual_size(30), 30);
+/// ```
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// A size-parametrized benchmark family.
+    Bench(Benchmark),
+    /// A fixed external circuit with a display label.
+    Custom {
+        /// Label used anywhere a benchmark name would appear.
+        label: String,
+        /// The circuit, shared across sweep points.
+        circuit: Arc<Circuit>,
+    },
+}
+
+impl Workload {
+    /// Wraps a custom circuit under a display label.
+    pub fn custom(label: impl Into<String>, circuit: Circuit) -> Self {
+        Workload::Custom {
+            label: label.into(),
+            circuit: Arc::new(circuit),
+        }
+    }
+
+    /// The display name (benchmark name or custom label).
+    pub fn name(&self) -> &str {
+        match self {
+            Workload::Bench(b) => b.name(),
+            Workload::Custom { label, .. } => label,
+        }
+    }
+
+    /// The circuit at one sweep point. Benchmarks generate at
+    /// `(size, seed)`; custom circuits ignore both.
+    pub fn circuit(&self, size: u32, seed: u64) -> Arc<Circuit> {
+        match self {
+            Workload::Bench(b) => Arc::new(b.generate(size, seed)),
+            Workload::Custom { circuit, .. } => Arc::clone(circuit),
+        }
+    }
+
+    /// Qubits the workload actually uses for a given size budget
+    /// (custom circuits: their fixed register width).
+    pub fn actual_size(&self, size: u32) -> u32 {
+        match self {
+            Workload::Bench(b) => b.actual_size(size),
+            Workload::Custom { circuit, .. } => circuit.num_qubits(),
+        }
+    }
+}
+
+impl From<Benchmark> for Workload {
+    fn from(b: Benchmark) -> Self {
+        Workload::Bench(b)
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Error returned when a benchmark name does not parse; lists the
 /// accepted spellings.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -185,6 +274,27 @@ mod tests {
     #[should_panic(expected = "at least 4")]
     fn tiny_size_panics() {
         Benchmark::Cuccaro.generate(3, 0);
+    }
+
+    #[test]
+    fn workload_shares_custom_circuits_and_delegates_for_benchmarks() {
+        use na_circuit::Qubit;
+        let mut c = Circuit::new(3);
+        c.h(Qubit(0)).cnot(Qubit(0), Qubit(1)).measure(Qubit(1));
+        let fp = c.fingerprint();
+        let w = Workload::custom("mine", c);
+        let a = w.circuit(100, 7);
+        let b = w.circuit(4, 0);
+        assert!(Arc::ptr_eq(&a, &b), "custom circuit must be shared");
+        assert_eq!(a.fingerprint(), fp);
+        assert_eq!(w.to_string(), "mine");
+
+        let bench = Workload::from(Benchmark::Cuccaro);
+        assert_eq!(bench.name(), "Cuccaro");
+        assert_eq!(
+            bench.circuit(20, 0).num_qubits(),
+            Benchmark::Cuccaro.actual_size(20)
+        );
     }
 
     #[test]

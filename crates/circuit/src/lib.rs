@@ -13,6 +13,9 @@
 //! * [`decompose`] — lowering passes (Toffoli → 6 CNOTs, controlled-phase
 //!   → CNOT + Rz, SWAP → 3 CNOTs) so the same source circuit can be
 //!   compiled either with or without native multiqubit gates;
+//! * [`qasm`] — OpenQASM 2.0 import ([`parse_qasm`]) and export
+//!   ([`to_qasm`]), so external circuits can enter the pipeline and
+//!   compiled programs can leave it for cross-checking;
 //! * [`metrics`] — gate counts by arity and circuit depth, the two success
 //!   predictors the paper's evaluation is phrased in.
 //!
@@ -44,4 +47,5 @@ pub use dag::{CircuitDag, Frontier, GateId};
 pub use decompose::{decompose_circuit, DecomposeLevel};
 pub use gate::Gate;
 pub use metrics::CircuitMetrics;
+pub use qasm::{parse_qasm, to_qasm, QasmError, QasmErrorKind};
 pub use qubit::Qubit;

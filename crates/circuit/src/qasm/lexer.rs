@@ -1,0 +1,417 @@
+//! OpenQASM 2.0 tokenizer.
+//!
+//! Splits a source string into positioned tokens: identifiers (which
+//! cover keywords — the parser matches on spelling), integer and real
+//! literals, string literals, and the handful of punctuation and
+//! arithmetic symbols the grammar uses. `//` comments run to end of
+//! line. Every token carries its 1-based line and column so parser
+//! errors can point at source.
+
+use super::{QasmError, QasmErrorKind};
+
+/// One lexeme.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (`qreg`, `cx`, `pi`, …).
+    Ident(String),
+    /// Integer literal.
+    Int(u64),
+    /// Real literal (has a `.` or an exponent).
+    Real(f64),
+    /// Double-quoted string (an `include` path).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `==` (lexed so an `if` statement reaches the parser and gets
+    /// the typed "unsupported" error instead of a lex failure).
+    EqEq,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// How the token reads in an error message.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("{s:?}"),
+            Tok::Int(n) => format!("{n}"),
+            Tok::Real(x) => format!("{x}"),
+            Tok::Str(s) => format!("{s:?}"),
+            Tok::LParen => "'('".into(),
+            Tok::RParen => "')'".into(),
+            Tok::LBracket => "'['".into(),
+            Tok::RBracket => "']'".into(),
+            Tok::LBrace => "'{'".into(),
+            Tok::RBrace => "'}'".into(),
+            Tok::Semi => "';'".into(),
+            Tok::Comma => "','".into(),
+            Tok::Arrow => "'->'".into(),
+            Tok::Plus => "'+'".into(),
+            Tok::Minus => "'-'".into(),
+            Tok::Star => "'*'".into(),
+            Tok::Slash => "'/'".into(),
+            Tok::Caret => "'^'".into(),
+            Tok::EqEq => "'=='".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The lexeme.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Tokenizes a whole source string (appending an [`Tok::Eof`] carrying
+/// the end position).
+///
+/// # Errors
+///
+/// Returns [`QasmErrorKind::UnexpectedChar`] /
+/// [`QasmErrorKind::UnterminatedString`] with the offending position.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, QasmError> {
+    let mut toks = Vec::new();
+    let mut chars = src.chars().peekable();
+    let (mut line, mut col) = (1u32, 1u32);
+
+    // Consume one char, tracking position.
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some(ch) = c {
+                if ch == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&n) = chars.peek() {
+                        if n == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                } else {
+                    toks.push(Token {
+                        tok: Tok::Slash,
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some('"') => break,
+                        Some(ch) if ch != '\n' => s.push(ch),
+                        _ => {
+                            return Err(QasmError::new(
+                                tline,
+                                tcol,
+                                QasmErrorKind::UnterminatedString,
+                            ))
+                        }
+                    }
+                }
+                toks.push(Token {
+                    tok: Tok::Str(s),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '-' => {
+                bump!();
+                let tok = if chars.peek() == Some(&'>') {
+                    bump!();
+                    Tok::Arrow
+                } else {
+                    Tok::Minus
+                };
+                toks.push(Token {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '=' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    toks.push(Token {
+                        tok: Tok::EqEq,
+                        line: tline,
+                        col: tcol,
+                    });
+                } else {
+                    return Err(QasmError::new(
+                        tline,
+                        tcol,
+                        QasmErrorKind::UnexpectedChar('='),
+                    ));
+                }
+            }
+            '0'..='9' | '.' => {
+                let mut text = String::new();
+                let mut is_real = false;
+                while let Some(&n) = chars.peek() {
+                    match n {
+                        '0'..='9' => {
+                            text.push(n);
+                            bump!();
+                        }
+                        '.' => {
+                            is_real = true;
+                            text.push(n);
+                            bump!();
+                        }
+                        'e' | 'E' => {
+                            is_real = true;
+                            text.push(n);
+                            bump!();
+                            if let Some(&s) = chars.peek() {
+                                if s == '+' || s == '-' {
+                                    text.push(s);
+                                    bump!();
+                                }
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let tok = if is_real {
+                    match text.parse::<f64>() {
+                        Ok(x) => Tok::Real(x),
+                        Err(_) => {
+                            return Err(QasmError::new(
+                                tline,
+                                tcol,
+                                QasmErrorKind::InvalidNumber(text),
+                            ))
+                        }
+                    }
+                } else {
+                    match text.parse::<u64>() {
+                        Ok(n) => Tok::Int(n),
+                        // Integers too large for u64 fall back to
+                        // real; all digits, so f64::parse cannot fail.
+                        Err(_) => match text.parse::<f64>() {
+                            Ok(x) => Tok::Real(x),
+                            Err(_) => {
+                                return Err(QasmError::new(
+                                    tline,
+                                    tcol,
+                                    QasmErrorKind::InvalidNumber(text),
+                                ))
+                            }
+                        },
+                    }
+                };
+                toks.push(Token {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut s = String::new();
+                while let Some(&n) = chars.peek() {
+                    if n.is_ascii_alphanumeric() || n == '_' {
+                        s.push(n);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Token {
+                    tok: Tok::Ident(s),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            _ => {
+                let tok = match c {
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    ';' => Tok::Semi,
+                    ',' => Tok::Comma,
+                    '+' => Tok::Plus,
+                    '*' => Tok::Star,
+                    '^' => Tok::Caret,
+                    other => {
+                        return Err(QasmError::new(
+                            tline,
+                            tcol,
+                            QasmErrorKind::UnexpectedChar(other),
+                        ))
+                    }
+                };
+                bump!();
+                toks.push(Token {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+        }
+    }
+    toks.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn tokenizes_a_header_line() {
+        assert_eq!(
+            kinds("OPENQASM 2.0;"),
+            vec![
+                Tok::Ident("OPENQASM".into()),
+                Tok::Real(2.0),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let toks = tokenize("qreg q[4];\n  h q[0];").unwrap();
+        let h = toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("h".into()))
+            .unwrap();
+        assert_eq!((h.line, h.col), (2, 3));
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        assert_eq!(
+            kinds("x // ignored ; tokens\ny"),
+            vec![Tok::Ident("x".into()), Tok::Ident("y".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn arrow_and_minus_disambiguate() {
+        assert_eq!(
+            kinds("-> - -1"),
+            vec![Tok::Arrow, Tok::Minus, Tok::Minus, Tok::Int(1), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers_split_int_and_real() {
+        assert_eq!(
+            kinds("3 0.5 1e-3 2.0"),
+            vec![
+                Tok::Int(3),
+                Tok::Real(0.5),
+                Tok::Real(1e-3),
+                Tok::Real(2.0),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_capture_paths() {
+        assert_eq!(
+            kinds("include \"qelib1.inc\";"),
+            vec![
+                Tok::Ident("include".into()),
+                Tok::Str("qelib1.inc".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_reports_position() {
+        let err = tokenize("include \"oops").unwrap_err();
+        assert_eq!(err.kind, QasmErrorKind::UnterminatedString);
+        assert_eq!((err.line, err.column), (1, 9));
+    }
+
+    #[test]
+    fn malformed_numbers_report_their_text() {
+        for bad in ["1e", "1.2.3", "3e+"] {
+            let err = tokenize(&format!("rz({bad}) q;")).unwrap_err();
+            assert_eq!(
+                err.kind,
+                QasmErrorKind::InvalidNumber(bad.to_string()),
+                "{bad}"
+            );
+            assert_eq!((err.line, err.column), (1, 4), "{bad}");
+        }
+    }
+
+    #[test]
+    fn unexpected_char_reports_position() {
+        let err = tokenize("x q[0];\n@").unwrap_err();
+        assert_eq!(err.kind, QasmErrorKind::UnexpectedChar('@'));
+        assert_eq!((err.line, err.column), (2, 1));
+    }
+}

@@ -8,7 +8,8 @@
 
 use crate::args::{ArgError, Args};
 use na_arch::{AssemblySimulator, Grid, RestrictionPolicy};
-use na_benchmarks::Benchmark;
+use na_benchmarks::{Benchmark, Workload};
+use na_circuit::parse_qasm;
 use na_core::{compile, verify, CompiledCircuit, CompilerConfig};
 use na_engine::{derive_seed, Engine, ExperimentSpec, JsonlSink, LossSpec, Outcome, Task};
 use na_loss::{
@@ -49,16 +50,64 @@ fn parse_grid(spec: &str) -> Result<Grid, ArgError> {
     Ok(Grid::new(w, h))
 }
 
+/// Loads and parses the `--qasm` file into a custom [`Workload`]
+/// labeled by the file stem.
+fn load_qasm_workload(path: &str) -> Result<Workload, ArgError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read QASM file {path:?}: {e}")))?;
+    let circuit = parse_qasm(&src).map_err(|e| ArgError(format!("{path}: {e}")))?;
+    let label = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path)
+        .to_string();
+    Ok(Workload::custom(label, circuit))
+}
+
 struct Common {
-    benchmark: Benchmark,
+    workload: Workload,
     size: u32,
     grid: Grid,
     config: CompilerConfig,
     seed: u64,
 }
 
+impl Common {
+    /// The circuit at this command's `(size, seed)` point.
+    fn circuit(&self) -> std::sync::Arc<na_circuit::Circuit> {
+        self.workload.circuit(self.size, self.seed)
+    }
+
+    /// Qubits the workload actually uses.
+    fn actual_size(&self) -> u32 {
+        self.workload.actual_size(self.size)
+    }
+}
+
 fn common(args: &Args) -> Result<Common, ArgError> {
-    let benchmark = parse_benchmark(args.get_or("benchmark", "bv"))?;
+    let workload = match args.get("qasm") {
+        Some(path) => {
+            if args.get("benchmark").is_some() {
+                return Err(ArgError(
+                    "--qasm and --benchmark are mutually exclusive".into(),
+                ));
+            }
+            load_qasm_workload(path)?
+        }
+        None => {
+            // A valueless --qasm parses as a boolean flag; refuse it
+            // rather than silently compiling the default benchmark
+            // (it is also the old spelling of compile's export flag).
+            if args.flag("qasm") {
+                return Err(ArgError(
+                    "--qasm expects a file path (to print a compiled schedule \
+                     as QASM, use --emit-qasm)"
+                        .into(),
+                ));
+            }
+            Workload::from(parse_benchmark(args.get_or("benchmark", "bv"))?)
+        }
+    };
     let size = args.parse_or("size", 30u32)?;
     let grid = parse_grid(args.get_or("grid", "10x10"))?;
     let mid: f64 = args.parse_or("mid", 3.0)?;
@@ -74,7 +123,7 @@ fn common(args: &Args) -> Result<Common, ArgError> {
     }
     let seed = args.parse_or("seed", 0u64)?;
     Ok(Common {
-        benchmark,
+        workload,
         size,
         grid,
         config,
@@ -92,7 +141,7 @@ fn engine(args: &Args) -> Result<Engine, ArgError> {
 }
 
 fn compile_common(c: &Common) -> Result<CompiledCircuit, Box<dyn Error>> {
-    let program = c.benchmark.generate(c.size, c.seed);
+    let program = c.circuit();
     let compiled = compile(&program, &c.grid, &c.config)?;
     verify(&compiled, &c.grid)?;
     Ok(compiled)
@@ -105,17 +154,16 @@ pub fn compile_cmd(args: &Args) -> CmdResult {
     let m = compiled.metrics();
     println!(
         "{} size {} on {}x{} at MID {}",
-        c.benchmark,
-        c.benchmark.actual_size(c.size),
+        c.workload,
+        c.actual_size(),
         c.grid.width(),
         c.grid.height(),
         c.config.mid
     );
     println!("  {m}");
     println!("  timesteps: {}", compiled.num_timesteps());
-    if args.flag("qasm") {
-        let qasm = na_circuit::qasm::to_qasm(compiled.circuit())
-            .map_err(|i| ArgError(format!("gate {i} has no QASM primitive")))?;
+    if args.flag("emit-qasm") {
+        let qasm = na_circuit::qasm::to_qasm(compiled.circuit())?;
         println!("\n{qasm}");
     }
     Ok(())
@@ -146,7 +194,7 @@ pub fn sweep_cmd(args: &Args) -> CmdResult {
         if mid * mid < 2.0 {
             cfg = cfg.with_native_multiqubit(false);
         }
-        spec.push(c.benchmark, c.size, c.seed, cfg, Task::Compile);
+        spec.push(c.workload.clone(), c.size, c.seed, cfg, Task::Compile);
     }
     let eng = engine(args)?;
     let records = eng.run(&spec);
@@ -202,7 +250,7 @@ pub fn success_cmd(args: &Args) -> CmdResult {
     let sc_cfg = CompilerConfig::new(1.0)
         .with_native_multiqubit(false)
         .with_restriction(RestrictionPolicy::None);
-    let program = c.benchmark.generate(c.size, c.seed);
+    let program = c.circuit();
     let sc_compiled = compile(&program, &c.grid, &sc_cfg)?;
     let sc = success_probability(&sc_compiled, &NoiseParams::superconducting(error));
     println!(
@@ -225,13 +273,13 @@ pub fn tolerance_cmd(args: &Args) -> CmdResult {
             "{strategy} needs a hardware MID of at least 3"
         ))));
     }
-    let program = c.benchmark.generate(c.size, c.seed);
+    let program = c.circuit();
     let (mean, std) =
         mean_loss_tolerance(&program, &c.grid, c.config.mid, strategy, trials, c.seed)?;
     println!(
         "{strategy} on {} ({} qubits, MID {}): sustains {:.1}% +/- {:.1}% of the device",
-        c.benchmark,
-        c.benchmark.actual_size(c.size),
+        c.workload,
+        c.actual_size(),
         c.config.mid,
         mean * 100.0,
         std * 100.0
@@ -268,7 +316,7 @@ pub fn campaign_cmd(args: &Args) -> CmdResult {
             cfg = cfg.with_timeline();
         }
         spec.push(
-            c.benchmark,
+            c.workload.clone(),
             c.size,
             c.seed,
             c.config,
@@ -680,5 +728,93 @@ mod tests {
     fn tolerance_rejects_unsupported_mid() {
         let args = parse(&["tolerance", "--mid", "2", "--strategy", "c-small"]);
         assert!(tolerance_cmd(&args).is_err());
+    }
+
+    /// Writes a QASM fixture under the target temp dir and returns its
+    /// path as a String.
+    fn qasm_fixture(name: &str, body: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, body).expect("fixture written");
+        path.to_str().expect("utf-8 temp path").to_string()
+    }
+
+    const GHZ4: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\ncreg c[4];\n\
+                        h q[0];\ncx q[0],q[1];\ncx q[1],q[2];\ncx q[2],q[3];\nmeasure q -> c;\n";
+
+    #[test]
+    fn qasm_workloads_flow_through_every_command() {
+        let path = qasm_fixture("natoms_cli_ghz4.qasm", GHZ4);
+        compile_cmd(&parse(&["compile", "--qasm", &path, "--mid", "2"])).unwrap();
+        sweep_cmd(&parse(&["sweep", "--qasm", &path, "--mids", "2,3"])).unwrap();
+        success_cmd(&parse(&["success", "--qasm", &path, "--mid", "2"])).unwrap();
+        tolerance_cmd(&parse(&[
+            "tolerance",
+            "--qasm",
+            &path,
+            "--mid",
+            "3",
+            "--trials",
+            "2",
+        ]))
+        .unwrap();
+        campaign_cmd(&parse(&[
+            "campaign",
+            "--qasm",
+            &path,
+            "--mid",
+            "3",
+            "--shots",
+            "10",
+            "--strategy",
+            "remap",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn valueless_qasm_flag_is_rejected_not_ignored() {
+        // `--qasm` with no path parses as a boolean flag; it must not
+        // silently fall back to the default benchmark.
+        let err = compile_cmd(&parse(&["compile", "--qasm"])).unwrap_err();
+        assert!(err.to_string().contains("expects a file path"));
+        let err = compile_cmd(&parse(&["compile", "--benchmark", "bv", "--qasm"])).unwrap_err();
+        assert!(err.to_string().contains("--emit-qasm"));
+    }
+
+    #[test]
+    fn qasm_and_benchmark_are_mutually_exclusive() {
+        let path = qasm_fixture("natoms_cli_excl.qasm", GHZ4);
+        let args = parse(&["compile", "--qasm", &path, "--benchmark", "bv"]);
+        let err = compile_cmd(&args).unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn qasm_parse_errors_surface_with_position() {
+        let path = qasm_fixture(
+            "natoms_cli_bad.qasm",
+            "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];\n",
+        );
+        let err = compile_cmd(&parse(&["compile", "--qasm", &path])).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "missing position in {msg:?}");
+        assert!(msg.contains("frobnicate"), "missing gate name in {msg:?}");
+    }
+
+    #[test]
+    fn missing_qasm_file_is_a_clean_error() {
+        let err = compile_cmd(&parse(&["compile", "--qasm", "/nonexistent/x.qasm"])).unwrap_err();
+        assert!(err.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn emit_qasm_round_trips_through_the_importer() {
+        // `compile --emit-qasm` output must be importable again — the
+        // CLI surface of the round-trip contract.
+        let c = common(&parse(&["compile", "--benchmark", "qaoa", "--size", "8"])).unwrap();
+        let compiled = compile_common(&c).unwrap();
+        let text = na_circuit::qasm::to_qasm(compiled.circuit()).unwrap();
+        let back = parse_qasm(&text).unwrap();
+        assert_eq!(back.fingerprint(), compiled.circuit().fingerprint());
     }
 }

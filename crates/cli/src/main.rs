@@ -1,7 +1,8 @@
 //! `natoms` — command-line interface to the neutral-atom toolkit.
 //!
 //! ```console
-//! natoms compile  --benchmark qaoa --size 30 --mid 3 [--no-native] [--no-zones] [--qasm]
+//! natoms compile  --benchmark qaoa --size 30 --mid 3 [--no-native] [--no-zones] [--emit-qasm]
+//! natoms compile  --qasm examples/qasm/adder4.qasm --mid 3
 //! natoms sweep    --benchmark bv --size 100 --mids 1,2,3,5,13 [--workers 8] [--jsonl]
 //! natoms success  --benchmark cuccaro --size 50 --mid 3 --error 1e-3
 //! natoms tolerance --benchmark cnu --size 30 --mid 4 --strategy reroute --trials 10
@@ -11,6 +12,10 @@
 //! natoms bench    [--json] [--quick]
 //! natoms reload-time --width 10 --height 10 --margin 3 --trials 10
 //! ```
+//!
+//! Every workload command (`compile`, `sweep`, `success`, `tolerance`,
+//! `campaign`) accepts either `--benchmark <family>` or `--qasm
+//! <file>` to run an imported OpenQASM 2.0 circuit instead.
 //!
 //! `sweep` and `campaign` run through the `na-engine` worker pool;
 //! results are identical at any `--workers` value.
@@ -37,12 +42,14 @@ SUBCOMMANDS:
 
 COMMON OPTIONS:
   --benchmark bv|cnu|cuccaro|qft-adder|qaoa   (default bv)
+  --qasm FILE       run an imported OpenQASM 2.0 circuit instead
   --size N          program qubit budget        (default 30)
   --grid WxH        device dimensions           (default 10x10)
   --mid D           max interaction distance    (default 3)
   --seed N          RNG seed                    (default 0)
   --no-native       lower Toffolis to 2q gates
   --no-zones        disable restriction zones
+  --emit-qasm       print the compiled schedule as QASM (compile only)
 
 ENGINE OPTIONS (sweep, campaign):
   --workers N       worker threads              (default: all cores)

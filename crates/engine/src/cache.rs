@@ -24,6 +24,7 @@
 use na_arch::Grid;
 use na_circuit::Circuit;
 use na_core::{compile_with, CompileError, CompiledCircuit, CompilerConfig, PlacementScratch};
+use na_loss::InteractionSummary;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -82,6 +83,11 @@ impl CacheStats {
 #[derive(Debug, Default)]
 pub struct CompileCache {
     entries: Mutex<HashMap<CacheKey, Entry>>,
+    /// Per-compilation [`InteractionSummary`] memo: campaign jobs
+    /// sharing a compiled schedule also share its deduped
+    /// interaction-pair summary instead of each
+    /// [`na_loss::StrategyState`] rebuilding it.
+    summaries: Mutex<HashMap<CacheKey, Arc<InteractionSummary>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -124,6 +130,22 @@ impl CompileCache {
         result.clone()
     }
 
+    /// The memoized [`InteractionSummary`] of the compilation at
+    /// `key`, building (and caching) it from `compiled` on first use.
+    /// Deterministic regardless of which thread builds it — the
+    /// summary is a pure function of the compiled schedule.
+    pub fn summary_for(
+        &self,
+        key: &CacheKey,
+        compiled: &CompiledCircuit,
+    ) -> Arc<InteractionSummary> {
+        let mut map = self.summaries.lock().expect("summary lock");
+        Arc::clone(
+            map.entry(*key)
+                .or_insert_with(|| Arc::new(InteractionSummary::of(compiled))),
+        )
+    }
+
     /// `true` if a completed compilation (or cached failure) for `key`
     /// is already present. Used to derive the deterministic per-row
     /// hit flag: an entry claimed but still compiling on another
@@ -145,9 +167,10 @@ impl CompileCache {
         }
     }
 
-    /// Drops all entries and zeroes the counters.
+    /// Drops all entries (summaries included) and zeroes the counters.
     pub fn clear(&self) {
         self.entries.lock().expect("cache lock").clear();
+        self.summaries.lock().expect("summary lock").clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -224,6 +247,23 @@ mod tests {
         assert!(cache.get_or_compile(&c, &grid, &cfg).is_err());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn summaries_are_shared_per_compilation_point() {
+        let cache = CompileCache::new();
+        let grid = Grid::new(6, 6);
+        let cfg = CompilerConfig::new(3.0);
+        let c = Benchmark::Bv.generate(8, 0);
+        let compiled = cache.get_or_compile(&c, &grid, &cfg).unwrap();
+        let key = CacheKey::for_point(&c, &grid, &cfg);
+        let s1 = cache.summary_for(&key, &compiled);
+        let s2 = cache.summary_for(&key, &compiled);
+        assert!(Arc::ptr_eq(&s1, &s2), "summary must be memoized");
+        assert_eq!(*s1, na_loss::InteractionSummary::of(&compiled));
+        cache.clear();
+        let s3 = cache.summary_for(&key, &compiled);
+        assert!(!Arc::ptr_eq(&s1, &s3), "clear must drop summaries");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::record::{Outcome, RunRecord};
 use crate::sink::ResultSink;
 use crate::spec::{CircuitSource, ExperimentSpec, Job, LossSpec, Task};
 use na_benchmarks::Benchmark;
-use na_loss::{run_campaign, LossOutcome, Strategy, StrategyState};
+use na_loss::{LossOutcome, Strategy, StrategyState};
 use na_noise::{
     crosstalk_exposures, crosstalk_success, success_probability, success_with_crosstalk,
     CrosstalkParams, NoiseParams,
@@ -142,9 +142,10 @@ impl Engine {
         let mut bench_fingerprints: HashMap<(Benchmark, u32, u64), u64> = HashMap::new();
         jobs.iter()
             .map(|job| {
-                if !job.task.uses_compile_cache() {
-                    return None;
-                }
+                // The cached config is task-dependent: compile-family
+                // tasks compile at the job's config, campaigns at the
+                // strategy's compile MID.
+                let compile_cfg = job.task.compile_config(&job.config)?;
                 let circuit_fp = match &job.source {
                     CircuitSource::Raw { circuit, .. } => circuit.fingerprint(),
                     CircuitSource::Bench(b) => *bench_fingerprints
@@ -154,7 +155,7 @@ impl Engine {
                 let key = CacheKey {
                     circuit: circuit_fp,
                     grid: job.grid.fingerprint(),
-                    config: job.config.fingerprint(),
+                    config: compile_cfg.fingerprint(),
                 };
                 Some(self.cache.contains(&key) || !claimed.insert(key))
             })
@@ -229,7 +230,7 @@ fn execute_job(job: &Job, cache: &CompileCache, verify: bool) -> RunRecord {
             params,
             seed,
         } => run_loss_trace(&circuit, job, *strategy, *max_holes, params, *seed),
-        Task::Campaign { config, loss } => run_campaign_task(&circuit, job, config, loss),
+        Task::Campaign { config, loss } => run_campaign_task(&circuit, job, config, loss, cache),
     };
     RunRecord::new(job, outcome)
 }
@@ -286,14 +287,37 @@ fn run_loss_trace(
     Outcome::LossTrace { success }
 }
 
+/// Campaigns compile through the shared cache (at the strategy's
+/// compile MID) and reuse the memoized [`na_loss::InteractionSummary`]
+/// of that compilation, so N campaign replicas of one experiment point
+/// pay for one compile and one summary instead of N of each. Results
+/// are identical to the self-compiling path (`run_campaign`); the loss
+/// crate's `precompiled_campaign_matches_self_compiled` test pins
+/// that.
 fn run_campaign_task(
     circuit: &na_circuit::Circuit,
     job: &Job,
     config: &na_loss::CampaignConfig,
     loss: &LossSpec,
+    cache: &CompileCache,
 ) -> Outcome {
-    match run_campaign(circuit, &job.grid, loss.build(), config) {
-        Ok(result) => Outcome::Campaign(result),
+    let compile_cfg = job
+        .task
+        .compile_config(&job.config)
+        .expect("campaigns use the compile cache");
+    match cache.get_or_compile(circuit, &job.grid, &compile_cfg) {
+        Ok(compiled) => {
+            let key = CacheKey::for_point(circuit, &job.grid, &compile_cfg);
+            let summary = cache.summary_for(&key, &compiled);
+            Outcome::Campaign(na_loss::run_campaign_precompiled(
+                circuit,
+                &job.grid,
+                compiled,
+                summary,
+                loss.build(),
+                config,
+            ))
+        }
         Err(e) => Outcome::from_error(&e),
     }
 }
@@ -384,6 +408,66 @@ mod tests {
                 "Task::{} disagrees with execute_job's cache dispatch",
                 Task::name(&task)
             );
+        }
+    }
+
+    #[test]
+    fn campaign_replicas_share_one_compilation_and_summary() {
+        // Three replicas of one campaign point (different seeds) must
+        // compile once; the other two are cache hits, rendered as
+        // deterministic Some(true) flags in spec order.
+        let engine = Engine::with_workers(2);
+        let mut spec = ExperimentSpec::new("t", Grid::new(8, 8));
+        for seed in 0..3u64 {
+            spec.push(
+                Benchmark::Bv,
+                10,
+                0,
+                CompilerConfig::new(4.0),
+                Task::Campaign {
+                    config: na_loss::CampaignConfig::new(4.0, na_loss::Strategy::CompileSmall)
+                        .with_target(na_loss::ShotTarget::Attempts(10))
+                        .with_seed(seed),
+                    loss: LossSpec::new(seed),
+                },
+            );
+        }
+        let records = engine.run(&spec);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.misses, stats.hits, stats.entries), (1, 2, 1));
+        let flags: Vec<Option<bool>> = records.iter().map(|r| r.cache_hit).collect();
+        assert_eq!(flags, vec![Some(false), Some(true), Some(true)]);
+        assert!(records.iter().all(|r| !r.outcome.is_failed()));
+    }
+
+    #[test]
+    fn campaign_through_the_cache_matches_direct_run_campaign() {
+        // The cached-compile + shared-summary path must reproduce
+        // na_loss::run_campaign bit for bit (minus measured wall
+        // clock, which CompileSmall never records).
+        let cfg = na_loss::CampaignConfig::new(4.0, na_loss::Strategy::CompileSmallReroute)
+            .with_target(na_loss::ShotTarget::Attempts(40))
+            .with_seed(9);
+        let circuit = Benchmark::Bv.generate(16, 0);
+        let grid = Grid::new(8, 8);
+        let direct =
+            na_loss::run_campaign(&circuit, &grid, LossSpec::new(3).build(), &cfg).unwrap();
+
+        let mut spec = ExperimentSpec::new("t", grid.clone());
+        spec.push(
+            Benchmark::Bv,
+            16,
+            0,
+            CompilerConfig::new(4.0),
+            Task::Campaign {
+                config: cfg,
+                loss: LossSpec::new(3),
+            },
+        );
+        let records = Engine::with_workers(1).run(&spec);
+        match &records[0].outcome {
+            Outcome::Campaign(result) => assert_eq!(result, &direct),
+            other => panic!("expected a campaign outcome, got {other:?}"),
         }
     }
 

@@ -8,7 +8,7 @@
 //! *in the job*, never from execution order or wall clock.
 
 use na_arch::Grid;
-use na_benchmarks::Benchmark;
+use na_benchmarks::{Benchmark, Workload};
 use na_circuit::Circuit;
 use na_core::CompilerConfig;
 use na_loss::{CampaignConfig, Strategy};
@@ -53,6 +53,20 @@ impl CircuitSource {
 impl From<Benchmark> for CircuitSource {
     fn from(b: Benchmark) -> Self {
         CircuitSource::Bench(b)
+    }
+}
+
+impl From<Workload> for CircuitSource {
+    /// A [`Workload`] maps straight onto a source: benchmark families
+    /// keep size-parametrized generation, custom circuits become
+    /// [`CircuitSource::Raw`] sharing the workload's `Arc` (so a sweep
+    /// over one imported QASM program never copies it, and every job
+    /// keys the compile cache on the same circuit fingerprint).
+    fn from(w: Workload) -> Self {
+        match w {
+            Workload::Bench(b) => CircuitSource::Bench(b),
+            Workload::Custom { label, circuit } => CircuitSource::Raw { label, circuit },
+        }
     }
 }
 
@@ -141,13 +155,31 @@ pub enum Task {
 }
 
 impl Task {
-    /// `true` for the compile-family tasks served through the engine's
-    /// memoized [`CompileCache`](crate::CompileCache).
+    /// `true` for tasks served through the engine's memoized
+    /// [`CompileCache`](crate::CompileCache): the compile family plus
+    /// campaigns (whose initial compilation and interaction summary
+    /// are shared between equal points).
     pub fn uses_compile_cache(&self) -> bool {
-        matches!(
-            self,
-            Task::Compile | Task::Success { .. } | Task::Crosstalk { .. }
-        )
+        self.compile_config(&CompilerConfig::new(1.0)).is_some()
+    }
+
+    /// The compiler configuration whose artifact this task reads from
+    /// the compile cache, or `None` for tasks that bypass it.
+    ///
+    /// Compile-family tasks compile at the job's own config; a
+    /// campaign compiles at the strategy's compile MID (compile-small
+    /// strategies compile one unit tighter than the hardware MID),
+    /// matching [`na_loss::StrategyState`] exactly so the cached
+    /// artifact is byte-identical to what the campaign would have
+    /// compiled itself.
+    pub fn compile_config(&self, job_config: &CompilerConfig) -> Option<CompilerConfig> {
+        match self {
+            Task::Compile | Task::Success { .. } | Task::Crosstalk { .. } => Some(*job_config),
+            Task::Campaign { config, .. } => Some(CompilerConfig::new(
+                config.strategy.compile_mid(config.hardware_mid),
+            )),
+            Task::Tolerance { .. } | Task::LossTrace { .. } => None,
+        }
     }
 
     /// Short task name used in result rows.

@@ -160,25 +160,73 @@ impl CampaignResult {
 pub fn run_campaign(
     program: &Circuit,
     grid_template: &Grid,
-    mut loss: LossModel,
+    loss: LossModel,
     cfg: &CampaignConfig,
 ) -> Result<CampaignResult, CompileError> {
-    let budget = if cfg.strategy.reroutes() {
-        Some(cfg.swap_budget())
-    } else {
-        None
-    };
-
     let t_compile = Instant::now();
-    let mut state = StrategyState::new(
+    let state = StrategyState::new(
         program,
         grid_template,
         cfg.hardware_mid,
         cfg.strategy,
-        budget,
+        swap_budget_for(cfg),
     )?;
-    let compile_secs = t_compile.elapsed().as_secs_f64();
+    Ok(campaign_loop(
+        state,
+        t_compile.elapsed().as_secs_f64(),
+        loss,
+        cfg,
+    ))
+}
 
+/// [`run_campaign`] on an already compiled schedule and its
+/// [`InteractionSummary`](crate::InteractionSummary) — the entry point
+/// for callers that memoize compilations (the experiment engine's
+/// compile cache shares one artifact and one summary across every
+/// campaign job describing the same compilation point). Produces
+/// results identical to [`run_campaign`] given the same inputs: the
+/// compile step only ever contributed wall-clock time to the optional
+/// timeline.
+///
+/// `compiled`/`summary` must satisfy the
+/// [`StrategyState::with_compiled`] contract.
+pub fn run_campaign_precompiled(
+    program: &Circuit,
+    grid_template: &Grid,
+    compiled: std::sync::Arc<na_core::CompiledCircuit>,
+    summary: std::sync::Arc<crate::InteractionSummary>,
+    loss: LossModel,
+    cfg: &CampaignConfig,
+) -> CampaignResult {
+    let state = StrategyState::with_compiled(
+        program,
+        grid_template,
+        cfg.hardware_mid,
+        cfg.strategy,
+        swap_budget_for(cfg),
+        compiled,
+        summary,
+    );
+    campaign_loop(state, 0.0, loss, cfg)
+}
+
+fn swap_budget_for(cfg: &CampaignConfig) -> Option<u32> {
+    if cfg.strategy.reroutes() {
+        Some(cfg.swap_budget())
+    } else {
+        None
+    }
+}
+
+/// The shared shot loop behind both campaign entry points.
+/// `compile_secs` is the measured initial-compilation time, recorded
+/// only into the optional timeline (never the digested ledger).
+fn campaign_loop(
+    mut state: StrategyState,
+    compile_secs: f64,
+    mut loss: LossModel,
+    cfg: &CampaignConfig,
+) -> CampaignResult {
     let params = NoiseParams::neutral_atom(cfg.two_qubit_error);
     let mut base = success_probability(state.compiled(), &params);
 
@@ -339,7 +387,7 @@ pub fn run_campaign(
     result.shots_between_reloads.push(streak);
     result.ledger = ledger;
     result.timeline = timeline;
-    Ok(result)
+    result
 }
 
 #[cfg(test)]
@@ -369,6 +417,43 @@ mod tests {
         let b = run_campaign(&program(), &grid(), LossModel::new(5), &cfg).unwrap();
         assert_eq!(a.shots_successful, b.shots_successful);
         assert_eq!(a.ledger.reloads, b.ledger.reloads);
+    }
+
+    #[test]
+    fn precompiled_campaign_matches_self_compiled() {
+        // The engine hands campaigns a cached compilation + summary;
+        // every field of the result (timeline included) must match the
+        // self-compiling path, for strategies with and without
+        // recompiles/reroutes.
+        use crate::InteractionSummary;
+        use std::sync::Arc;
+        for strategy in [
+            Strategy::CompileSmallReroute,
+            Strategy::VirtualRemap,
+            Strategy::FullRecompile,
+        ] {
+            let cfg = quick(strategy, 60);
+            let own = run_campaign(&program(), &grid(), LossModel::new(5), &cfg).unwrap();
+            let compile_cfg = na_core::CompilerConfig::new(strategy.compile_mid(cfg.hardware_mid));
+            let compiled =
+                Arc::new(na_core::compile(&program(), &grid(), &compile_cfg).expect("compiles"));
+            let summary = Arc::new(InteractionSummary::of(&compiled));
+            let mut pre = run_campaign_precompiled(
+                &program(),
+                &grid(),
+                compiled,
+                summary,
+                LossModel::new(5),
+                &cfg,
+            );
+            // recompile_time is measured wall clock (the one
+            // nondeterministic ledger field); everything else must be
+            // bit-identical.
+            let mut own = own;
+            own.ledger.recompile_time = 0.0;
+            pre.ledger.recompile_time = 0.0;
+            assert_eq!(own, pre, "{strategy}");
+        }
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub mod strategy;
 pub mod timeline;
 pub mod tolerance;
 
-pub use executor::{run_campaign, CampaignConfig, CampaignResult, ShotTarget};
+pub use executor::{
+    run_campaign, run_campaign_precompiled, CampaignConfig, CampaignResult, ShotTarget,
+};
 pub use model::LossModel;
 pub use overhead::{OverheadLedger, OverheadTimes, RecompileCost};
 pub use reroute::{

@@ -9,7 +9,7 @@
 
 use crate::reroute::{fixup_swaps_summary, resolved_ok_summary, InteractionSummary};
 use crate::Strategy;
-use na_arch::{BfsScratch, Grid, InteractionGraph, Site, VirtualMap};
+use na_arch::{BfsScratch, Grid, InteractionGraph, ShiftScratch, Site, VirtualMap};
 use na_circuit::Circuit;
 use na_core::{compile_with, CompileError, CompiledCircuit, CompilerConfig, PlacementScratch};
 use std::sync::Arc;
@@ -41,8 +41,8 @@ pub struct StrategyState {
     grid_template: Grid,
     grid: Grid,
     vmap: VirtualMap,
-    original: CompiledCircuit,
-    compiled: CompiledCircuit,
+    original: Arc<CompiledCircuit>,
+    compiled: Arc<CompiledCircuit>,
     used_addresses: Vec<Site>,
     extra_swaps: u32,
     /// Reroute SWAP budget; `None` disables the success-floor check
@@ -52,14 +52,19 @@ pub struct StrategyState {
     /// performs (one per interfering loss, every shot) instead of a
     /// fresh allocation per call.
     fixup_scratch: BfsScratch,
+    /// Virtual-map shift working memory reused by every remap this
+    /// state performs (one per interfering loss, every shot).
+    shift_scratch: ShiftScratch,
     /// Placement working memory reused by the FullRecompile strategy's
     /// per-loss recompilations.
     placement_scratch: PlacementScratch,
     /// Distinct operand pairs (with multiplicities) of `compiled`,
     /// precomputed once so fixup costing iterates distinct pairs
-    /// instead of scheduled ops. Rebuilt only when `compiled` changes
-    /// (FullRecompile's per-loss recompilations and its reload).
-    summary: InteractionSummary,
+    /// instead of scheduled ops. Shared (`Arc`) between states built
+    /// from the same cached compilation; rebuilt only when `compiled`
+    /// changes (FullRecompile's per-loss recompilations and its
+    /// reload).
+    summary: Arc<InteractionSummary>,
     /// The hole-free device's interaction graph at the hardware MID,
     /// fingerprint-cached like the compile path's graphs. Fixup BFS
     /// runs over this fixed graph with the live grid's
@@ -85,15 +90,65 @@ impl StrategyState {
     ) -> Result<Self, CompileError> {
         let cfg = CompilerConfig::new(strategy.compile_mid(hardware_mid));
         let mut placement_scratch = PlacementScratch::new();
-        let compiled = compile_with(program, grid_template, &cfg, &mut placement_scratch)?;
+        let compiled = Arc::new(compile_with(
+            program,
+            grid_template,
+            &cfg,
+            &mut placement_scratch,
+        )?);
+        let summary = Arc::new(InteractionSummary::of(&compiled));
+        let mut state = Self::with_compiled(
+            program,
+            grid_template,
+            hardware_mid,
+            strategy,
+            max_fixup_swaps,
+            compiled,
+            summary,
+        );
+        // Keep the placement caches warmed by the initial compilation
+        // for FullRecompile's per-loss recompilations.
+        state.placement_scratch = placement_scratch;
+        Ok(state)
+    }
+
+    /// Builds the state around an already compiled schedule and its
+    /// precomputed [`InteractionSummary`] — the entry point for
+    /// callers that memoize compilations (the experiment engine's
+    /// fingerprint-keyed compile cache shares one artifact and one
+    /// summary across every campaign job describing the same point).
+    ///
+    /// `compiled` must be the compilation of `program` on
+    /// `grid_template` at the strategy's compile MID (what
+    /// [`StrategyState::new`] would have produced), and `summary` its
+    /// interaction summary.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the compiled schedule's MID matches the
+    /// strategy's compile MID.
+    pub fn with_compiled(
+        program: &Circuit,
+        grid_template: &Grid,
+        hardware_mid: f64,
+        strategy: Strategy,
+        max_fixup_swaps: Option<u32>,
+        compiled: Arc<CompiledCircuit>,
+        summary: Arc<InteractionSummary>,
+    ) -> Self {
+        let cfg = CompilerConfig::new(strategy.compile_mid(hardware_mid));
+        debug_assert_eq!(
+            compiled.config().mid,
+            cfg.mid,
+            "precompiled schedule MID does not match the strategy's compile MID"
+        );
         let used = compiled.used_sites().to_vec();
-        let summary = InteractionSummary::of(&compiled);
         // The costing graph is built from the *hole-free* template (a
         // template normally is one), so every state on the same device
         // and MID shares one cached graph; holes are threaded through
         // `usable_mask` instead.
         let full_graph = InteractionGraph::cached(grid_template, hardware_mid);
-        Ok(StrategyState {
+        StrategyState {
             strategy,
             hardware_mid,
             program: program.clone(),
@@ -101,16 +156,17 @@ impl StrategyState {
             grid_template: grid_template.clone(),
             grid: grid_template.clone(),
             vmap: VirtualMap::new(),
-            original: compiled.clone(),
+            original: Arc::clone(&compiled),
             compiled,
             used_addresses: used,
             extra_swaps: 0,
             max_fixup_swaps,
             fixup_scratch: BfsScratch::new(),
-            placement_scratch,
+            shift_scratch: ShiftScratch::new(),
+            placement_scratch: PlacementScratch::new(),
             summary,
             full_graph,
-        })
+        }
     }
 
     /// The strategy being simulated.
@@ -204,8 +260,8 @@ impl StrategyState {
                 ) {
                     Ok(c) => {
                         self.used_addresses = c.used_sites().to_vec();
-                        self.summary = InteractionSummary::of(&c);
-                        self.compiled = c;
+                        self.summary = Arc::new(InteractionSummary::of(&c));
+                        self.compiled = Arc::new(c);
                         LossOutcome::Recompiled {
                             compile_seconds: t0.elapsed().as_secs_f64(),
                         }
@@ -228,7 +284,7 @@ impl StrategyState {
         };
         if self
             .vmap
-            .shift_from(&self.grid, site, dir, &in_use)
+            .shift_from_with(&self.grid, site, dir, &in_use, &mut self.shift_scratch)
             .is_err()
         {
             return LossOutcome::NeedsReload;
@@ -273,9 +329,9 @@ impl StrategyState {
         self.vmap.reset();
         self.extra_swaps = 0;
         if self.strategy == Strategy::FullRecompile {
-            self.compiled = self.original.clone();
+            self.compiled = Arc::clone(&self.original);
             self.used_addresses = self.compiled.used_sites().to_vec();
-            self.summary = InteractionSummary::of(&self.compiled);
+            self.summary = Arc::new(InteractionSummary::of(&self.compiled));
         }
     }
 }

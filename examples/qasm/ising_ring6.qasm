@@ -1,0 +1,20 @@
+// One Trotter step of a transverse-field Ising ring: exercises a
+// parametrized gate macro (the standard rzz built from cx + u1),
+// whole-register broadcast with parameters, and angle expressions.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate rzz(theta) a,b
+{
+  cx a,b;
+  u1(theta) b;
+  cx a,b;
+}
+qreg q[6];
+h q;
+rzz(pi/3) q[0],q[1];
+rzz(pi/3) q[1],q[2];
+rzz(pi/3) q[2],q[3];
+rzz(pi/3) q[3],q[4];
+rzz(pi/3) q[4],q[5];
+rzz(pi/3) q[5],q[0];
+rx(2*0.35) q;

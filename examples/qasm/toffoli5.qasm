@@ -1,0 +1,17 @@
+// A compute/uncompute Toffoli cascade (AND of three controls into
+// q[4] via the ancilla q[3]): exercises ccx — which the neutral-atom
+// compiler keeps native — plus id and barrier tolerance.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[1];
+id q[0];
+x q[0];
+x q[1];
+x q[2];
+ccx q[0],q[1],q[3];
+barrier q;
+ccx q[2],q[3],q[4];
+barrier q;
+ccx q[0],q[1],q[3];
+measure q[4] -> c[0];

@@ -430,12 +430,21 @@ pub struct BfsScratch {
     dist: Vec<u32>,
     prev: Vec<u32>,
     queue: VecDeque<u32>,
+    visits: u64,
 }
 
 impl BfsScratch {
     /// Fresh scratch; buffers grow to the graph size on first use.
     pub fn new() -> Self {
         BfsScratch::default()
+    }
+
+    /// Cumulative count of node expansions across every search this
+    /// scratch has run. Never reset by `begin`, so instrumentation can
+    /// read it before and after a search and record the delta.
+    #[inline]
+    pub fn expansions(&self) -> u64 {
+        self.visits
     }
 
     fn begin(&mut self, num_sites: usize) {
@@ -458,6 +467,7 @@ impl BfsScratch {
     fn visit(&mut self, index: usize, dist: u32) {
         self.mark[index] = self.epoch;
         self.dist[index] = dist;
+        self.visits += 1;
     }
 
     #[inline]

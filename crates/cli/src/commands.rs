@@ -11,7 +11,9 @@ use na_arch::{AssemblySimulator, Grid, RestrictionPolicy};
 use na_benchmarks::{Benchmark, Workload};
 use na_circuit::parse_qasm;
 use na_core::{compile, verify, CompiledCircuit, CompilerConfig};
-use na_engine::{derive_seed, Engine, ExperimentSpec, JsonlSink, LossSpec, Outcome, Task};
+use na_engine::{
+    derive_seed, CompileCache, Engine, ExperimentSpec, JsonlSink, LossSpec, Outcome, Task,
+};
 use na_loss::{
     mean_loss_tolerance, render_timeline, run_campaign, CampaignConfig, ShotTarget, Strategy,
 };
@@ -140,11 +142,32 @@ fn engine(args: &Args) -> Result<Engine, ArgError> {
     })
 }
 
-fn compile_common(c: &Common) -> Result<CompiledCircuit, Box<dyn Error>> {
+/// Compiles the command's circuit through a [`CompileCache`] — the
+/// same code path the engine commands use, so one-shot commands report
+/// real cache/stage telemetry — and verifies the schedule.
+fn compile_common(c: &Common) -> Result<std::sync::Arc<CompiledCircuit>, Box<dyn Error>> {
     let program = c.circuit();
-    let compiled = compile(&program, &c.grid, &c.config)?;
+    let compiled = CompileCache::new().get_or_compile(&program, &c.grid, &c.config)?;
     verify(&compiled, &c.grid)?;
     Ok(compiled)
+}
+
+/// Uniform cache-efficacy report for every compiling subcommand: when
+/// telemetry is enabled (`--metrics`), one stderr line from the merged
+/// registry — hits/misses/occupancy aggregated across all workers and
+/// caches the command touched. Stderr so it never disturbs table or
+/// JSONL stdout.
+fn report_cache_stats() {
+    if !na_telemetry::is_enabled() {
+        return;
+    }
+    let snap = na_telemetry::snapshot();
+    eprintln!(
+        "compile cache: {} hits, {} misses ({} entries)",
+        snap.counter("compile_cache_hits"),
+        snap.counter("compile_cache_misses"),
+        snap.gauge("compile_cache_entries")
+    );
 }
 
 /// `natoms compile`
@@ -166,6 +189,7 @@ pub fn compile_cmd(args: &Args) -> CmdResult {
         let qasm = na_circuit::qasm::to_qasm(compiled.circuit())?;
         println!("\n{qasm}");
     }
+    report_cache_stats();
     Ok(())
 }
 
@@ -196,15 +220,8 @@ pub fn sweep_cmd(args: &Args) -> CmdResult {
         }
         spec.push(c.workload.clone(), c.size, c.seed, cfg, Task::Compile);
     }
-    let eng = engine(args)?;
-    let records = eng.run(&spec);
-    let stats = eng.cache_stats();
-    // Cache efficacy goes to stderr so it shows up in every run
-    // without disturbing table or JSONL stdout.
-    eprintln!(
-        "compile cache: {} hits, {} misses ({} entries)",
-        stats.hits, stats.misses, stats.entries
-    );
+    let records = engine(args)?.run(&spec);
+    report_cache_stats();
 
     if args.flag("jsonl") {
         na_engine::write_records(&records, &mut JsonlSink::stdout());
@@ -236,7 +253,11 @@ pub fn sweep_cmd(args: &Args) -> CmdResult {
 pub fn success_cmd(args: &Args) -> CmdResult {
     let c = common(args)?;
     let error: f64 = args.parse_or("error", 1e-3)?;
-    let compiled = compile_common(&c)?;
+    // One cache for both architecture points of the comparison.
+    let cache = CompileCache::new();
+    let program = c.circuit();
+    let compiled = cache.get_or_compile(&program, &c.grid, &c.config)?;
+    verify(&compiled, &c.grid)?;
     let na = success_probability(&compiled, &NoiseParams::neutral_atom(error));
     println!(
         "NA  MID {}: success {:.4} (gates {:.4}, coherence {:.6}, {:.1} us/shot)",
@@ -250,8 +271,7 @@ pub fn success_cmd(args: &Args) -> CmdResult {
     let sc_cfg = CompilerConfig::new(1.0)
         .with_native_multiqubit(false)
         .with_restriction(RestrictionPolicy::None);
-    let program = c.circuit();
-    let sc_compiled = compile(&program, &c.grid, &sc_cfg)?;
+    let sc_compiled = cache.get_or_compile(&program, &c.grid, &sc_cfg)?;
     let sc = success_probability(&sc_compiled, &NoiseParams::superconducting(error));
     println!(
         "SC  MID 1: success {:.4} (gates {:.4}, coherence {:.6}, {:.1} us/shot)",
@@ -260,6 +280,7 @@ pub fn success_cmd(args: &Args) -> CmdResult {
         sc.coherence,
         sc.duration * 1e6
     );
+    report_cache_stats();
     Ok(())
 }
 
@@ -284,6 +305,7 @@ pub fn tolerance_cmd(args: &Args) -> CmdResult {
         mean * 100.0,
         std * 100.0
     );
+    report_cache_stats();
     Ok(())
 }
 
@@ -327,6 +349,7 @@ pub fn campaign_cmd(args: &Args) -> CmdResult {
         );
     }
     let records = engine(args)?.run(&spec);
+    report_cache_stats();
 
     if args.flag("jsonl") {
         na_engine::write_records(&records, &mut JsonlSink::stdout());
@@ -395,7 +418,45 @@ struct BenchWorkload {
     units_per_sec: f64,
 }
 
+/// Provenance of one `natoms bench` run.
+#[derive(Debug, serde::Serialize)]
+struct BenchMeta {
+    /// `git rev-parse --short=12 HEAD` of the working tree, or
+    /// `"unknown"` outside a repository.
+    git_rev: String,
+    /// ISO-8601 UTC wall-clock time of the run.
+    timestamp: String,
+    /// Available hardware parallelism on the host.
+    workers: usize,
+}
+
+impl BenchMeta {
+    fn collect() -> Self {
+        let git_rev = std::process::Command::new("git")
+            .args(["rev-parse", "--short=12", "HEAD"])
+            .output()
+            .ok()
+            .filter(|out| out.status.success())
+            .and_then(|out| String::from_utf8(out.stdout).ok())
+            .map(|rev| rev.trim().to_string())
+            .filter(|rev| !rev.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        BenchMeta {
+            git_rev,
+            timestamp: na_telemetry::iso8601_now(),
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
 /// The machine-readable report of `natoms bench --json`.
+///
+/// Schema history: v2 added `meta` (run provenance) and `metrics` (the
+/// per-stage telemetry snapshot of the benched workloads); every v1
+/// per-workload field is retained unchanged so units/s trajectories
+/// stay comparable across the schema bump.
 #[derive(Debug, serde::Serialize)]
 struct BenchReport {
     /// Report format tag.
@@ -404,8 +465,13 @@ struct BenchReport {
     mode: String,
     /// Device the workloads compile onto.
     grid: String,
+    /// Run provenance.
+    meta: BenchMeta,
     /// The timed workloads.
     workloads: Vec<BenchWorkload>,
+    /// Merged telemetry of the benched workloads: per-stage latency
+    /// percentiles plus compile/loss counters.
+    metrics: na_telemetry::MetricsSnapshot,
 }
 
 /// `natoms bench` — wall-clock timings of the paper-grid compile and
@@ -415,6 +481,11 @@ struct BenchReport {
 pub fn bench_cmd(args: &Args) -> CmdResult {
     use std::time::Instant;
     let quick = args.flag("quick");
+    // bench always collects its own telemetry (that's the per-stage
+    // breakdown the report embeds), regardless of --metrics.
+    let telemetry_was_enabled = na_telemetry::is_enabled();
+    na_telemetry::set_enabled(true);
+    na_telemetry::reset();
     let grid = Grid::new(10, 10);
     let na_cfg = CompilerConfig::new(3.0);
     let sc_cfg = CompilerConfig::new(1.0)
@@ -557,21 +628,32 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
     });
 
     let report = BenchReport {
-        schema: "natoms-bench-v1".into(),
+        schema: "natoms-bench-v2".into(),
         mode: if quick { "quick" } else { "full" }.into(),
         grid: format!("{}x{}", grid.width(), grid.height()),
+        meta: BenchMeta::collect(),
         workloads,
+        metrics: na_telemetry::snapshot(),
     };
+    na_telemetry::set_enabled(telemetry_was_enabled);
     if args.flag("json") {
         println!("{}", serde_json::to_string(&report)?);
     } else {
-        println!("== natoms bench ({}) on {} ==", report.mode, report.grid);
+        println!(
+            "== natoms bench ({}) on {} == [{} @ {}, {} cores]",
+            report.mode,
+            report.grid,
+            report.meta.git_rev,
+            report.meta.timestamp,
+            report.meta.workers
+        );
         for w in &report.workloads {
             println!(
                 "{:<16} {:>3} pass(es) x {:>4} units: {:.4} s/pass ({:.0} units/s)",
                 w.name, w.passes, w.units_per_pass, w.secs_per_pass, w.units_per_sec
             );
         }
+        print!("{}", report.metrics.render());
     }
     Ok(())
 }
@@ -589,6 +671,64 @@ pub fn reload_time_cmd(args: &Args) -> CmdResult {
         "defect-free {width}x{height} assembly (reservoir margin {margin}): {mean:.3} s mean over {trials} trials"
     );
     println!("(the paper's 0.3 s reload constant, derived from loading physics)");
+    Ok(())
+}
+
+/// Serializes the merged telemetry snapshot of this run to `path`
+/// (the tail end of the global `--metrics <file>` flag).
+pub fn write_metrics_snapshot(path: &str) -> CmdResult {
+    let snapshot = na_telemetry::snapshot();
+    let json = serde_json::to_string(&snapshot)?;
+    std::fs::write(path, json)
+        .map_err(|e| ArgError(format!("cannot write metrics file {path:?}: {e}")))?;
+    Ok(())
+}
+
+/// `natoms stats` — pretty-prints a `--metrics` snapshot file, with
+/// optional assertions for CI smoke checks:
+///
+/// * `--require-stages a,b,c` fails unless every named stage recorded
+///   at least one sample with non-zero total time;
+/// * `--require-cache` fails unless the compile cache saw at least one
+///   lookup.
+pub fn stats_cmd(args: &Args) -> CmdResult {
+    let path = args
+        .get("file")
+        .ok_or_else(|| ArgError("stats needs --file <metrics.json>".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read metrics file {path:?}: {e}")))?;
+    let snapshot: na_telemetry::MetricsSnapshot = serde_json::from_str(&text)
+        .map_err(|e| ArgError(format!("{path}: not a metrics snapshot: {e}")))?;
+    if snapshot.schema != na_telemetry::SNAPSHOT_SCHEMA {
+        return Err(Box::new(ArgError(format!(
+            "{path}: unknown snapshot schema {:?} (expected {:?})",
+            snapshot.schema,
+            na_telemetry::SNAPSHOT_SCHEMA
+        ))));
+    }
+    print!("{}", snapshot.render());
+
+    if let Some(required) = args.get("require-stages") {
+        for name in required.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let stage = snapshot.stage(name).ok_or_else(|| {
+                ArgError(format!("required stage {name:?} missing from snapshot"))
+            })?;
+            if stage.count == 0 || stage.total_ns == 0 {
+                return Err(Box::new(ArgError(format!(
+                    "required stage {name:?} recorded no time"
+                ))));
+            }
+        }
+    }
+    if args.flag("require-cache") {
+        let lookups =
+            snapshot.counter("compile_cache_hits") + snapshot.counter("compile_cache_misses");
+        if lookups == 0 {
+            return Err(Box::new(ArgError(
+                "snapshot has no compile-cache lookups".into(),
+            )));
+        }
+    }
     Ok(())
 }
 
@@ -705,11 +845,13 @@ mod tests {
     fn bench_quick_runs_and_report_serializes() {
         let args = parse(&["bench", "--quick", "--json"]);
         bench_cmd(&args).unwrap();
-        // The report type itself round-trips through serde_json.
+        // The report type itself round-trips through serde_json, with
+        // the v1 per-workload units/s fields intact under v2.
         let report = BenchReport {
-            schema: "natoms-bench-v1".into(),
+            schema: "natoms-bench-v2".into(),
             mode: "quick".into(),
             grid: "10x10".into(),
+            meta: BenchMeta::collect(),
             workloads: vec![BenchWorkload {
                 name: "fig07_compile".into(),
                 passes: 1,
@@ -718,10 +860,54 @@ mod tests {
                 secs_per_pass: 0.5,
                 units_per_sec: 20.0,
             }],
+            metrics: na_telemetry::Registry::new(true).snapshot(),
         };
         let line = serde_json::to_string(&report).unwrap();
-        assert!(line.contains("\"schema\":\"natoms-bench-v1\""));
+        assert!(line.contains("\"schema\":\"natoms-bench-v2\""));
         assert!(line.contains("\"units_per_pass\":10"));
+        assert!(line.contains("\"git_rev\""));
+        assert!(line.contains("\"timestamp\""));
+        assert!(line.contains("\"metrics\""));
+    }
+
+    #[test]
+    fn stats_command_round_trips_a_metrics_file() {
+        // Build a snapshot through the real pipeline (compile through
+        // a cache with telemetry on), write it, and re-read it through
+        // the stats command's checks.
+        let registry = na_telemetry::Registry::new(true);
+        let mut recorder = na_telemetry::Recorder::new();
+        recorder.record_ns(na_telemetry::Stage::Lower, 1_000);
+        recorder.record_ns(na_telemetry::Stage::Place, 2_000);
+        recorder.record_ns(na_telemetry::Stage::Schedule, 3_000);
+        recorder.add(na_telemetry::Counter::CompileCacheMisses, 1);
+        registry.merge(&recorder);
+        let snapshot = registry.snapshot();
+        let path = std::env::temp_dir().join("natoms_cli_stats_test.json");
+        std::fs::write(&path, serde_json::to_string(&snapshot).unwrap()).unwrap();
+        let path = path.to_str().unwrap().to_string();
+
+        stats_cmd(&parse(&[
+            "stats",
+            "--file",
+            &path,
+            "--require-stages",
+            "lower,place,schedule",
+            "--require-cache",
+        ]))
+        .unwrap();
+        // Missing stage and absent cache counters must fail loudly.
+        let err = stats_cmd(&parse(&[
+            "stats",
+            "--file",
+            &path,
+            "--require-stages",
+            "recompile",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("recompile"));
+        let err = stats_cmd(&parse(&["stats", "--file", "/nonexistent.json"])).unwrap_err();
+        assert!(err.to_string().contains("cannot read"));
     }
 
     #[test]

@@ -11,11 +11,18 @@
 //!                 [--campaigns 8] [--workers 8] [--jsonl] [--timeline]
 //! natoms bench    [--json] [--quick]
 //! natoms reload-time --width 10 --height 10 --margin 3 --trials 10
+//! natoms stats    --file metrics.json [--require-stages lower,place] [--require-cache]
 //! ```
 //!
 //! Every workload command (`compile`, `sweep`, `success`, `tolerance`,
 //! `campaign`) accepts either `--benchmark <family>` or `--qasm
 //! <file>` to run an imported OpenQASM 2.0 circuit instead.
+//!
+//! Every subcommand accepts a global `--metrics <file>` flag: it
+//! enables `na-telemetry` collection for the run and writes the merged
+//! [`na_telemetry::MetricsSnapshot`] JSON to `<file>` on success.
+//! `natoms stats` pretty-prints such a file. Telemetry is strictly
+//! observational — outputs are identical with or without `--metrics`.
 //!
 //! `sweep` and `campaign` run through the `na-engine` worker pool;
 //! results are identical at any `--workers` value.
@@ -39,8 +46,11 @@ SUBCOMMANDS:
   campaign     multi-shot campaign under atom loss
   bench        time the paper-grid compile/loss workloads [--json] [--quick]
   reload-time  derive the array reload time from assembly physics
+  stats        pretty-print a --metrics snapshot file
 
 COMMON OPTIONS:
+  --metrics FILE    collect telemetry for this run and write the
+                    metrics snapshot JSON to FILE (any subcommand)
   --benchmark bv|cnu|cuccaro|qft-adder|qaoa   (default bv)
   --qasm FILE       run an imported OpenQASM 2.0 circuit instead
   --size N          program qubit budget        (default 30)
@@ -67,6 +77,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Global --metrics flag: enable telemetry before the subcommand
+    // runs, dump the merged snapshot after it succeeds.
+    let metrics_path = match args.get("metrics") {
+        Some(path) => Some(path.to_string()),
+        None => {
+            // A valueless --metrics parses as a boolean flag; refuse
+            // it rather than silently collecting into nowhere.
+            if args.flag("metrics") {
+                eprintln!("error: --metrics expects a file path\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            None
+        }
+    };
+    if metrics_path.is_some() {
+        na_telemetry::set_enabled(true);
+    }
     let result = match args.subcommand() {
         Some("compile") => commands::compile_cmd(&args),
         Some("sweep") => commands::sweep_cmd(&args),
@@ -75,6 +102,7 @@ fn main() -> ExitCode {
         Some("campaign") => commands::campaign_cmd(&args),
         Some("bench") => commands::bench_cmd(&args),
         Some("reload-time") => commands::reload_time_cmd(&args),
+        Some("stats") => commands::stats_cmd(&args),
         Some(other) => {
             eprintln!("error: unknown subcommand {other:?}\n\n{USAGE}");
             return ExitCode::FAILURE;
@@ -84,6 +112,12 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
     };
+    let result = result.and_then(|()| {
+        if let Some(path) = &metrics_path {
+            commands::write_metrics_snapshot(path)?;
+        }
+        Ok(())
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

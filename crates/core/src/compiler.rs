@@ -195,7 +195,10 @@ pub fn compile_with(
     config: &CompilerConfig,
     scratch: &mut PlacementScratch,
 ) -> Result<CompiledCircuit, CompileError> {
-    let lowered = lower_for(circuit, config);
+    let lowered = {
+        let _span = na_telemetry::time(na_telemetry::Stage::Lower);
+        lower_for(circuit, config)
+    };
 
     // An arity-k gate needs k atoms pairwise within the MID; the
     // tightest k-site cluster on a grid is a ⌈√k⌉×⌈√k⌉ block whose
@@ -214,16 +217,22 @@ pub fn compile_with(
         }
     }
 
+    let place_span = na_telemetry::time(na_telemetry::Stage::Place);
     let dag = lowered.dag();
     let frontier = dag.frontier();
     let weights = frontier_weights(&lowered, &frontier, config.lookahead_depth);
     let map0 = initial_placement_with(&lowered, grid, &weights, scratch)?;
     let initial_table = map0.to_table();
+    drop(place_span);
 
     // The precomputed flat-index interaction graph every hot loop
     // (SWAP scoring, forced hops) runs over; memoized per (grid, MID).
+    let schedule_span = na_telemetry::time(na_telemetry::Stage::Schedule);
     let graph = InteractionGraph::cached(grid, config.mid);
     let result = run(&lowered, grid, &graph, config, map0)?;
+    drop(schedule_span);
+    na_telemetry::add(na_telemetry::Counter::Compiles, 1);
+    na_telemetry::add(na_telemetry::Counter::OpsScheduled, result.ops.len() as u64);
 
     let used_sites = CompiledCircuit::compute_used_sites(&initial_table, &result.ops);
     Ok(CompiledCircuit {
@@ -355,6 +364,7 @@ impl Error for VerifyError {}
 ///
 /// Returns the first [`VerifyError`] encountered.
 pub fn verify(compiled: &CompiledCircuit, grid: &Grid) -> Result<(), VerifyError> {
+    let _span = na_telemetry::time(na_telemetry::Stage::Verify);
     let circuit = compiled.circuit();
     let config = compiled.config();
     let dag = circuit.dag();

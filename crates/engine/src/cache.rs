@@ -111,10 +111,12 @@ impl CompileCache {
         config: &CompilerConfig,
     ) -> Result<Arc<CompiledCircuit>, CompileError> {
         let key = CacheKey::for_point(circuit, grid, config);
-        let entry: Entry = {
+        let (entry, occupancy): (Entry, u64) = {
             let mut map = self.entries.lock().expect("cache lock");
-            Arc::clone(map.entry(key).or_default())
+            let entry = Arc::clone(map.entry(key).or_default());
+            (entry, map.len() as u64)
         };
+        na_telemetry::gauge_max(na_telemetry::Gauge::CompileCacheEntries, occupancy);
         let mut ran_compiler = false;
         let result = entry.get_or_init(|| {
             ran_compiler = true;
@@ -124,8 +126,10 @@ impl CompileCache {
         });
         if ran_compiler {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            na_telemetry::add(na_telemetry::Counter::CompileCacheMisses, 1);
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            na_telemetry::add(na_telemetry::Counter::CompileCacheHits, 1);
         }
         result.clone()
     }

@@ -131,6 +131,14 @@ pub struct RunRecord {
     /// the same spec — so the flag is identical at any worker count
     /// and rows stay byte-reproducible.
     pub cache_hit: Option<bool>,
+    /// Per-stage nanoseconds this job accrued on its worker thread
+    /// (stage name → ns), tagged only when telemetry is enabled.
+    ///
+    /// Wall-clock measurements, so — unlike every other field — not
+    /// covered by the byte-reproducibility contract; in the default
+    /// (telemetry-disabled) configuration the field is `None` and rows
+    /// stay byte-identical at any worker count.
+    pub timings: Option<std::collections::BTreeMap<String, u64>>,
     /// The measurement.
     pub outcome: Outcome,
 }
@@ -170,6 +178,7 @@ impl RunRecord {
             strategy,
             noise_p2,
             cache_hit: None,
+            timings: None,
             outcome,
         }
     }

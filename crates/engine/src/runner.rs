@@ -97,6 +97,7 @@ impl Engine {
         let slots: Vec<OnceLock<RunRecord>> = jobs.iter().map(|_| OnceLock::new()).collect();
         let cursor = AtomicUsize::new(0);
         let threads = self.workers.min(jobs.len()).max(1);
+        na_telemetry::gauge_max(na_telemetry::Gauge::EngineWorkers, threads as u64);
 
         if threads == 1 {
             for (job, slot) in jobs.iter().zip(&slots) {
@@ -106,14 +107,19 @@ impl Engine {
         } else {
             std::thread::scope(|scope| {
                 for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
+                    scope.spawn(|| {
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs.len() {
+                                break;
+                            }
+                            slots[i]
+                                .set(execute_job(&jobs[i], &self.cache, self.verify))
+                                .expect("slot written once");
                         }
-                        slots[i]
-                            .set(execute_job(&jobs[i], &self.cache, self.verify))
-                            .expect("slot written once");
+                        // Merge this worker's recorder into the global
+                        // registry before the scope joins it.
+                        na_telemetry::flush_local();
                     });
                 }
             });
@@ -173,7 +179,13 @@ impl Engine {
 
 /// Runs one job to completion. Infallible by construction: errors
 /// become [`Outcome::Failed`] rows.
+///
+/// When telemetry is enabled the row is tagged with the stage
+/// nanoseconds this job accrued on the executing thread (wall-clock,
+/// hence deliberately absent — `None` — in the deterministic default
+/// configuration).
 fn execute_job(job: &Job, cache: &CompileCache, verify: bool) -> RunRecord {
+    let stage_mark = na_telemetry::is_enabled().then(na_telemetry::mark_stages);
     let circuit = job.circuit();
     // Compile through the cache, optionally replaying the schedule
     // through the constraint verifier (Engine::verified).
@@ -232,7 +244,14 @@ fn execute_job(job: &Job, cache: &CompileCache, verify: bool) -> RunRecord {
         } => run_loss_trace(&circuit, job, *strategy, *max_holes, params, *seed),
         Task::Campaign { config, loss } => run_campaign_task(&circuit, job, config, loss, cache),
     };
-    RunRecord::new(job, outcome)
+    let mut record = RunRecord::new(job, outcome);
+    if let Some(mark) = stage_mark {
+        let deltas = na_telemetry::stage_deltas_since(&mark);
+        if !deltas.is_empty() {
+            record.timings = Some(deltas);
+        }
+    }
+    record
 }
 
 fn run_crosstalk(

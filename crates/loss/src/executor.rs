@@ -280,6 +280,8 @@ fn campaign_loop(
             break;
         }
         result.shots_attempted += 1;
+        let shot_span = na_telemetry::time(na_telemetry::Stage::Shot);
+        na_telemetry::add(na_telemetry::Counter::ShotsAttempted, 1);
 
         // 1. Run the circuit.
         ledger.add_circuit(base.duration);
@@ -304,6 +306,7 @@ fn campaign_loop(
         );
         state.write_measured_mask(&mut measured_mask);
         loss.draw_losses_with(state.grid(), &measured_mask, &mut losses);
+        na_telemetry::add(na_telemetry::Counter::LossesDrawn, losses.len() as u64);
         let any_interfering = losses.iter().any(|&s| state.is_interfering(s));
 
         if !any_interfering && noise_ok {
@@ -369,6 +372,7 @@ fn campaign_loop(
             }
         }
         if need_reload {
+            na_telemetry::add(na_telemetry::Counter::Reloads, 1);
             state.reload();
             base = success_probability(state.compiled(), &params);
             ledger.add_reload(&cfg.overheads);
@@ -382,6 +386,7 @@ fn campaign_loop(
             result.shots_between_reloads.push(streak);
             streak = 0;
         }
+        drop(shot_span);
     }
 
     result.shots_between_reloads.push(streak);

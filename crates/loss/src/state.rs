@@ -262,8 +262,13 @@ impl StrategyState {
                         self.used_addresses = c.used_sites().to_vec();
                         self.summary = Arc::new(InteractionSummary::of(&c));
                         self.compiled = Arc::new(c);
+                        let elapsed = t0.elapsed();
+                        // Reuses the measurement the outcome reports
+                        // anyway — no extra clock read for telemetry.
+                        na_telemetry::record_duration(na_telemetry::Stage::Recompile, elapsed);
+                        na_telemetry::add(na_telemetry::Counter::Recompiles, 1);
                         LossOutcome::Recompiled {
-                            compile_seconds: t0.elapsed().as_secs_f64(),
+                            compile_seconds: elapsed.as_secs_f64(),
                         }
                     }
                     Err(_) => LossOutcome::NeedsReload,
@@ -277,6 +282,7 @@ impl StrategyState {
         // `used_addresses` stays sorted (the `used_sites` contract), so
         // membership is a binary search over a borrow — no clone of the
         // list per interfering loss.
+        let remap_span = na_telemetry::time(na_telemetry::Stage::Remap);
         let used = &self.used_addresses;
         let in_use = |addr: Site| used.binary_search(&addr).is_ok();
         let Some(dir) = self.vmap.best_shift_direction(&self.grid, site, &in_use) else {
@@ -289,15 +295,26 @@ impl StrategyState {
         {
             return LossOutcome::NeedsReload;
         }
+        drop(remap_span);
+        na_telemetry::add(na_telemetry::Counter::Remaps, 1);
         if self.strategy.reroutes() {
-            match fixup_swaps_summary(
+            let fixup_span = na_telemetry::time(na_telemetry::Stage::LossFixup);
+            let expansions_before = self.fixup_scratch.expansions();
+            let fixup = fixup_swaps_summary(
                 &self.summary,
                 &self.vmap,
                 &self.full_graph,
                 self.grid.usable_mask(),
                 self.hardware_mid,
                 &mut self.fixup_scratch,
-            ) {
+            );
+            drop(fixup_span);
+            na_telemetry::add(na_telemetry::Counter::Fixups, 1);
+            na_telemetry::add(
+                na_telemetry::Counter::FixupBfsExpansions,
+                self.fixup_scratch.expansions() - expansions_before,
+            );
+            match fixup {
                 Some(n) => {
                     if let Some(budget) = self.max_fixup_swaps {
                         if n > budget {
@@ -312,13 +329,16 @@ impl StrategyState {
                 }
                 None => LossOutcome::NeedsReload,
             }
-        } else if resolved_ok_summary(&self.summary, &self.vmap, &self.grid, self.hardware_mid) {
-            LossOutcome::Tolerated {
-                remaps: 1,
-                refixed: false,
-            }
         } else {
-            LossOutcome::NeedsReload
+            let _span = na_telemetry::time(na_telemetry::Stage::LossFixup);
+            if resolved_ok_summary(&self.summary, &self.vmap, &self.grid, self.hardware_mid) {
+                LossOutcome::Tolerated {
+                    remaps: 1,
+                    refixed: false,
+                }
+            } else {
+                LossOutcome::NeedsReload
+            }
         }
     }
 

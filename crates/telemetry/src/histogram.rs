@@ -1,0 +1,173 @@
+//! Fixed-bucket log-scale histogram for latency samples.
+//!
+//! The bucket layout is HdrHistogram-style: values below
+//! [`LINEAR_LIMIT`] land in unit-width buckets (exact), and every
+//! octave above that is split into 8 sub-buckets, so the relative
+//! quantisation error is bounded by 1/8 (12.5%) across the full `u64`
+//! range. The layout is fixed at compile time — recording is two
+//! integer ops and an array increment, with no allocation — and two
+//! histograms merge bucketwise, which makes the merge commutative and
+//! associative (order-independent across worker threads).
+
+/// Values below this limit get exact unit-width buckets.
+pub const LINEAR_LIMIT: u64 = 8;
+
+/// Number of sub-buckets per octave above the linear range.
+const SUB_BUCKETS: usize = 8;
+
+/// Total bucket count: 8 linear + 61 octaves x 8 sub-buckets.
+pub const NUM_BUCKETS: usize = LINEAR_LIMIT as usize + (64 - 3) * SUB_BUCKETS;
+
+/// A fixed-size log-scale histogram over `u64` samples (nanoseconds by
+/// convention, but unit-agnostic).
+#[derive(Clone, Copy)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram. `const` so recorders can live in statics.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Maps a sample to its bucket index.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value < LINEAR_LIMIT {
+            return value as usize;
+        }
+        // floor(log2(value)) >= 3 here; the top four significant bits
+        // select the sub-bucket within the octave.
+        let octave = 63 - value.leading_zeros() as usize;
+        let top = (value >> (octave - 3)) as usize; // in [8, 16)
+        octave * SUB_BUCKETS + top - 24
+    }
+
+    /// Half-open `[lo, hi)` value range covered by a bucket. The last
+    /// bucket's upper bound saturates to `u64::MAX`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < NUM_BUCKETS, "bucket index out of range");
+        if index < LINEAR_LIMIT as usize {
+            return (index as u64, index as u64 + 1);
+        }
+        let octave = 3 + (index - 8) / SUB_BUCKETS;
+        let top = (8 + (index - 8) % SUB_BUCKETS) as u128;
+        let lo = top << (octave - 3);
+        let hi = (top + 1) << (octave - 3);
+        (lo as u64, u64::try_from(hi).unwrap_or(u64::MAX))
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Quantile estimate for `q` in `[0.0, 1.0]` using the nearest-rank
+    /// rule (`rank = max(1, ceil(q * count))`). The estimate is the
+    /// midpoint of the rank's bucket clamped to the observed
+    /// `[min, max]`, which keeps it inside the true sample's bucket and
+    /// makes single-value histograms exact. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                let (lo, hi) = Self::bucket_bounds(index);
+                let mid = lo + (hi - 1 - lo) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds another histogram's samples into this one. Bucketwise
+    /// addition plus min/max/sum/count folds, all commutative, so any
+    /// merge order yields the same result.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
+    /// Resets to the empty state.
+    pub fn clear(&mut self) {
+        *self = Histogram::new();
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}

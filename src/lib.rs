@@ -16,7 +16,11 @@
 //!   simulation;
 //! * [`engine`] — the parallel experiment-execution engine: sweep
 //!   specs, a multi-threaded worker pool with deterministic results,
-//!   a memoized compilation cache, and JSON-lines result sinks.
+//!   a memoized compilation cache, and JSON-lines result sinks;
+//! * [`telemetry`] — zero-dependency structured instrumentation:
+//!   stage timers, counters, and latency histograms, disabled by
+//!   default and strictly observational (golden digests are
+//!   byte-identical with metrics on or off).
 //!
 //! # Quickstart
 //!
@@ -75,4 +79,9 @@ pub mod loss {
 /// The parallel experiment-execution engine ([`na_engine`]).
 pub mod engine {
     pub use na_engine::*;
+}
+
+/// Structured instrumentation ([`na_telemetry`]).
+pub mod telemetry {
+    pub use na_telemetry::*;
 }

@@ -42,7 +42,11 @@ pub fn expect_metrics(record: &na_engine::RunRecord) -> &na_core::CompiledMetric
 pub fn maybe_emit_jsonl(records: &[na_engine::RunRecord]) -> bool {
     let jsonl = std::env::var_os("NATOMS_JSONL").is_some_and(|v| v == "1");
     if jsonl {
-        na_engine::write_records(records, &mut na_engine::JsonlSink::stdout());
+        match na_engine::write_records(records, &mut na_engine::JsonlSink::stdout()) {
+            // A closed consumer (`fig03 | head`) is a clean early stop.
+            Err(e) if e.is_broken_pipe() => {}
+            other => other.expect("stdout JSONL write"),
+        }
     }
     jsonl
 }

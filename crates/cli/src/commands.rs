@@ -12,15 +12,28 @@ use na_benchmarks::{Benchmark, Workload};
 use na_circuit::parse_qasm;
 use na_core::{compile, verify, CompiledCircuit, CompilerConfig};
 use na_engine::{
-    derive_seed, CompileCache, Engine, ExperimentSpec, JsonlSink, LossSpec, Outcome, Task,
+    derive_seed, CompileCache, Engine, ExperimentSpec, FailureSummary, JsonlSink, LossSpec,
+    Outcome, RunRecord, Task,
 };
 use na_loss::{
     mean_loss_tolerance, render_timeline, run_campaign, CampaignConfig, ShotTarget, Strategy,
 };
 use na_noise::{success_probability, NoiseParams};
 use std::error::Error;
+use std::time::Duration;
 
-type CmdResult = Result<(), Box<dyn Error>>;
+/// What a successfully-dispatched subcommand reports back to `main`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmdStatus {
+    /// Every row/point succeeded (exit code 0).
+    Ok,
+    /// The command ran to completion but some result rows carry typed
+    /// failures (exit code 2; the rows and the stderr summary tell the
+    /// story).
+    PartialFailure,
+}
+
+type CmdResult = Result<CmdStatus, Box<dyn Error>>;
 
 /// Parses a benchmark through the shared name table
 /// (`Benchmark::from_str` in `na-benchmarks`).
@@ -133,13 +146,95 @@ fn common(args: &Args) -> Result<Common, ArgError> {
     })
 }
 
-/// The engine for a sweep-shaped command: `--workers N`, default all
-/// cores.
+/// The engine for a sweep-shaped command: `--workers N` (default all
+/// cores) plus the cooperative `--job-timeout` budget.
 fn engine(args: &Args) -> Result<Engine, ArgError> {
-    Ok(match args.get("workers") {
+    let mut engine = match args.get("workers") {
         None => Engine::new(),
         Some(_) => Engine::with_workers(args.parse_or("workers", 0usize)?),
-    })
+    };
+    if let Some(timeout) = job_timeout(args)? {
+        engine = engine.with_job_timeout(timeout);
+    }
+    Ok(engine)
+}
+
+/// Parses `--job-timeout <secs>` (fractional seconds allowed; `0`
+/// expires immediately, which the chaos smoke uses).
+fn job_timeout(args: &Args) -> Result<Option<Duration>, ArgError> {
+    match args.get("job-timeout") {
+        Some(raw) => {
+            let secs: f64 = raw
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value {raw:?} for --job-timeout")))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(ArgError(
+                    "--job-timeout must be a non-negative number of seconds".into(),
+                ));
+            }
+            Ok(Some(Duration::from_secs_f64(secs)))
+        }
+        None if args.flag("job-timeout") => {
+            Err(ArgError("--job-timeout expects a number of seconds".into()))
+        }
+        None => Ok(None),
+    }
+}
+
+/// The `--jsonl` mode: `None` = human-readable output, `Some(None)` =
+/// JSONL to stdout, `Some(Some(path))` = JSONL to a file.
+fn jsonl_target(args: &Args) -> Option<Option<String>> {
+    match args.get("jsonl") {
+        Some(path) => Some(Some(path.to_string())),
+        None if args.flag("jsonl") => Some(None),
+        None => None,
+    }
+}
+
+/// Checks up front that `path` can be opened for writing — without
+/// truncating anything already there — so a long sweep never runs for
+/// minutes only to fail at the final write.
+pub fn validate_writable(path: &str, what: &str) -> Result<(), ArgError> {
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map(|_| ())
+        .map_err(|e| ArgError(format!("cannot open {what} file {path:?} for writing: {e}")))
+}
+
+/// Streams records as JSONL to stdout or a file. A broken pipe is a
+/// clean early stop (`natoms sweep --jsonl | head`); any other sink
+/// error propagates as a real failure.
+fn emit_jsonl(records: &[RunRecord], target: Option<&str>) -> Result<(), Box<dyn Error>> {
+    let result = match target {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| ArgError(format!("cannot write JSONL file {path:?}: {e}")))?;
+            let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+            na_engine::write_records(records, &mut sink)
+        }
+        None => na_engine::write_records(records, &mut JsonlSink::stdout()),
+    };
+    match result {
+        Ok(()) => Ok(()),
+        Err(e) if e.is_broken_pipe() => Ok(()),
+        Err(e) => Err(Box::new(e) as Box<dyn Error>),
+    }
+}
+
+/// The uniform end-of-command failure accounting: silent when every
+/// row succeeded, otherwise a stderr summary (`3/120 rows failed: 2
+/// unroutable, 1 panicked`) and [`CmdStatus::PartialFailure`] for the
+/// exit code.
+fn finish_rows(records: &[RunRecord]) -> CmdStatus {
+    let summary = FailureSummary::of(records);
+    if summary.any_failed() {
+        eprintln!("{summary}");
+        CmdStatus::PartialFailure
+    } else {
+        CmdStatus::Ok
+    }
 }
 
 /// Compiles the command's circuit through a [`CompileCache`] — the
@@ -190,7 +285,7 @@ pub fn compile_cmd(args: &Args) -> CmdResult {
         println!("\n{qasm}");
     }
     report_cache_stats();
-    Ok(())
+    Ok(CmdStatus::Ok)
 }
 
 /// `natoms sweep` — the MID sweep, fanned across cores by the engine.
@@ -220,12 +315,16 @@ pub fn sweep_cmd(args: &Args) -> CmdResult {
         }
         spec.push(c.workload.clone(), c.size, c.seed, cfg, Task::Compile);
     }
+    let jsonl = jsonl_target(args);
+    if let Some(Some(path)) = &jsonl {
+        validate_writable(path, "JSONL")?;
+    }
     let records = engine(args)?.run(&spec);
     report_cache_stats();
 
-    if args.flag("jsonl") {
-        na_engine::write_records(&records, &mut JsonlSink::stdout());
-        return Ok(());
+    if let Some(target) = &jsonl {
+        emit_jsonl(&records, target.as_deref())?;
+        return Ok(finish_rows(&records));
     }
 
     println!("{:>6} {:>8} {:>7} {:>7}", "MID", "gates", "swaps", "depth");
@@ -241,12 +340,14 @@ pub fn sweep_cmd(args: &Args) -> CmdResult {
                 );
             }
             Outcome::Failed { error, .. } => {
-                return Err(Box::new(ArgError(format!("MID {}: {error}", r.mid))))
+                // A failed point is a row, not an abort: render
+                // placeholders and keep sweeping.
+                println!("{:>6} {:>8} {:>7} {:>7}  {error}", r.mid, "-", "-", "-");
             }
             other => unreachable!("compile task returned {other:?}"),
         }
     }
-    Ok(())
+    Ok(finish_rows(&records))
 }
 
 /// `natoms success`
@@ -281,7 +382,7 @@ pub fn success_cmd(args: &Args) -> CmdResult {
         sc.duration * 1e6
     );
     report_cache_stats();
-    Ok(())
+    Ok(CmdStatus::Ok)
 }
 
 /// `natoms tolerance`
@@ -306,7 +407,7 @@ pub fn tolerance_cmd(args: &Args) -> CmdResult {
         std * 100.0
     );
     report_cache_stats();
-    Ok(())
+    Ok(CmdStatus::Ok)
 }
 
 /// `natoms campaign` — one or more Monte-Carlo campaigns through the
@@ -348,19 +449,31 @@ pub fn campaign_cmd(args: &Args) -> CmdResult {
             },
         );
     }
+    let jsonl = jsonl_target(args);
+    if let Some(Some(path)) = &jsonl {
+        validate_writable(path, "JSONL")?;
+    }
     let records = engine(args)?.run(&spec);
     report_cache_stats();
 
-    if args.flag("jsonl") {
-        na_engine::write_records(&records, &mut JsonlSink::stdout());
-        return Ok(());
+    if let Some(target) = &jsonl {
+        emit_jsonl(&records, target.as_deref())?;
+        return Ok(finish_rows(&records));
     }
 
     let mut mean_shots = Vec::new();
     for r in &records {
         let result = match &r.outcome {
             Outcome::Campaign(result) => result,
-            Outcome::Failed { error, .. } => return Err(Box::new(ArgError(error.clone()))),
+            Outcome::Failed { error, .. } => {
+                // One replica's failure is its own row; the rest of
+                // the replicas still report.
+                if campaigns > 1 {
+                    print!("[replica {}] ", r.id);
+                }
+                println!("failed: {error}");
+                continue;
+            }
             other => unreachable!("campaign task returned {other:?}"),
         };
         if campaigns > 1 {
@@ -391,13 +504,14 @@ pub fn campaign_cmd(args: &Args) -> CmdResult {
             println!("\n{}", render_timeline(&result.timeline));
         }
     }
-    if campaigns > 1 {
+    if campaigns > 1 && !mean_shots.is_empty() {
         let mean = mean_shots.iter().sum::<f64>() / mean_shots.len() as f64;
         println!(
-            "aggregate over {campaigns} campaigns: {mean:.1} successful shots per reload interval"
+            "aggregate over {} campaigns: {mean:.1} successful shots per reload interval",
+            mean_shots.len()
         );
     }
-    Ok(())
+    Ok(finish_rows(&records))
 }
 
 /// One timed workload of `natoms bench`.
@@ -479,13 +593,58 @@ struct BenchReport {
 /// `BENCH_compile.json`). `--json` emits the machine-readable report;
 /// `--quick` runs a reduced smoke-size variant for CI.
 pub fn bench_cmd(args: &Args) -> CmdResult {
-    use std::time::Instant;
     let quick = args.flag("quick");
+    let timeout = job_timeout(args)?;
     // bench always collects its own telemetry (that's the per-stage
     // breakdown the report embeds), regardless of --metrics.
     let telemetry_was_enabled = na_telemetry::is_enabled();
     na_telemetry::set_enabled(true);
     na_telemetry::reset();
+    let outcome = bench_workloads(quick, timeout);
+    let metrics = na_telemetry::snapshot();
+    na_telemetry::set_enabled(telemetry_was_enabled);
+    let (grid, workloads) = outcome?;
+
+    let report = BenchReport {
+        schema: "natoms-bench-v2".into(),
+        mode: if quick { "quick" } else { "full" }.into(),
+        grid: format!("{}x{}", grid.width(), grid.height()),
+        meta: BenchMeta::collect(),
+        workloads,
+        metrics,
+    };
+    if args.flag("json") {
+        println!("{}", serde_json::to_string(&report)?);
+    } else {
+        println!(
+            "== natoms bench ({}) on {} == [{} @ {}, {} cores]",
+            report.mode,
+            report.grid,
+            report.meta.git_rev,
+            report.meta.timestamp,
+            report.meta.workers
+        );
+        for w in &report.workloads {
+            println!(
+                "{:<16} {:>3} pass(es) x {:>4} units: {:.4} s/pass ({:.0} units/s)",
+                w.name, w.passes, w.units_per_pass, w.secs_per_pass, w.units_per_sec
+            );
+        }
+        print!("{}", report.metrics.render());
+    }
+    Ok(CmdStatus::Ok)
+}
+
+/// The timed workloads of `natoms bench`. Each pass of each workload
+/// runs under the `--job-timeout` budget (unbounded without it); a
+/// workload that runs out stops at a compiler/campaign stage boundary
+/// and surfaces as a typed error naming the workload.
+#[allow(clippy::type_complexity)]
+fn bench_workloads(
+    quick: bool,
+    timeout: Option<Duration>,
+) -> Result<(Grid, Vec<BenchWorkload>), Box<dyn Error>> {
+    use std::time::Instant;
     let grid = Grid::new(10, 10);
     let na_cfg = CompilerConfig::new(3.0);
     let sc_cfg = CompilerConfig::new(1.0)
@@ -493,10 +652,18 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
         .with_restriction(RestrictionPolicy::None);
     let mut workloads = Vec::new();
 
-    let mut timed = |name: &str, passes: u32, units_per_pass: u32, work: &mut dyn FnMut()| {
+    let mut timed = |name: &str,
+                     passes: u32,
+                     units_per_pass: u32,
+                     work: &mut dyn FnMut() -> Result<(), Box<dyn Error>>|
+     -> Result<(), Box<dyn Error>> {
         let t0 = Instant::now();
         for _ in 0..passes {
-            work();
+            let _budget = na_faults::push_deadline(match timeout {
+                Some(d) => na_faults::Deadline::after(d),
+                None => na_faults::Deadline::UNBOUNDED,
+            });
+            work().map_err(|e| ArgError(format!("bench workload {name}: {e}")))?;
         }
         let total_secs = t0.elapsed().as_secs_f64();
         let secs_per_pass = total_secs / f64::from(passes);
@@ -508,6 +675,7 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
             secs_per_pass,
             units_per_sec: f64::from(passes * units_per_pass) / total_secs,
         });
+        Ok(())
     };
 
     // Fig. 7 workload: one compile per (benchmark, architecture) at
@@ -521,11 +689,12 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
         &mut || {
             for b in Benchmark::ALL {
                 let c = b.generate(fig07_size, 0);
-                compile(&c, &grid, &na_cfg).expect("fig07 compiles");
-                compile(&c, &grid, &sc_cfg).expect("fig07 compiles");
+                compile(&c, &grid, &na_cfg)?;
+                compile(&c, &grid, &sc_cfg)?;
             }
+            Ok(())
         },
-    );
+    )?;
 
     // Fig. 8 workload: the size ladder, both architectures.
     let fig08_sizes: Vec<u32> = if quick {
@@ -541,12 +710,13 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
             for b in Benchmark::ALL {
                 for &size in &fig08_sizes {
                     let c = b.generate(size, 0);
-                    compile(&c, &grid, &na_cfg).expect("fig08 compiles");
-                    compile(&c, &grid, &sc_cfg).expect("fig08 compiles");
+                    compile(&c, &grid, &na_cfg)?;
+                    compile(&c, &grid, &sc_cfg)?;
                 }
             }
+            Ok(())
         },
-    );
+    )?;
 
     // Placement workload: the initial-mapping slice of the compile
     // pipeline, isolated. Circuits are pre-lowered and their lookahead
@@ -572,8 +742,8 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
     // Untimed warmup so neither placement path pays the one-off
     // cold-cache/allocation cost inside its timed loop.
     for (c, w) in &layouts {
-        na_core::initial_placement_with(c, &grid, w, &mut scratch).expect("places");
-        na_core::initial_placement_reference(c, &grid, w).expect("places");
+        na_core::initial_placement_with(c, &grid, w, &mut scratch)?;
+        na_core::initial_placement_reference(c, &grid, w)?;
     }
     timed(
         "placement",
@@ -581,20 +751,22 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
         layouts.len() as u32,
         &mut || {
             for (c, w) in &layouts {
-                na_core::initial_placement_with(c, &grid, w, &mut scratch).expect("places");
+                na_core::initial_placement_with(c, &grid, w, &mut scratch)?;
             }
+            Ok(())
         },
-    );
+    )?;
     timed(
         "placement_reference",
         placement_passes,
         layouts.len() as u32,
         &mut || {
             for (c, w) in &layouts {
-                na_core::initial_placement_reference(c, &grid, w).expect("places");
+                na_core::initial_placement_reference(c, &grid, w)?;
             }
+            Ok(())
         },
-    );
+    )?;
 
     // Loss-executor workload: a Monte-Carlo campaign under atom loss
     // (compile + per-shot loss draws, remaps, and reroute fixups).
@@ -604,8 +776,9 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
         let cfg = CampaignConfig::new(3.0, Strategy::CompileSmallReroute)
             .with_target(ShotTarget::Attempts(shots))
             .with_seed(1);
-        run_campaign(&program, &grid, na_loss::LossModel::new(1), &cfg).expect("campaign runs");
-    });
+        run_campaign(&program, &grid, na_loss::LossModel::new(1), &cfg)?;
+        Ok(())
+    })?;
 
     // Heavy loss-executor workload: destructive (50% measurement loss)
     // readout on a larger program, so nearly every shot draws
@@ -623,39 +796,11 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
             &grid,
             na_loss::LossModel::destructive_readout(1),
             &cfg,
-        )
-        .expect("heavy campaign runs");
-    });
+        )?;
+        Ok(())
+    })?;
 
-    let report = BenchReport {
-        schema: "natoms-bench-v2".into(),
-        mode: if quick { "quick" } else { "full" }.into(),
-        grid: format!("{}x{}", grid.width(), grid.height()),
-        meta: BenchMeta::collect(),
-        workloads,
-        metrics: na_telemetry::snapshot(),
-    };
-    na_telemetry::set_enabled(telemetry_was_enabled);
-    if args.flag("json") {
-        println!("{}", serde_json::to_string(&report)?);
-    } else {
-        println!(
-            "== natoms bench ({}) on {} == [{} @ {}, {} cores]",
-            report.mode,
-            report.grid,
-            report.meta.git_rev,
-            report.meta.timestamp,
-            report.meta.workers
-        );
-        for w in &report.workloads {
-            println!(
-                "{:<16} {:>3} pass(es) x {:>4} units: {:.4} s/pass ({:.0} units/s)",
-                w.name, w.passes, w.units_per_pass, w.secs_per_pass, w.units_per_sec
-            );
-        }
-        print!("{}", report.metrics.render());
-    }
-    Ok(())
+    Ok((grid, workloads))
 }
 
 /// `natoms reload-time`
@@ -671,12 +816,12 @@ pub fn reload_time_cmd(args: &Args) -> CmdResult {
         "defect-free {width}x{height} assembly (reservoir margin {margin}): {mean:.3} s mean over {trials} trials"
     );
     println!("(the paper's 0.3 s reload constant, derived from loading physics)");
-    Ok(())
+    Ok(CmdStatus::Ok)
 }
 
 /// Serializes the merged telemetry snapshot of this run to `path`
 /// (the tail end of the global `--metrics <file>` flag).
-pub fn write_metrics_snapshot(path: &str) -> CmdResult {
+pub fn write_metrics_snapshot(path: &str) -> Result<(), Box<dyn Error>> {
     let snapshot = na_telemetry::snapshot();
     let json = serde_json::to_string(&snapshot)?;
     std::fs::write(path, json)
@@ -729,7 +874,7 @@ pub fn stats_cmd(args: &Args) -> CmdResult {
             )));
         }
     }
-    Ok(())
+    Ok(CmdStatus::Ok)
 }
 
 #[cfg(test)]
@@ -908,6 +1053,102 @@ mod tests {
         assert!(err.to_string().contains("recompile"));
         let err = stats_cmd(&parse(&["stats", "--file", "/nonexistent.json"])).unwrap_err();
         assert!(err.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn sweep_partial_failure_is_reported_not_fatal() {
+        // A zero budget fails every job at its first deadline
+        // checkpoint; the sweep still renders its table and reports
+        // partial failure instead of aborting.
+        let args = parse(&[
+            "sweep",
+            "--benchmark",
+            "bv",
+            "--size",
+            "12",
+            "--mids",
+            "1,3",
+            "--job-timeout",
+            "0",
+        ]);
+        assert_eq!(sweep_cmd(&args).unwrap(), CmdStatus::PartialFailure);
+    }
+
+    #[test]
+    fn generous_job_timeout_changes_nothing() {
+        let args = parse(&[
+            "sweep",
+            "--benchmark",
+            "bv",
+            "--size",
+            "12",
+            "--mids",
+            "1,3",
+            "--job-timeout",
+            "3600",
+        ]);
+        assert_eq!(sweep_cmd(&args).unwrap(), CmdStatus::Ok);
+    }
+
+    #[test]
+    fn bad_job_timeouts_are_rejected() {
+        let err = sweep_cmd(&parse(&["sweep", "--size", "12", "--job-timeout", "-1"])).unwrap_err();
+        assert!(err.to_string().contains("non-negative"));
+        let err = sweep_cmd(&parse(&["sweep", "--size", "12", "--job-timeout"])).unwrap_err();
+        assert!(err.to_string().contains("expects a number of seconds"));
+    }
+
+    #[test]
+    fn campaign_replica_failures_are_rows_not_aborts() {
+        let args = parse(&[
+            "campaign",
+            "--size",
+            "12",
+            "--shots",
+            "10",
+            "--strategy",
+            "remap",
+            "--campaigns",
+            "2",
+            "--job-timeout",
+            "0",
+        ]);
+        assert_eq!(campaign_cmd(&args).unwrap(), CmdStatus::PartialFailure);
+    }
+
+    #[test]
+    fn sweep_writes_jsonl_to_a_file() {
+        let path = std::env::temp_dir().join("natoms_cli_sweep.jsonl");
+        let path = path.to_str().unwrap().to_string();
+        let args = parse(&[
+            "sweep",
+            "--benchmark",
+            "bv",
+            "--size",
+            "12",
+            "--mids",
+            "1,3",
+            "--jsonl",
+            &path,
+        ]);
+        assert_eq!(sweep_cmd(&args).unwrap(), CmdStatus::Ok);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            let row: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(row.get("outcome").is_some(), "not a result row: {line}");
+        }
+    }
+
+    #[test]
+    fn unwritable_output_paths_fail_up_front() {
+        let err = validate_writable("/nonexistent-dir/x.json", "metrics").unwrap_err();
+        assert!(err.to_string().contains("for writing"));
+        // Validation must not truncate a file that already exists.
+        let path = std::env::temp_dir().join("natoms_cli_writable.txt");
+        std::fs::write(&path, "keep").unwrap();
+        validate_writable(path.to_str().unwrap(), "JSONL").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "keep");
     }
 
     #[test]

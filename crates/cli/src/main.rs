@@ -63,12 +63,30 @@ COMMON OPTIONS:
 
 ENGINE OPTIONS (sweep, campaign):
   --workers N       worker threads              (default: all cores)
-  --jsonl           emit structured JSON-lines rows
+  --jsonl [FILE]    emit structured JSON-lines rows (stdout, or FILE)
+  --job-timeout S   per-job wall-clock budget in seconds (also bench);
+                    over-budget jobs become typed failed rows
   --campaigns N     parallel campaign replicas  (campaign only)
+
+FAILURE SEMANTICS (see the README for the full contract):
+  exit 0   every row succeeded
+  exit 1   error (bad arguments, I/O failure, single-point failure)
+  exit 2   ran to completion but some rows carry typed failures
+  NATOMS_FAULTS='site[#scope]=action[@hit][;...]' injects
+  deterministic faults (panic | error | delay:<ms>) for chaos testing
 
 Run `natoms <SUBCOMMAND> --help` fields in the README for the full list.";
 
+/// Exit code for a run that completed but produced typed failed rows.
+const PARTIAL_FAILURE_CODE: u8 = 2;
+
 fn main() -> ExitCode {
+    // Arm any NATOMS_FAULTS chaos plans before anything else runs; a
+    // malformed spec is a startup error, not a silently-ignored one.
+    if let Err(e) = na_faults::arm_from_env() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = match Args::parse(raw) {
         Ok(a) => a,
@@ -91,7 +109,12 @@ fn main() -> ExitCode {
             None
         }
     };
-    if metrics_path.is_some() {
+    if let Some(path) = &metrics_path {
+        // Fail before the workload runs, not after minutes of compute.
+        if let Err(e) = commands::validate_writable(path, "metrics") {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
         na_telemetry::set_enabled(true);
     }
     let result = match args.subcommand() {
@@ -112,14 +135,17 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
     };
-    let result = result.and_then(|()| {
+    // The snapshot is written for partial failures too: the failed
+    // rows are exactly what the counters describe.
+    let result = result.and_then(|status| {
         if let Some(path) = &metrics_path {
             commands::write_metrics_snapshot(path)?;
         }
-        Ok(())
+        Ok(status)
     });
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(commands::CmdStatus::Ok) => ExitCode::SUCCESS,
+        Ok(commands::CmdStatus::PartialFailure) => ExitCode::from(PARTIAL_FAILURE_CODE),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -195,10 +195,16 @@ pub fn compile_with(
     config: &CompilerConfig,
     scratch: &mut PlacementScratch,
 ) -> Result<CompiledCircuit, CompileError> {
+    // Cooperative deadline checkpoints bracket each stage: a job that
+    // ran out of budget stops at the next boundary with a typed error
+    // instead of burning its worker. One relaxed load when no deadline
+    // is armed.
+    na_faults::check_deadline()?;
     let lowered = {
         let _span = na_telemetry::time(na_telemetry::Stage::Lower);
         lower_for(circuit, config)
     };
+    na_faults::check_deadline()?;
 
     // An arity-k gate needs k atoms pairwise within the MID; the
     // tightest k-site cluster on a grid is a ⌈√k⌉×⌈√k⌉ block whose
@@ -224,6 +230,7 @@ pub fn compile_with(
     let map0 = initial_placement_with(&lowered, grid, &weights, scratch)?;
     let initial_table = map0.to_table();
     drop(place_span);
+    na_faults::check_deadline()?;
 
     // The precomputed flat-index interaction graph every hot loop
     // (SWAP scoring, forced hops) runs over; memoized per (grid, MID).
@@ -231,6 +238,7 @@ pub fn compile_with(
     let graph = InteractionGraph::cached(grid, config.mid);
     let result = run(&lowered, grid, &graph, config, map0)?;
     drop(schedule_span);
+    na_faults::check_deadline()?;
     na_telemetry::add(na_telemetry::Counter::Compiles, 1);
     na_telemetry::add(na_telemetry::Counter::OpsScheduled, result.ops.len() as u64);
 

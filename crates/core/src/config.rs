@@ -155,6 +155,18 @@ pub enum CompileError {
         /// Arity of the offending gate.
         arity: usize,
     },
+    /// The job's cooperative deadline ([`na_faults::check_deadline`])
+    /// elapsed at a compile stage boundary or in the campaign shot
+    /// loop. Transient by definition: retrying with a larger budget
+    /// may succeed, so the engine's compile cache never memoizes it.
+    DeadlineExceeded,
+    /// An armed [`na_faults`] failpoint injected this error (chaos
+    /// testing only; never produced in production configurations).
+    /// Transient like [`CompileError::DeadlineExceeded`] — not cached.
+    Injected {
+        /// The failpoint site that fired.
+        site: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -181,11 +193,37 @@ impl fmt::Display for CompileError {
                     "no placement can bring a {arity}-qubit gate within interaction distance"
                 )
             }
+            CompileError::DeadlineExceeded => write!(f, "job deadline exceeded"),
+            CompileError::Injected { site } => write!(f, "injected fault at {site}"),
         }
     }
 }
 
 impl Error for CompileError {}
+
+impl From<na_faults::DeadlineExceeded> for CompileError {
+    fn from(_: na_faults::DeadlineExceeded) -> Self {
+        CompileError::DeadlineExceeded
+    }
+}
+
+impl From<na_faults::InjectedFault> for CompileError {
+    fn from(fault: na_faults::InjectedFault) -> Self {
+        CompileError::Injected { site: fault.site }
+    }
+}
+
+impl CompileError {
+    /// `true` for errors that describe the run, not the compilation
+    /// point: a deadline or injected fault says nothing about whether
+    /// the point compiles, so caches must not memoize it.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            CompileError::DeadlineExceeded | CompileError::Injected { .. }
+        )
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -233,5 +271,30 @@ mod tests {
         assert!(CompileError::UnroutableGate { arity: 3 }
             .to_string()
             .contains('3'));
+        assert_eq!(
+            CompileError::DeadlineExceeded.to_string(),
+            "job deadline exceeded"
+        );
+        assert_eq!(
+            CompileError::Injected { site: "x.y".into() }.to_string(),
+            "injected fault at x.y"
+        );
+    }
+
+    #[test]
+    fn only_run_scoped_errors_are_transient() {
+        assert!(CompileError::DeadlineExceeded.is_transient());
+        assert!(CompileError::Injected { site: "s".into() }.is_transient());
+        assert!(!CompileError::Disconnected.is_transient());
+        assert!(!CompileError::UnroutableGate { arity: 3 }.is_transient());
+        assert!(!CompileError::RoutingStuck { steps: 1 }.is_transient());
+    }
+
+    #[test]
+    fn faults_errors_convert_to_compile_errors() {
+        let e: CompileError = na_faults::DeadlineExceeded.into();
+        assert_eq!(e, CompileError::DeadlineExceeded);
+        let e: CompileError = na_faults::InjectedFault { site: "a.b".into() }.into();
+        assert_eq!(e, CompileError::Injected { site: "a.b".into() });
     }
 }

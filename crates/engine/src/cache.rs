@@ -15,11 +15,21 @@
 //! sweep points that *describe* the same compilation share an entry
 //! even if they were built independently.
 //!
-//! Concurrency: one `OnceLock` per key. The first thread to claim a
-//! key runs the compiler; any thread arriving while compilation is in
-//! flight blocks on that entry only (never on other keys) and then
-//! shares the result. Failed compilations are cached too — a sweep
-//! with many unroutable points pays for the failure once.
+//! Concurrency: one state cell per key (`Vacant` → `InFlight` →
+//! `Done`). The first thread to claim a key runs the compiler; any
+//! thread arriving while compilation is in flight waits on that entry
+//! only (never on other keys) and then shares the result. Failed
+//! compilations are cached too — a sweep with many unroutable points
+//! pays for the failure once.
+//!
+//! Failure domain: the claiming thread holds an unwind guard, so a
+//! compiler panic releases the claim (back to `Vacant`, waiters woken)
+//! instead of wedging every later requester of that key — the
+//! poisoned-`OnceLock` deadlock this design replaces. Transient
+//! errors ([`CompileError::is_transient`]: injected faults, expired
+//! deadlines) likewise release the claim rather than being memoized,
+//! so one job's fault or budget can never contaminate another job
+//! sharing its compile key. All internal locks recover from poison.
 
 use na_arch::Grid;
 use na_circuit::Circuit;
@@ -28,13 +38,21 @@ use na_loss::InteractionSummary;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 thread_local! {
     /// One placement scratch per worker thread: every cache miss this
     /// thread compiles reuses the placement fast path's free-site list
     /// and ordering caches instead of reallocating them per program.
     static PLACEMENT_SCRATCH: RefCell<PlacementScratch> = RefCell::new(PlacementScratch::new());
+}
+
+/// Replaces this thread's placement scratch with a fresh one. Called
+/// by the engine after isolating a job panic: an unwind mid-placement
+/// may leave the scratch's reusable caches half-updated, and the next
+/// compile on this worker must not inherit that state.
+pub(crate) fn reset_thread_scratch() {
+    PLACEMENT_SCRATCH.with(|s| *s.borrow_mut() = PlacementScratch::new());
 }
 
 /// Cache key: the three structural fingerprints of a compilation.
@@ -59,7 +77,63 @@ impl CacheKey {
     }
 }
 
-type Entry = Arc<OnceLock<Result<Arc<CompiledCircuit>, CompileError>>>;
+type CompileResult = Result<Arc<CompiledCircuit>, CompileError>;
+
+/// Lifecycle of one cache entry.
+#[derive(Debug)]
+enum EntryState {
+    /// Nobody owns the compile: initial, or the previous claimant
+    /// abandoned it (panicked, was injected with a fault, or ran out
+    /// of deadline). The next requester claims and retries.
+    Vacant,
+    /// A thread is compiling; requesters wait on the entry's condvar.
+    InFlight,
+    /// Terminal memoized result shared by every requester.
+    Done(CompileResult),
+}
+
+/// One keyed entry: a state cell plus the condvar in-flight waiters
+/// block on. Waiting is per-entry — never across keys.
+#[derive(Debug)]
+struct EntryCell {
+    state: Mutex<EntryState>,
+    ready: Condvar,
+}
+
+impl Default for EntryCell {
+    fn default() -> Self {
+        EntryCell {
+            state: Mutex::new(EntryState::Vacant),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+type Entry = Arc<EntryCell>;
+
+/// Locks `mutex`, recovering the data from a poisoned lock: cache
+/// state transitions never happen while panicking (the unwind guard
+/// only resets a claim), so the underlying state is always coherent.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Releases an `InFlight` claim back to `Vacant` if the claimant
+/// unwinds, and wakes every waiter so one of them re-claims. Defused
+/// on the normal path.
+struct ClaimGuard<'a> {
+    cell: &'a EntryCell,
+    armed: bool,
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            *lock_recover(&self.cell.state) = EntryState::Vacant;
+            self.cell.ready.notify_all();
+        }
+    }
+}
 
 /// Hit/miss counters and current size of a [`CompileCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -112,26 +186,69 @@ impl CompileCache {
     ) -> Result<Arc<CompiledCircuit>, CompileError> {
         let key = CacheKey::for_point(circuit, grid, config);
         let (entry, occupancy): (Entry, u64) = {
-            let mut map = self.entries.lock().expect("cache lock");
+            let mut map = lock_recover(&self.entries);
             let entry = Arc::clone(map.entry(key).or_default());
             (entry, map.len() as u64)
         };
         na_telemetry::gauge_max(na_telemetry::Gauge::CompileCacheEntries, occupancy);
-        let mut ran_compiler = false;
-        let result = entry.get_or_init(|| {
-            ran_compiler = true;
-            PLACEMENT_SCRATCH
-                .with(|s| compile_with(circuit, grid, config, &mut s.borrow_mut()))
-                .map(Arc::new)
-        });
-        if ran_compiler {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            na_telemetry::add(na_telemetry::Counter::CompileCacheMisses, 1);
-        } else {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            na_telemetry::add(na_telemetry::Counter::CompileCacheHits, 1);
+
+        // Claim loop: serve a Done result, wait out another thread's
+        // InFlight claim, or take a Vacant entry and compile.
+        {
+            let mut state = lock_recover(&entry.state);
+            loop {
+                match &*state {
+                    EntryState::Done(result) => {
+                        let result = result.clone();
+                        drop(state);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        na_telemetry::add(na_telemetry::Counter::CompileCacheHits, 1);
+                        return result;
+                    }
+                    EntryState::InFlight => {
+                        state = entry
+                            .ready
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    EntryState::Vacant => {
+                        *state = EntryState::InFlight;
+                        break;
+                    }
+                }
+            }
         }
-        result.clone()
+
+        // This thread owns the claim; the guard releases it if the
+        // compiler (or an injected failpoint) panics, so later
+        // requesters retry instead of deadlocking on the entry.
+        let mut claim = ClaimGuard {
+            cell: &entry,
+            armed: true,
+        };
+        let result: CompileResult = na_faults::point("engine.compile")
+            .map_err(CompileError::from)
+            .and_then(|()| {
+                PLACEMENT_SCRATCH
+                    .with(|s| compile_with(circuit, grid, config, &mut s.borrow_mut()))
+                    .map(Arc::new)
+            });
+        claim.armed = false;
+        {
+            let mut state = lock_recover(&entry.state);
+            if result.as_ref().is_err_and(CompileError::is_transient) {
+                // A deadline expiry or injected fault describes this
+                // request, not the compilation point: release the
+                // claim so the next requester compiles for real.
+                *state = EntryState::Vacant;
+            } else {
+                *state = EntryState::Done(result.clone());
+            }
+        }
+        entry.ready.notify_all();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        na_telemetry::add(na_telemetry::Counter::CompileCacheMisses, 1);
+        result
     }
 
     /// The memoized [`InteractionSummary`] of the compilation at
@@ -143,11 +260,16 @@ impl CompileCache {
         key: &CacheKey,
         compiled: &CompiledCircuit,
     ) -> Arc<InteractionSummary> {
-        let mut map = self.summaries.lock().expect("summary lock");
-        Arc::clone(
-            map.entry(*key)
-                .or_insert_with(|| Arc::new(InteractionSummary::of(compiled))),
-        )
+        if let Some(summary) = lock_recover(&self.summaries).get(key) {
+            return Arc::clone(summary);
+        }
+        // Built *outside* the lock: a panic in the builder must leave
+        // the map untouched (the lock recovers from poison and the
+        // next requester rebuilds), and determinism makes the benign
+        // double-build race harmless — first insert wins, identical
+        // values either way.
+        let built = Arc::new(InteractionSummary::of(compiled));
+        Arc::clone(lock_recover(&self.summaries).entry(*key).or_insert(built))
     }
 
     /// `true` if a completed compilation (or cached failure) for `key`
@@ -155,11 +277,9 @@ impl CompileCache {
     /// hit flag: an entry claimed but still compiling on another
     /// thread does not count.
     pub fn contains(&self, key: &CacheKey) -> bool {
-        self.entries
-            .lock()
-            .expect("cache lock")
+        lock_recover(&self.entries)
             .get(key)
-            .is_some_and(|entry| entry.get().is_some())
+            .is_some_and(|entry| matches!(&*lock_recover(&entry.state), EntryState::Done(_)))
     }
 
     /// Current counters and size.
@@ -167,14 +287,14 @@ impl CompileCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("cache lock").len(),
+            entries: lock_recover(&self.entries).len(),
         }
     }
 
     /// Drops all entries (summaries included) and zeroes the counters.
     pub fn clear(&self) {
-        self.entries.lock().expect("cache lock").clear();
-        self.summaries.lock().expect("summary lock").clear();
+        lock_recover(&self.entries).clear();
+        lock_recover(&self.summaries).clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -268,6 +388,118 @@ mod tests {
         cache.clear();
         let s3 = cache.summary_for(&key, &compiled);
         assert!(!Arc::ptr_eq(&s1, &s3), "clear must drop summaries");
+    }
+
+    #[test]
+    fn injected_panic_releases_the_claim_for_retry() {
+        let _serial = na_faults::exclusive();
+        na_faults::reset();
+        na_faults::arm(
+            na_faults::FaultPlan::new("engine.compile", na_faults::FaultAction::Panic)
+                .in_scope("cache-panic"),
+        );
+        let cache = CompileCache::new();
+        let grid = Grid::new(6, 6);
+        let cfg = CompilerConfig::new(3.0);
+        let c = Benchmark::Bv.generate(8, 0);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _scope = na_faults::scope("cache-panic");
+            cache.get_or_compile(&c, &grid, &cfg)
+        }));
+        assert!(unwound.is_err(), "the armed failpoint must panic");
+        na_faults::reset();
+        // The unwind guard reset the entry to Vacant: this retry
+        // claims it and compiles for real instead of deadlocking on a
+        // permanently-InFlight entry.
+        let retried = cache.get_or_compile(&c, &grid, &cfg);
+        assert!(retried.is_ok());
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (0, 1),
+            "the panicked attempt counts as neither hit nor miss"
+        );
+    }
+
+    #[test]
+    fn transient_injected_errors_are_not_memoized() {
+        let _serial = na_faults::exclusive();
+        na_faults::reset();
+        na_faults::arm(
+            na_faults::FaultPlan::new("engine.compile", na_faults::FaultAction::Error)
+                .in_scope("cache-transient"),
+        );
+        let cache = CompileCache::new();
+        let grid = Grid::new(6, 6);
+        let cfg = CompilerConfig::new(3.0);
+        let c = Benchmark::Bv.generate(8, 0);
+        let key = CacheKey::for_point(&c, &grid, &cfg);
+        let err = {
+            let _scope = na_faults::scope("cache-transient");
+            cache.get_or_compile(&c, &grid, &cfg).unwrap_err()
+        };
+        assert!(err.is_transient());
+        assert!(
+            !cache.contains(&key),
+            "an injected error describes the request, not the point"
+        );
+        na_faults::reset();
+        assert!(cache.get_or_compile(&c, &grid, &cfg).is_ok());
+        assert!(cache.contains(&key));
+        assert_eq!(cache.stats().hits, 0, "nothing was served from memory");
+    }
+
+    #[test]
+    fn expired_deadlines_release_the_claim_too() {
+        let cache = CompileCache::new();
+        let grid = Grid::new(6, 6);
+        let cfg = CompilerConfig::new(3.0);
+        let c = Benchmark::Bv.generate(8, 0);
+        let key = CacheKey::for_point(&c, &grid, &cfg);
+        let err = {
+            let _over =
+                na_faults::push_deadline(na_faults::Deadline::after(std::time::Duration::ZERO));
+            cache.get_or_compile(&c, &grid, &cfg).unwrap_err()
+        };
+        assert!(matches!(err, CompileError::DeadlineExceeded));
+        assert!(
+            !cache.contains(&key),
+            "one job's expired budget must not be memoized for others"
+        );
+        assert!(cache.get_or_compile(&c, &grid, &cfg).is_ok());
+    }
+
+    #[test]
+    fn waiters_share_the_delayed_claimants_artifact() {
+        let _serial = na_faults::exclusive();
+        na_faults::reset();
+        na_faults::arm(
+            na_faults::FaultPlan::new(
+                "engine.compile",
+                na_faults::FaultAction::Delay(std::time::Duration::from_millis(80)),
+            )
+            .in_scope("cache-delay"),
+        );
+        let cache = CompileCache::new();
+        let grid = Grid::new(6, 6);
+        let cfg = CompilerConfig::new(3.0);
+        let c = Benchmark::Bv.generate(8, 0);
+        std::thread::scope(|s| {
+            let claimant = s.spawn(|| {
+                let _scope = na_faults::scope("cache-delay");
+                cache.get_or_compile(&c, &grid, &cfg).unwrap()
+            });
+            // Give the claimant time to take the entry, then request
+            // the same key: this thread must block on the entry's
+            // condvar and share the artifact, not compile again.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let waited = cache.get_or_compile(&c, &grid, &cfg).unwrap();
+            let claimed = claimant.join().unwrap();
+            assert!(Arc::ptr_eq(&claimed, &waited));
+        });
+        na_faults::reset();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]

@@ -59,9 +59,9 @@ pub mod sink;
 pub mod spec;
 
 pub use cache::{CacheKey, CacheStats, CompileCache};
-pub use record::{Outcome, RunRecord};
+pub use record::{FailureSummary, Outcome, RunRecord};
 pub use runner::Engine;
-pub use sink::{write_records, JsonlSink, MemorySink, ResultSink};
+pub use sink::{write_records, JsonlSink, MemorySink, ResultSink, SinkError};
 pub use spec::{derive_seed, CircuitSource, ExperimentSpec, Job, LossSpec, Task};
 
 #[cfg(test)]

@@ -65,12 +65,19 @@ pub enum Outcome {
     /// `Task::Campaign`: the full campaign result (shot statistics,
     /// overhead ledger, optional timeline).
     Campaign(CampaignResult),
-    /// The job's compilation failed. Sweeps over infeasible regions
-    /// (e.g. native arity at small MIDs) read `unroutable` to render
-    /// a "-" cell instead of aborting.
+    /// The job failed — "Failed rows, not panics": infeasible points,
+    /// caught panics, and expired deadlines are all data. Sweeps over
+    /// infeasible regions (e.g. native arity at small MIDs) read
+    /// `unroutable` to render a "-" cell instead of aborting.
     Failed {
         /// `true` for [`CompileError::UnroutableGate`].
         unroutable: bool,
+        /// `true` when the job panicked and the engine isolated it
+        /// (`error` carries the panic payload message).
+        panicked: bool,
+        /// `true` when the job's cooperative `--job-timeout` deadline
+        /// expired ([`CompileError::DeadlineExceeded`]).
+        deadline: bool,
         /// Human-readable error.
         error: String,
     },
@@ -81,7 +88,20 @@ impl Outcome {
     pub fn from_error(e: &CompileError) -> Self {
         Outcome::Failed {
             unroutable: matches!(e, CompileError::UnroutableGate { .. }),
+            panicked: false,
+            deadline: matches!(e, CompileError::DeadlineExceeded),
             error: e.to_string(),
+        }
+    }
+
+    /// Builds the failure outcome for a panic the engine caught and
+    /// isolated; `message` is the extracted panic payload.
+    pub fn from_panic(message: String) -> Self {
+        Outcome::Failed {
+            unroutable: false,
+            panicked: true,
+            deadline: false,
+            error: message,
         }
     }
 
@@ -201,6 +221,79 @@ impl RunRecord {
     }
 }
 
+/// Aggregated failure counts over one run's records, driving the
+/// CLI's partial-failure summary line and exit code.
+///
+/// Renders as e.g. `3/120 rows failed: 2 unroutable, 1 panicked`
+/// (zero categories are omitted; failures that are none of the typed
+/// categories render as `other`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureSummary {
+    /// Rows in the run.
+    pub total: usize,
+    /// Rows with a [`Outcome::Failed`] outcome.
+    pub failed: usize,
+    /// Failed rows flagged `unroutable`.
+    pub unroutable: usize,
+    /// Failed rows flagged `panicked`.
+    pub panicked: usize,
+    /// Failed rows flagged `deadline`.
+    pub deadline: usize,
+}
+
+impl FailureSummary {
+    /// Tallies `records`.
+    pub fn of(records: &[RunRecord]) -> Self {
+        let mut summary = FailureSummary {
+            total: records.len(),
+            ..FailureSummary::default()
+        };
+        for record in records {
+            if let Outcome::Failed {
+                unroutable,
+                panicked,
+                deadline,
+                ..
+            } = &record.outcome
+            {
+                summary.failed += 1;
+                summary.unroutable += usize::from(*unroutable);
+                summary.panicked += usize::from(*panicked);
+                summary.deadline += usize::from(*deadline);
+            }
+        }
+        summary
+    }
+
+    /// `true` when at least one row failed.
+    pub fn any_failed(&self) -> bool {
+        self.failed > 0
+    }
+}
+
+impl std::fmt::Display for FailureSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{} rows failed", self.failed, self.total)?;
+        if self.failed == 0 {
+            return Ok(());
+        }
+        let other = self.failed - self.unroutable - self.panicked - self.deadline;
+        let mut sep = ": ";
+        for (count, label) in [
+            (self.unroutable, "unroutable"),
+            (self.panicked, "panicked"),
+            (self.deadline, "deadline-exceeded"),
+            (other, "other"),
+        ] {
+            if count > 0 {
+                write!(f, "{sep}{count} {label}")?;
+                sep = ", ";
+            }
+        }
+        Ok(())
+    }
+}
+
 fn render_restriction(policy: RestrictionPolicy) -> String {
     match policy {
         RestrictionPolicy::None => "none".to_string(),
@@ -232,6 +325,8 @@ mod tests {
             &spec.jobs()[0],
             Outcome::Failed {
                 unroutable: false,
+                panicked: false,
+                deadline: false,
                 error: "nope".into(),
             },
         );
@@ -252,6 +347,8 @@ mod tests {
             &spec.jobs()[0],
             Outcome::Failed {
                 unroutable: false,
+                panicked: false,
+                deadline: false,
                 error: "x".into(),
             },
         );
@@ -261,6 +358,77 @@ mod tests {
         let back: RunRecord = serde_json::from_str(&line).unwrap();
         assert_eq!(back.cache_hit, None);
         assert_eq!(back, record);
+    }
+
+    #[test]
+    fn failure_summary_renders_the_issue_shape() {
+        let mut spec = ExperimentSpec::new("t", Grid::new(4, 4));
+        for _ in 0..5 {
+            spec.push(Benchmark::Bv, 8, 0, CompilerConfig::new(2.0), Task::Compile);
+        }
+        let jobs = spec.jobs();
+        let ok = |job| RunRecord::new(job, Outcome::LossTrace { success: vec![] });
+        let failed = |job, unroutable, panicked, deadline| {
+            RunRecord::new(
+                job,
+                Outcome::Failed {
+                    unroutable,
+                    panicked,
+                    deadline,
+                    error: "e".into(),
+                },
+            )
+        };
+        let records = vec![
+            ok(&jobs[0]),
+            failed(&jobs[1], true, false, false),
+            failed(&jobs[2], true, false, false),
+            failed(&jobs[3], false, true, false),
+            ok(&jobs[4]),
+        ];
+        let summary = FailureSummary::of(&records);
+        assert!(summary.any_failed());
+        assert_eq!(
+            summary.to_string(),
+            "3/5 rows failed: 2 unroutable, 1 panicked"
+        );
+
+        let clean = FailureSummary::of(&records[..1]);
+        assert!(!clean.any_failed());
+        assert_eq!(clean.to_string(), "0/1 rows failed");
+
+        let untyped = FailureSummary::of(&[failed(&jobs[0], false, false, false)]);
+        assert_eq!(untyped.to_string(), "1/1 rows failed: 1 other");
+
+        let timed_out = FailureSummary::of(&[failed(&jobs[0], false, false, true)]);
+        assert_eq!(
+            timed_out.to_string(),
+            "1/1 rows failed: 1 deadline-exceeded"
+        );
+    }
+
+    #[test]
+    fn panic_and_deadline_outcomes_are_typed() {
+        let p = Outcome::from_panic("boom".into());
+        assert_eq!(
+            p,
+            Outcome::Failed {
+                unroutable: false,
+                panicked: true,
+                deadline: false,
+                error: "boom".into(),
+            }
+        );
+        let d = Outcome::from_error(&CompileError::DeadlineExceeded);
+        assert_eq!(
+            d,
+            Outcome::Failed {
+                unroutable: false,
+                panicked: false,
+                deadline: true,
+                error: "job deadline exceeded".into(),
+            }
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::cache::{CacheKey, CacheStats, CompileCache};
 use crate::record::{Outcome, RunRecord};
-use crate::sink::ResultSink;
+use crate::sink::{ResultSink, SinkError};
 use crate::spec::{CircuitSource, ExperimentSpec, Job, LossSpec, Task};
 use na_benchmarks::Benchmark;
 use na_loss::{LossOutcome, Strategy, StrategyState};
@@ -20,8 +20,10 @@ use na_noise::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// The parallel experiment executor. Owns worker configuration and
 /// the shared [`CompileCache`]; cheap to clone specs through, reusable
@@ -32,6 +34,7 @@ pub struct Engine {
     workers: usize,
     cache: Arc<CompileCache>,
     verify: bool,
+    job_timeout: Option<Duration>,
 }
 
 impl Default for Engine {
@@ -55,7 +58,18 @@ impl Engine {
             workers: workers.max(1),
             cache: Arc::new(CompileCache::new()),
             verify: false,
+            job_timeout: None,
         }
+    }
+
+    /// Sets a per-job cooperative deadline: a job still running after
+    /// `timeout` stops at its next stage boundary (compile stages,
+    /// campaign shots) with a typed deadline-exceeded [`Outcome::Failed`]
+    /// row while the rest of the spec completes. Surfaced on the CLI
+    /// as `--job-timeout <secs>`.
+    pub fn with_job_timeout(mut self, timeout: Duration) -> Self {
+        self.job_timeout = Some(timeout);
+        self
     }
 
     /// Enables schedule verification: every compiled circuit a
@@ -101,7 +115,7 @@ impl Engine {
 
         if threads == 1 {
             for (job, slot) in jobs.iter().zip(&slots) {
-                slot.set(execute_job(job, &self.cache, self.verify))
+                slot.set(self.run_job_isolated(job))
                     .expect("slot written once");
             }
         } else {
@@ -114,7 +128,7 @@ impl Engine {
                                 break;
                             }
                             slots[i]
-                                .set(execute_job(&jobs[i], &self.cache, self.verify))
+                                .set(self.run_job_isolated(&jobs[i]))
                                 .expect("slot written once");
                         }
                         // Merge this worker's recorder into the global
@@ -125,7 +139,7 @@ impl Engine {
             });
         }
 
-        slots
+        let records: Vec<RunRecord> = slots
             .into_iter()
             .zip(cache_flags)
             .map(|(slot, cache_hit)| {
@@ -133,7 +147,50 @@ impl Engine {
                 record.cache_hit = cache_hit;
                 record
             })
-            .collect()
+            .collect();
+        // Failure-domain counters (no-ops while telemetry is off).
+        for record in &records {
+            if let Outcome::Failed {
+                panicked, deadline, ..
+            } = &record.outcome
+            {
+                na_telemetry::add(na_telemetry::Counter::JobsFailed, 1);
+                if *panicked {
+                    na_telemetry::add(na_telemetry::Counter::JobsPanicked, 1);
+                }
+                if *deadline {
+                    na_telemetry::add(na_telemetry::Counter::DeadlinesExceeded, 1);
+                }
+            }
+        }
+        records
+    }
+
+    /// Runs one job inside its failure domain: a per-job fault scope
+    /// (deterministic failpoint hit counts at any worker count), the
+    /// engine's per-job deadline, and a panic boundary. A panic is
+    /// isolated into an [`Outcome::from_panic`] row — the worker keeps
+    /// draining the cursor and every other job's row is unaffected.
+    fn run_job_isolated(&self, job: &Job) -> RunRecord {
+        let _scope = na_faults::scope(format!("job{}", job.id));
+        let _deadline = na_faults::push_deadline(match self.job_timeout {
+            Some(budget) => na_faults::Deadline::after(budget),
+            None => na_faults::Deadline::UNBOUNDED,
+        });
+        match catch_unwind(AssertUnwindSafe(|| {
+            execute_job(job, &self.cache, self.verify)
+        })) {
+            Ok(record) => record,
+            Err(payload) => {
+                // An unwind mid-placement may have left this worker's
+                // reusable scratch half-updated; start the next job
+                // from a fresh one. (The compile cache protects itself
+                // with its own claim guard and poison-recovering
+                // locks.)
+                crate::cache::reset_thread_scratch();
+                RunRecord::new(job, Outcome::from_panic(panic_message(payload.as_ref())))
+            }
+        }
     }
 
     /// `cache_hit` for every job: `None` for tasks that bypass the
@@ -170,10 +227,34 @@ impl Engine {
 
     /// Like [`Engine::run`], but also streams every record (in job-id
     /// order) into `sink` before returning them.
-    pub fn run_into(&self, spec: &ExperimentSpec, sink: &mut dyn ResultSink) -> Vec<RunRecord> {
+    ///
+    /// # Errors
+    ///
+    /// The first [`SinkError`] the sink reported; the records were
+    /// still fully computed.
+    pub fn run_into(
+        &self,
+        spec: &ExperimentSpec,
+        sink: &mut dyn ResultSink,
+    ) -> Result<Vec<RunRecord>, SinkError> {
         let records = self.run(spec);
-        crate::sink::write_records(&records, sink);
-        records
+        crate::sink::write_records(&records, sink)?;
+        Ok(records)
+    }
+}
+
+/// Renders a caught panic payload: the `&str`/`String` message panics
+/// carry in practice, or a typed placeholder for exotic payloads.
+/// Deterministic for deterministic panic sites (`panic!` with a fixed
+/// or value-formatted message), which keeps injected-panic rows
+/// byte-reproducible.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -185,6 +266,15 @@ impl Engine {
 /// hence deliberately absent — `None` — in the deterministic default
 /// configuration).
 fn execute_job(job: &Job, cache: &CompileCache, verify: bool) -> RunRecord {
+    // Failure boundary at job entry: the chaos failpoint and the
+    // cheapest possible deadline check (a job whose budget is already
+    // spent fails typed before doing any work).
+    if let Err(fault) = na_faults::point("engine.execute_job") {
+        return RunRecord::new(job, Outcome::from_error(&fault.into()));
+    }
+    if let Err(expired) = na_faults::check_deadline() {
+        return RunRecord::new(job, Outcome::from_error(&expired.into()));
+    }
     let stage_mark = na_telemetry::is_enabled().then(na_telemetry::mark_stages);
     let circuit = job.circuit();
     // Compile through the cache, optionally replaying the schedule
@@ -197,6 +287,8 @@ fn execute_job(job: &Job, cache: &CompileCache, verify: bool) -> RunRecord {
                 if let Err(e) = na_core::verify(&compiled, &job.grid) {
                     return Outcome::Failed {
                         unroutable: false,
+                        panicked: false,
+                        deadline: false,
                         error: format!("schedule verification failed: {e}"),
                     };
                 }
@@ -328,14 +420,19 @@ fn run_campaign_task(
         Ok(compiled) => {
             let key = CacheKey::for_point(circuit, &job.grid, &compile_cfg);
             let summary = cache.summary_for(&key, &compiled);
-            Outcome::Campaign(na_loss::run_campaign_precompiled(
+            match na_loss::run_campaign_precompiled(
                 circuit,
                 &job.grid,
                 compiled,
                 summary,
                 loss.build(),
                 config,
-            ))
+            ) {
+                Ok(result) => Outcome::Campaign(result),
+                // A shot-boundary deadline or injected fault: the
+                // partial campaign is discarded, the row is typed.
+                Err(e) => Outcome::from_error(&e),
+            }
         }
         Err(e) => Outcome::from_error(&e),
     }

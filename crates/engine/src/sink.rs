@@ -3,27 +3,80 @@
 //! The engine always returns records in job-id order; a
 //! [`ResultSink`] receives them in that same order, so any sink
 //! output is byte-for-byte reproducible regardless of worker count.
+//!
+//! Writes are fallible: a sink returns [`SinkError`] instead of
+//! panicking, so `natoms sweep --jsonl | head` (a broken pipe) exits
+//! cleanly and a real I/O failure (disk full) surfaces as a typed
+//! error the CLI turns into a nonzero exit code.
 
 use crate::record::RunRecord;
+use std::error::Error;
+use std::fmt;
 use std::io::Write;
+
+/// An I/O failure while emitting result rows.
+#[derive(Debug)]
+pub struct SinkError(std::io::Error);
+
+impl SinkError {
+    /// `true` when the consumer went away (`EPIPE`) — e.g. piping
+    /// into `head`. Callers treat this as a clean early stop, not an
+    /// error.
+    pub fn is_broken_pipe(&self) -> bool {
+        self.0.kind() == std::io::ErrorKind::BrokenPipe
+    }
+}
+
+impl fmt::Display for SinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "result sink I/O error: {}", self.0)
+    }
+}
+
+impl Error for SinkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.0)
+    }
+}
+
+impl From<std::io::Error> for SinkError {
+    fn from(e: std::io::Error) -> Self {
+        SinkError(e)
+    }
+}
 
 /// A destination for result rows.
 pub trait ResultSink {
     /// Receives one finished row (rows arrive in job-id order).
-    fn write_record(&mut self, record: &RunRecord);
+    ///
+    /// # Errors
+    ///
+    /// [`SinkError`] when the underlying writer fails.
+    fn write_record(&mut self, record: &RunRecord) -> Result<(), SinkError>;
 
     /// Flushes buffered output (no-op by default).
-    fn finish(&mut self) {}
+    ///
+    /// # Errors
+    ///
+    /// [`SinkError`] when flushing the underlying writer fails.
+    fn finish(&mut self) -> Result<(), SinkError> {
+        Ok(())
+    }
 }
 
 /// Drains already-collected records into a sink, in order, and
 /// flushes. The one sink-draining loop shared by `Engine::run_into`,
 /// the CLI's `--jsonl` paths, and the harnesses' `NATOMS_JSONL` mode.
-pub fn write_records(records: &[RunRecord], sink: &mut dyn ResultSink) {
+///
+/// # Errors
+///
+/// The first [`SinkError`] encountered; remaining records are not
+/// written.
+pub fn write_records(records: &[RunRecord], sink: &mut dyn ResultSink) -> Result<(), SinkError> {
     for record in records {
-        sink.write_record(record);
+        sink.write_record(record)?;
     }
-    sink.finish();
+    sink.finish()
 }
 
 /// Writes one compact JSON object per line.
@@ -51,13 +104,22 @@ impl JsonlSink<std::io::Stdout> {
 }
 
 impl<W: Write> ResultSink for JsonlSink<W> {
-    fn write_record(&mut self, record: &RunRecord) {
+    fn write_record(&mut self, record: &RunRecord) -> Result<(), SinkError> {
+        // Chaos failpoint for the row-emission failure domain; the
+        // injected error takes the same typed path a real I/O error
+        // would.
+        na_faults::point("engine.sink.write")
+            .map_err(|fault| SinkError(std::io::Error::other(fault.to_string())))?;
+        // Serialization itself is infallible (in-memory rendering of
+        // plain data); only the write can fail.
         let line = serde_json::to_string(record).expect("record serializes");
-        writeln!(self.writer, "{line}").expect("sink write");
+        writeln!(self.writer, "{line}")?;
+        Ok(())
     }
 
-    fn finish(&mut self) {
-        self.writer.flush().expect("sink flush");
+    fn finish(&mut self) -> Result<(), SinkError> {
+        self.writer.flush()?;
+        Ok(())
     }
 }
 
@@ -85,9 +147,10 @@ impl MemorySink {
 }
 
 impl ResultSink for MemorySink {
-    fn write_record(&mut self, record: &RunRecord) {
+    fn write_record(&mut self, record: &RunRecord) -> Result<(), SinkError> {
         self.lines
             .push(serde_json::to_string(record).expect("record serializes"));
+        Ok(())
     }
 }
 
@@ -107,6 +170,8 @@ mod tests {
             &spec.jobs()[0],
             Outcome::Failed {
                 unroutable: true,
+                panicked: false,
+                deadline: false,
                 error: "x".into(),
             },
         )
@@ -115,9 +180,9 @@ mod tests {
     #[test]
     fn jsonl_sink_writes_one_line_per_record() {
         let mut sink = JsonlSink::new(Vec::new());
-        sink.write_record(&record());
-        sink.write_record(&record());
-        sink.finish();
+        sink.write_record(&record()).unwrap();
+        sink.write_record(&record()).unwrap();
+        sink.finish().unwrap();
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(text.ends_with('\n'));
@@ -126,9 +191,44 @@ mod tests {
     #[test]
     fn memory_sink_matches_jsonl_sink_bytes() {
         let mut mem = MemorySink::new();
-        mem.write_record(&record());
+        mem.write_record(&record()).unwrap();
         let mut jsonl = JsonlSink::new(Vec::new());
-        jsonl.write_record(&record());
+        jsonl.write_record(&record()).unwrap();
         assert_eq!(mem.to_jsonl().into_bytes(), jsonl.into_inner());
+    }
+
+    /// A writer that fails with a chosen [`std::io::ErrorKind`].
+    struct FailingWriter(std::io::ErrorKind);
+
+    impl Write for FailingWriter {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::from(self.0))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::from(self.0))
+        }
+    }
+
+    #[test]
+    fn broken_pipe_is_a_typed_recognizable_error() {
+        let mut sink = JsonlSink::new(FailingWriter(std::io::ErrorKind::BrokenPipe));
+        let err = sink.write_record(&record()).unwrap_err();
+        assert!(err.is_broken_pipe());
+        assert!(err.to_string().contains("result sink I/O error"));
+    }
+
+    #[test]
+    fn disk_style_errors_are_not_broken_pipe() {
+        let mut sink = JsonlSink::new(FailingWriter(std::io::ErrorKind::StorageFull));
+        let err = sink.finish().unwrap_err();
+        assert!(!err.is_broken_pipe());
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn write_records_stops_at_the_first_failure() {
+        let records = vec![record(), record()];
+        let mut sink = JsonlSink::new(FailingWriter(std::io::ErrorKind::StorageFull));
+        assert!(write_records(&records, &mut sink).is_err());
     }
 }

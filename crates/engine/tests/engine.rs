@@ -44,10 +44,14 @@ fn parallel_and_serial_runs_are_byte_identical() {
     assert!(spec.len() >= 3 * mids.len());
 
     let mut serial_sink = MemorySink::new();
-    Engine::with_workers(1).run_into(&spec, &mut serial_sink);
+    Engine::with_workers(1)
+        .run_into(&spec, &mut serial_sink)
+        .expect("serial sink");
 
     let mut parallel_sink = MemorySink::new();
-    Engine::with_workers(4).run_into(&spec, &mut parallel_sink);
+    Engine::with_workers(4)
+        .run_into(&spec, &mut parallel_sink)
+        .expect("parallel sink");
 
     assert_eq!(
         serial_sink.to_jsonl().into_bytes(),
@@ -56,7 +60,9 @@ fn parallel_and_serial_runs_are_byte_identical() {
     );
     // And repeating the parallel run is stable too.
     let mut again = MemorySink::new();
-    Engine::with_workers(4).run_into(&spec, &mut again);
+    Engine::with_workers(4)
+        .run_into(&spec, &mut again)
+        .expect("repeat sink");
     assert_eq!(parallel_sink.to_jsonl(), again.to_jsonl());
 }
 

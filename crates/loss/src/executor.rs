@@ -156,7 +156,9 @@ impl CampaignResult {
 ///
 /// # Errors
 ///
-/// Propagates the initial compilation error.
+/// Propagates the initial compilation error, a cooperative-deadline
+/// expiry ([`CompileError::DeadlineExceeded`]) observed at a shot
+/// boundary, or an injected `loss.shot` fault (chaos testing).
 pub fn run_campaign(
     program: &Circuit,
     grid_template: &Grid,
@@ -171,12 +173,7 @@ pub fn run_campaign(
         cfg.strategy,
         swap_budget_for(cfg),
     )?;
-    Ok(campaign_loop(
-        state,
-        t_compile.elapsed().as_secs_f64(),
-        loss,
-        cfg,
-    ))
+    campaign_loop(state, t_compile.elapsed().as_secs_f64(), loss, cfg)
 }
 
 /// [`run_campaign`] on an already compiled schedule and its
@@ -190,6 +187,12 @@ pub fn run_campaign(
 ///
 /// `compiled`/`summary` must satisfy the
 /// [`StrategyState::with_compiled`] contract.
+///
+/// # Errors
+///
+/// A cooperative-deadline expiry observed at a shot boundary, or an
+/// injected `loss.shot` fault; the initial compile already happened,
+/// so compilation errors cannot occur here.
 pub fn run_campaign_precompiled(
     program: &Circuit,
     grid_template: &Grid,
@@ -197,7 +200,7 @@ pub fn run_campaign_precompiled(
     summary: std::sync::Arc<crate::InteractionSummary>,
     loss: LossModel,
     cfg: &CampaignConfig,
-) -> CampaignResult {
+) -> Result<CampaignResult, CompileError> {
     let state = StrategyState::with_compiled(
         program,
         grid_template,
@@ -226,7 +229,7 @@ fn campaign_loop(
     compile_secs: f64,
     mut loss: LossModel,
     cfg: &CampaignConfig,
-) -> CampaignResult {
+) -> Result<CampaignResult, CompileError> {
     let params = NoiseParams::neutral_atom(cfg.two_qubit_error);
     let mut base = success_probability(state.compiled(), &params);
 
@@ -279,6 +282,11 @@ fn campaign_loop(
         if done || result.shots_attempted >= cfg.max_attempts {
             break;
         }
+        // Failure boundary of the shot loop: the chaos failpoint and
+        // the cooperative deadline both abandon the campaign *between*
+        // shots, so a partial campaign is never reported as data.
+        na_faults::point("loss.shot")?;
+        na_faults::check_deadline()?;
         result.shots_attempted += 1;
         let shot_span = na_telemetry::time(na_telemetry::Stage::Shot);
         na_telemetry::add(na_telemetry::Counter::ShotsAttempted, 1);
@@ -392,7 +400,7 @@ fn campaign_loop(
     result.shots_between_reloads.push(streak);
     result.ledger = ledger;
     result.timeline = timeline;
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -450,7 +458,8 @@ mod tests {
                 summary,
                 LossModel::new(5),
                 &cfg,
-            );
+            )
+            .unwrap();
             // recompile_time is measured wall clock (the one
             // nondeterministic ledger field); everything else must be
             // bit-identical.

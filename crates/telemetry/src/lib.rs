@@ -142,11 +142,17 @@ pub enum Counter {
     Recompiles,
     /// Array reloads (campaign strategy gave up on the shot state).
     Reloads,
+    /// Engine jobs that produced a `Failed` row (any cause).
+    JobsFailed,
+    /// Engine jobs whose panic was caught and isolated into a row.
+    JobsPanicked,
+    /// Engine jobs that ran out of their cooperative deadline budget.
+    DeadlinesExceeded,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 14;
     /// All counters, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::Compiles,
@@ -160,6 +166,9 @@ impl Counter {
         Counter::FixupBfsExpansions,
         Counter::Recompiles,
         Counter::Reloads,
+        Counter::JobsFailed,
+        Counter::JobsPanicked,
+        Counter::DeadlinesExceeded,
     ];
 
     /// Dense index for array storage.
@@ -182,6 +191,9 @@ impl Counter {
             Counter::FixupBfsExpansions => "fixup_bfs_expansions",
             Counter::Recompiles => "recompiles",
             Counter::Reloads => "reloads",
+            Counter::JobsFailed => "jobs_failed",
+            Counter::JobsPanicked => "jobs_panicked",
+            Counter::DeadlinesExceeded => "deadlines_exceeded",
         }
     }
 }

@@ -20,7 +20,10 @@
 //! * [`telemetry`] — zero-dependency structured instrumentation:
 //!   stage timers, counters, and latency histograms, disabled by
 //!   default and strictly observational (golden digests are
-//!   byte-identical with metrics on or off).
+//!   byte-identical with metrics on or off);
+//! * [`faults`] — failure-domain primitives: deterministic failpoint
+//!   injection (`NATOMS_FAULTS`) and cooperative deadlines, likewise
+//!   one relaxed atomic load when disabled.
 //!
 //! # Quickstart
 //!
@@ -84,4 +87,9 @@ pub mod engine {
 /// Structured instrumentation ([`na_telemetry`]).
 pub mod telemetry {
     pub use na_telemetry::*;
+}
+
+/// Fault injection and cooperative deadlines ([`na_faults`]).
+pub mod faults {
+    pub use na_faults::*;
 }

@@ -268,7 +268,17 @@ fn report_cache_stats() {
 /// `natoms compile`
 pub fn compile_cmd(args: &Args) -> CmdResult {
     let c = common(args)?;
-    let compiled = compile_common(&c)?;
+    // `--passes` compiles through the self-checking pipeline instead
+    // of the cache: every pass (including `verify`) is a real timed
+    // measurement, and the per-pass table is printed after the
+    // metrics. The compiled schedule is bit-identical either way.
+    let (compiled, pass_report) = if args.flag("passes") {
+        let program = c.circuit();
+        let (compiled, report) = na_core::compile_with_report(&program, &c.grid, &c.config)?;
+        (std::sync::Arc::new(compiled), Some(report))
+    } else {
+        (compile_common(&c)?, None)
+    };
     let m = compiled.metrics();
     println!(
         "{} size {} on {}x{} at MID {}",
@@ -280,6 +290,9 @@ pub fn compile_cmd(args: &Args) -> CmdResult {
     );
     println!("  {m}");
     println!("  timesteps: {}", compiled.num_timesteps());
+    if let Some(report) = &pass_report {
+        print!("{}", report.render());
+    }
     if args.flag("emit-qasm") {
         let qasm = na_circuit::qasm::to_qasm(compiled.circuit())?;
         println!("\n{qasm}");
@@ -570,7 +583,9 @@ impl BenchMeta {
 /// Schema history: v2 added `meta` (run provenance) and `metrics` (the
 /// per-stage telemetry snapshot of the benched workloads); every v1
 /// per-workload field is retained unchanged so units/s trajectories
-/// stay comparable across the schema bump.
+/// stay comparable across the schema bump. `pass_report` (the
+/// per-pass breakdown of one representative compile through the
+/// self-checking pipeline) is additive under v2.
 #[derive(Debug, serde::Serialize)]
 struct BenchReport {
     /// Report format tag.
@@ -586,6 +601,10 @@ struct BenchReport {
     /// Merged telemetry of the benched workloads: per-stage latency
     /// percentiles plus compile/loss counters.
     metrics: na_telemetry::MetricsSnapshot,
+    /// Per-pass wall time and artifact stats of one representative
+    /// compile (BV at the fig07 size on the bench grid) through the
+    /// self-checking pass pipeline.
+    pass_report: na_core::PassReport,
 }
 
 /// `natoms bench` — wall-clock timings of the paper-grid compile and
@@ -603,7 +622,7 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
     let outcome = bench_workloads(quick, timeout);
     let metrics = na_telemetry::snapshot();
     na_telemetry::set_enabled(telemetry_was_enabled);
-    let (grid, workloads) = outcome?;
+    let (grid, workloads, pass_report) = outcome?;
 
     let report = BenchReport {
         schema: "natoms-bench-v2".into(),
@@ -612,6 +631,7 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
         meta: BenchMeta::collect(),
         workloads,
         metrics,
+        pass_report,
     };
     if args.flag("json") {
         println!("{}", serde_json::to_string(&report)?);
@@ -631,6 +651,7 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
             );
         }
         print!("{}", report.metrics.render());
+        print!("{}", report.pass_report.render());
     }
     Ok(CmdStatus::Ok)
 }
@@ -643,7 +664,7 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
 fn bench_workloads(
     quick: bool,
     timeout: Option<Duration>,
-) -> Result<(Grid, Vec<BenchWorkload>), Box<dyn Error>> {
+) -> Result<(Grid, Vec<BenchWorkload>, na_core::PassReport), Box<dyn Error>> {
     use std::time::Instant;
     let grid = Grid::new(10, 10);
     let na_cfg = CompilerConfig::new(3.0);
@@ -800,7 +821,13 @@ fn bench_workloads(
         Ok(())
     })?;
 
-    Ok((grid, workloads))
+    // One representative compile through the self-checking pipeline:
+    // the per-pass breakdown the report embeds (untimed — it is a
+    // breakdown of where compile time goes, not a benchmark row).
+    let (_, pass_report) =
+        na_core::compile_with_report(&Benchmark::Bv.generate(fig07_size, 0), &grid, &na_cfg)?;
+
+    Ok((grid, workloads, pass_report))
 }
 
 /// `natoms reload-time`
@@ -925,6 +952,21 @@ mod tests {
     }
 
     #[test]
+    fn compile_command_reports_passes() {
+        let args = parse(&[
+            "compile",
+            "--benchmark",
+            "qaoa",
+            "--size",
+            "12",
+            "--mid",
+            "2",
+            "--passes",
+        ]);
+        compile_cmd(&args).unwrap();
+    }
+
+    #[test]
     fn sweep_command_runs() {
         let args = parse(&[
             "sweep",
@@ -1006,6 +1048,7 @@ mod tests {
                 units_per_sec: 20.0,
             }],
             metrics: na_telemetry::Registry::new(true).snapshot(),
+            pass_report: na_core::PassReport::default(),
         };
         let line = serde_json::to_string(&report).unwrap();
         assert!(line.contains("\"schema\":\"natoms-bench-v2\""));
@@ -1013,6 +1056,7 @@ mod tests {
         assert!(line.contains("\"git_rev\""));
         assert!(line.contains("\"timestamp\""));
         assert!(line.contains("\"metrics\""));
+        assert!(line.contains("\"pass_report\""));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `natoms` — command-line interface to the neutral-atom toolkit.
 //!
 //! ```console
-//! natoms compile  --benchmark qaoa --size 30 --mid 3 [--no-native] [--no-zones] [--emit-qasm]
+//! natoms compile  --benchmark qaoa --size 30 --mid 3 [--no-native] [--no-zones] [--emit-qasm] [--passes]
 //! natoms compile  --qasm examples/qasm/adder4.qasm --mid 3
 //! natoms sweep    --benchmark bv --size 100 --mids 1,2,3,5,13 [--workers 8] [--jsonl]
 //! natoms success  --benchmark cuccaro --size 50 --mid 3 --error 1e-3
@@ -60,6 +60,8 @@ COMMON OPTIONS:
   --no-native       lower Toffolis to 2q gates
   --no-zones        disable restriction zones
   --emit-qasm       print the compiled schedule as QASM (compile only)
+  --passes          print per-pass wall time and artifact stats from
+                    the self-checking pass pipeline (compile only)
 
 ENGINE OPTIONS (sweep, campaign):
   --workers N       worker threads              (default: all cores)

@@ -1,8 +1,13 @@
 //! The compile driver, compiled-circuit container, and schedule
 //! verifier.
+//!
+//! [`compile`]/[`compile_with`] are thin wrappers over the standard
+//! [`Pipeline`](crate::passes::Pipeline); see [`crate::passes`] for
+//! the pass-by-pass breakdown and the artifact-reuse seam.
 
+use crate::passes::{PassContext, PassReport, Pipeline};
 use crate::placement::{initial_placement_with, PlacementScratch};
-use crate::scheduler::{frontier_weights, run};
+use crate::scheduler::{frontier_weights, run, ScheduleResult};
 use crate::{CompileError, CompilerConfig, QubitMap};
 use na_arch::{Grid, InteractionGraph, RestrictionZone, Site};
 use na_circuit::{decompose_circuit, Circuit, DecomposeLevel, Gate, Qubit};
@@ -11,7 +16,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-pub use crate::scheduler::ScheduledOp;
+pub use crate::scheduler::{ScheduledOp, SiteList};
 
 /// A fully mapped, routed, and scheduled circuit.
 ///
@@ -109,6 +114,26 @@ impl CompiledCircuit {
         sites.dedup();
         sites
     }
+
+    /// Assembles the container from the pipeline's artifacts (the
+    /// `finalize` pass calls this).
+    pub(crate) fn from_parts(
+        circuit: Circuit,
+        result: ScheduleResult,
+        initial_map: HashMap<Qubit, Site>,
+        config: CompilerConfig,
+    ) -> Self {
+        let used_sites = Self::compute_used_sites(&initial_map, &result.ops);
+        CompiledCircuit {
+            circuit,
+            final_map: result.final_map.to_table(),
+            num_timesteps: result.num_timesteps,
+            ops: result.ops,
+            initial_map,
+            config,
+            used_sites,
+        }
+    }
 }
 
 /// Post-compilation gate counts and depth.
@@ -195,15 +220,43 @@ pub fn compile_with(
     config: &CompilerConfig,
     scratch: &mut PlacementScratch,
 ) -> Result<CompiledCircuit, CompileError> {
-    // Cooperative deadline checkpoints bracket each stage: a job that
-    // ran out of budget stops at the next boundary with a typed error
-    // instead of burning its worker. One relaxed load when no deadline
-    // is armed.
+    let mut ctx = PassContext::new(circuit, grid, config, scratch);
+    Pipeline::standard().run(&mut ctx)
+}
+
+/// [`compile`] through the self-checking pipeline, also returning the
+/// per-pass [`PassReport`] (wall time + artifact stats per pass,
+/// including a real `verify` measurement). The compiled circuit is
+/// identical to [`compile`]'s — the report is strictly observational.
+///
+/// # Errors
+///
+/// As [`compile`], plus [`CompileError::VerifyFailed`] if the
+/// in-pipeline verification rejects the schedule (a compiler bug by
+/// definition).
+pub fn compile_with_report(
+    circuit: &Circuit,
+    grid: &Grid,
+    config: &CompilerConfig,
+) -> Result<(CompiledCircuit, PassReport), CompileError> {
+    let mut scratch = PlacementScratch::new();
+    let mut ctx = PassContext::new(circuit, grid, config, &mut scratch);
+    Pipeline::self_checking().run_reported(&mut ctx)
+}
+
+/// The pre-pipeline monolithic compile body, kept verbatim as the
+/// differential oracle for `tests/pipeline_differential.rs`: the pass
+/// pipeline must reproduce this function's output bit for bit on every
+/// input until parity is beyond doubt. Not part of the public API.
+#[doc(hidden)]
+pub fn compile_monolithic(
+    circuit: &Circuit,
+    grid: &Grid,
+    config: &CompilerConfig,
+    scratch: &mut PlacementScratch,
+) -> Result<CompiledCircuit, CompileError> {
     na_faults::check_deadline()?;
-    let lowered = {
-        let _span = na_telemetry::time(na_telemetry::Stage::Lower);
-        lower_for(circuit, config)
-    };
+    let lowered = lower_for(circuit, config);
     na_faults::check_deadline()?;
 
     // An arity-k gate needs k atoms pairwise within the MID; the
@@ -223,24 +276,16 @@ pub fn compile_with(
         }
     }
 
-    let place_span = na_telemetry::time(na_telemetry::Stage::Place);
     let dag = lowered.dag();
     let frontier = dag.frontier();
     let weights = frontier_weights(&lowered, &frontier, config.lookahead_depth);
     let map0 = initial_placement_with(&lowered, grid, &weights, scratch)?;
     let initial_table = map0.to_table();
-    drop(place_span);
     na_faults::check_deadline()?;
 
-    // The precomputed flat-index interaction graph every hot loop
-    // (SWAP scoring, forced hops) runs over; memoized per (grid, MID).
-    let schedule_span = na_telemetry::time(na_telemetry::Stage::Schedule);
     let graph = InteractionGraph::cached(grid, config.mid);
     let result = run(&lowered, grid, &graph, config, map0)?;
-    drop(schedule_span);
     na_faults::check_deadline()?;
-    na_telemetry::add(na_telemetry::Counter::Compiles, 1);
-    na_telemetry::add(na_telemetry::Counter::OpsScheduled, result.ops.len() as u64);
 
     let used_sites = CompiledCircuit::compute_used_sites(&initial_table, &result.ops);
     Ok(CompiledCircuit {
@@ -372,14 +417,33 @@ impl Error for VerifyError {}
 ///
 /// Returns the first [`VerifyError`] encountered.
 pub fn verify(compiled: &CompiledCircuit, grid: &Grid) -> Result<(), VerifyError> {
+    verify_parts(
+        compiled.circuit(),
+        compiled.config(),
+        compiled.ops(),
+        compiled.initial_map(),
+        compiled.final_map(),
+        grid,
+    )
+}
+
+/// [`verify`] over the raw schedule parts, shared with the pipeline's
+/// `verify` pass (which runs before the [`CompiledCircuit`] container
+/// exists).
+pub(crate) fn verify_parts(
+    circuit: &Circuit,
+    config: &CompilerConfig,
+    ops: &[ScheduledOp],
+    initial_map: &HashMap<Qubit, Site>,
+    final_map: &HashMap<Qubit, Site>,
+    grid: &Grid,
+) -> Result<(), VerifyError> {
     let _span = na_telemetry::time(na_telemetry::Stage::Verify);
-    let circuit = compiled.circuit();
-    let config = compiled.config();
     let dag = circuit.dag();
 
     // Gate execution times (for counting and dependency checks).
     let mut exec_time: Vec<Option<u32>> = vec![None; circuit.len()];
-    for op in compiled.ops() {
+    for op in ops {
         if let Some(g) = op.source {
             if exec_time[g].is_some() {
                 return Err(VerifyError::GateCount { gate: g, times: 2 });
@@ -401,9 +465,8 @@ pub fn verify(compiled: &CompiledCircuit, grid: &Grid) -> Result<(), VerifyError
     }
 
     // Replay the mapping through the schedule.
-    let mut map = QubitMap::from_table(circuit.num_qubits(), compiled.initial_map());
+    let mut map = QubitMap::from_table(circuit.num_qubits(), initial_map);
     let mut i = 0usize;
-    let ops = compiled.ops();
     while i < ops.len() {
         let t = ops[i].time;
         let mut j = i;
@@ -453,7 +516,7 @@ pub fn verify(compiled: &CompiledCircuit, grid: &Grid) -> Result<(), VerifyError
         i = j;
     }
 
-    if &map.to_table() != compiled.final_map() {
+    if &map.to_table() != final_map {
         return Err(VerifyError::FinalMapMismatch);
     }
     Ok(())

@@ -167,6 +167,15 @@ pub enum CompileError {
         /// The failpoint site that fired.
         site: String,
     },
+    /// The pipeline's in-line `verify` pass rejected the schedule it
+    /// had just produced — a compiler bug by definition. Only emitted
+    /// by self-checking pipelines
+    /// ([`Pipeline::self_checking`](crate::passes::Pipeline::self_checking));
+    /// the standard pipeline leaves verification to its callers.
+    VerifyFailed {
+        /// The rendered [`VerifyError`](crate::VerifyError).
+        detail: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -195,6 +204,9 @@ impl fmt::Display for CompileError {
             }
             CompileError::DeadlineExceeded => write!(f, "job deadline exceeded"),
             CompileError::Injected { site } => write!(f, "injected fault at {site}"),
+            CompileError::VerifyFailed { detail } => {
+                write!(f, "schedule verification failed: {detail}")
+            }
         }
     }
 }
@@ -279,6 +291,13 @@ mod tests {
             CompileError::Injected { site: "x.y".into() }.to_string(),
             "injected fault at x.y"
         );
+        assert_eq!(
+            CompileError::VerifyFailed {
+                detail: "final mapping mismatch".into()
+            }
+            .to_string(),
+            "schedule verification failed: final mapping mismatch"
+        );
     }
 
     #[test]
@@ -288,6 +307,7 @@ mod tests {
         assert!(!CompileError::Disconnected.is_transient());
         assert!(!CompileError::UnroutableGate { arity: 3 }.is_transient());
         assert!(!CompileError::RoutingStuck { steps: 1 }.is_transient());
+        assert!(!CompileError::VerifyFailed { detail: "d".into() }.is_transient());
     }
 
     #[test]

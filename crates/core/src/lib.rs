@@ -47,17 +47,23 @@ pub mod compiler;
 pub mod config;
 pub mod lookahead;
 pub mod mapping;
+pub mod passes;
 pub mod placement;
 pub mod routing;
 pub mod scheduler;
 
+#[doc(hidden)]
+pub use compiler::compile_monolithic;
 pub use compiler::{
-    compile, compile_with, lower_for, schedule_digest, verify, CompiledCircuit, CompiledMetrics,
-    ScheduledOp, VerifyError,
+    compile, compile_with, compile_with_report, lower_for, schedule_digest, verify,
+    CompiledCircuit, CompiledMetrics, ScheduledOp, SiteList, VerifyError,
 };
 pub use config::{CompileError, CompilerConfig};
 pub use lookahead::{InteractionWeights, WeightScratch};
 pub use mapping::QubitMap;
+pub use passes::{
+    ArtifactKey, ArtifactStore, Pass, PassArtifacts, PassContext, PassReport, PassTiming, Pipeline,
+};
 pub use placement::{
     circuit_weights, initial_layout, initial_placement, initial_placement_reference,
     initial_placement_with, placement_digest, PlacementScratch,

@@ -24,13 +24,26 @@
 //! is a bit mask, zone conflicts go through a bounding-box prefilter,
 //! and lookahead weights are rebuilt lazily (only when a completed gate
 //! has shifted the frontier *and* a long-distance gate actually needs a
-//! SWAP scored) into reused adjacency buffers. The only remaining
-//! allocations are the output [`ScheduledOp`]s themselves.
+//! SWAP scored) into reused adjacency buffers. Emitted ops store their
+//! operand sites in an inline [`SiteList`] (up to three sites — SWAPs,
+//! 1q/2q gates, native Toffolis — with a heap spill only for larger
+//! CNX decompositions), so in steady state the loop allocates nothing
+//! per op beyond the `ops` vector's amortized growth.
+//!
+//! # Telemetry split
+//!
+//! [`run`] reports its wall time under two stages: `Stage::Route`
+//! (SWAP insertion and forced BFS hops — phase 2/3 above) and
+//! `Stage::Schedule` (everything else: frontier refill, in-range
+//! packing, zone claims). Both are recorded once per compile, cost
+//! zero clock reads when telemetry is disabled, and are strictly
+//! observational.
 
 use crate::routing::{all_within_mid, best_swap_for_gate, meeting_point_of_sites};
 use crate::{CompileError, CompilerConfig, InteractionWeights, QubitMap, WeightScratch};
 use na_arch::{BfsScratch, Grid, InteractionGraph, RestrictionPolicy, Site};
 use na_circuit::{Circuit, Frontier, GateId, Qubit};
+use std::fmt;
 
 /// One operation in the compiled schedule.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -41,7 +54,144 @@ pub struct ScheduledOp {
     pub source: Option<usize>,
     /// Physical operand sites at execution time (program-gate operand
     /// order, or the two swapped sites).
-    pub sites: Vec<Site>,
+    pub sites: SiteList,
+}
+
+/// Inline small-vector of operand sites: up to three sites (SWAPs,
+/// 1q/2q gates, native Toffolis — the overwhelming majority of
+/// emitted ops) live inline in the `ScheduledOp`; larger CNX
+/// decompositions spill to a heap `Vec`. Dereferences to `&[Site]`,
+/// compares and serializes exactly like a `Vec<Site>`.
+#[derive(Clone)]
+pub struct SiteList(Repr);
+
+const INLINE_SITES: usize = 3;
+
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        sites: [Site; INLINE_SITES],
+    },
+    Spilled(Vec<Site>),
+}
+
+impl SiteList {
+    /// Builds from a slice, inlining when it fits.
+    #[inline]
+    pub fn from_slice(sites: &[Site]) -> Self {
+        if sites.len() <= INLINE_SITES {
+            let mut inline = [Site::new(0, 0); INLINE_SITES];
+            inline[..sites.len()].copy_from_slice(sites);
+            SiteList(Repr::Inline {
+                len: sites.len() as u8,
+                sites: inline,
+            })
+        } else {
+            SiteList(Repr::Spilled(sites.to_vec()))
+        }
+    }
+
+    /// The two-site list of a SWAP or forced hop — always inline.
+    #[inline]
+    pub fn pair(a: Site, b: Site) -> Self {
+        SiteList(Repr::Inline {
+            len: 2,
+            sites: [a, b, Site::new(0, 0)],
+        })
+    }
+
+    /// Builds from an owned `Vec`, inlining when it fits.
+    pub fn from_vec(sites: Vec<Site>) -> Self {
+        if sites.len() <= INLINE_SITES {
+            SiteList::from_slice(&sites)
+        } else {
+            SiteList(Repr::Spilled(sites))
+        }
+    }
+
+    /// The sites as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Site] {
+        match &self.0 {
+            Repr::Inline { len, sites } => &sites[..*len as usize],
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    /// `true` when the list spilled to the heap (arity > 3).
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.0, Repr::Spilled(_))
+    }
+}
+
+impl From<Vec<Site>> for SiteList {
+    fn from(sites: Vec<Site>) -> Self {
+        SiteList::from_vec(sites)
+    }
+}
+
+impl std::ops::Deref for SiteList {
+    type Target = [Site];
+
+    #[inline]
+    fn deref(&self) -> &[Site] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for SiteList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for SiteList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SiteList {}
+
+impl PartialEq<Vec<Site>> for SiteList {
+    fn eq(&self, other: &Vec<Site>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<SiteList> for Vec<Site> {
+    fn eq(&self, other: &SiteList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[Site]> for SiteList {
+    fn eq(&self, other: &[Site]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<'a> IntoIterator for &'a SiteList {
+    type Item = &'a Site;
+    type IntoIter = std::slice::Iter<'a, Site>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+// Byte-identical JSON to the `Vec<Site>` this replaced: a plain array.
+impl serde::Serialize for SiteList {
+    fn to_value(&self) -> serde::Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl serde::Deserialize for SiteList {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        Vec::<Site>::from_value(value).map(SiteList::from_vec)
+    }
 }
 
 impl ScheduledOp {
@@ -265,6 +415,12 @@ pub(crate) fn run(
     let mut site_scratch: Vec<Site> = Vec::new();
     let mut bfs_scratch = BfsScratch::new();
 
+    // Routing vs scheduling telemetry split (see module docs): the
+    // routing phases accumulate into `route_ns`, the remainder of the
+    // loop reports as `Stage::Schedule`. No clock reads when disabled.
+    let run_start = na_telemetry::is_enabled().then(std::time::Instant::now);
+    let mut route_ns: u64 = 0;
+
     while !frontier.is_done() {
         if time as usize > step_budget {
             return Err(CompileError::RoutingStuck {
@@ -318,7 +474,7 @@ pub(crate) fn run(
             ops.push(ScheduledOp {
                 time,
                 source: Some(id.0),
-                sites: site_scratch.clone(),
+                sites: SiteList::from_slice(&site_scratch),
             });
             completed_mask.set(id.0);
             completed.push(id);
@@ -326,6 +482,7 @@ pub(crate) fn run(
         }
 
         // Phase B: one routing SWAP per remaining long-distance gate.
+        let route_start = run_start.map(|_| std::time::Instant::now());
         for &id in &ready {
             if completed_mask.contains(id.0) {
                 continue;
@@ -356,7 +513,7 @@ pub(crate) fn run(
             ops.push(ScheduledOp {
                 time,
                 source: None,
-                sites: vec![mv.from, mv.to],
+                sites: SiteList::pair(mv.from, mv.to),
             });
             map.swap_sites(mv.from, mv.to);
             scheduled += 1;
@@ -376,9 +533,12 @@ pub(crate) fn run(
             ops.push(ScheduledOp {
                 time,
                 source: None,
-                sites: vec![from, to],
+                sites: SiteList::pair(from, to),
             });
             map.swap_sites(from, to);
+        }
+        if let Some(t) = route_start {
+            route_ns += t.elapsed().as_nanos() as u64;
         }
 
         for id in completed.iter() {
@@ -388,6 +548,15 @@ pub(crate) fn run(
             weights_dirty = true;
         }
         time += 1;
+    }
+
+    if let Some(t0) = run_start {
+        let total = t0.elapsed().as_nanos() as u64;
+        na_telemetry::record_ns(na_telemetry::Stage::Route, route_ns);
+        na_telemetry::record_ns(
+            na_telemetry::Stage::Schedule,
+            total.saturating_sub(route_ns),
+        );
     }
 
     Ok(ScheduleResult {
@@ -648,6 +817,37 @@ mod tests {
         let result = schedule_circuit(&c, &grid, &CompilerConfig::new(1.0));
         assert!(result.ops.is_empty());
         assert_eq!(result.num_timesteps, 0);
+    }
+
+    #[test]
+    fn site_list_inlines_up_to_three_sites_and_spills_beyond() {
+        let three = vec![Site::new(0, 0), Site::new(1, 0), Site::new(2, 2)];
+        let inline = SiteList::from_slice(&three);
+        assert!(!inline.is_spilled());
+        assert_eq!(inline, three);
+        assert_eq!(inline.len(), 3);
+
+        let five: Vec<Site> = (0..5).map(|i| Site::new(i, 1)).collect();
+        let spilled = SiteList::from_vec(five.clone());
+        assert!(spilled.is_spilled());
+        assert_eq!(spilled, five);
+
+        let pair = SiteList::pair(Site::new(4, 4), Site::new(5, 4));
+        assert_eq!(pair.as_slice(), &[Site::new(4, 4), Site::new(5, 4)]);
+        assert!(!pair.is_spilled());
+    }
+
+    #[test]
+    fn site_list_serializes_byte_identically_to_a_vec() {
+        for n in [0usize, 1, 2, 3, 4, 7] {
+            let sites: Vec<Site> = (0..n).map(|i| Site::new(i as i32, 2)).collect();
+            let list = SiteList::from_slice(&sites);
+            let as_vec = serde_json::to_string(&sites).unwrap();
+            let as_list = serde_json::to_string(&list).unwrap();
+            assert_eq!(as_vec, as_list, "n={n}");
+            let back: SiteList = serde_json::from_str(&as_vec).unwrap();
+            assert_eq!(back, list);
+        }
     }
 
     #[test]

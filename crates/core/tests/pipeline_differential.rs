@@ -1,0 +1,182 @@
+//! The pass pipeline's byte-identity contract, pinned differentially:
+//! compiling through [`Pipeline`] (what [`na_core::compile`] does)
+//! must produce the same `CompiledCircuit` — same schedule bytes, same
+//! digests, same errors — as the retired monolithic compile body kept
+//! in-tree as the oracle (`compile_monolithic`). Also pins the pass
+//! order and the artifact-reuse seam: a placement reused across MID
+//! variants must yield schedules bit-identical to fresh compiles.
+
+use na_arch::{Grid, RestrictionPolicy, Site};
+use na_benchmarks::Benchmark;
+use na_circuit::{Circuit, Qubit};
+use na_core::{
+    compile, compile_monolithic, compile_with_report, schedule_digest, ArtifactStore,
+    CompilerConfig, PassContext, Pipeline, PlacementScratch,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random program mixing 1-, 2-, and 3-qubit gates (same generator
+/// family as the compile fuzz suite, independently seeded).
+fn random_program(rng: &mut StdRng, max_qubits: u32, max_gates: usize) -> Circuit {
+    let n = rng.gen_range(3..=max_qubits);
+    let g = rng.gen_range(1..max_gates);
+    let mut circuit = Circuit::new(n);
+    for _ in 0..g {
+        match rng.gen_range(0..3u32) {
+            0 => {
+                circuit.h(Qubit(rng.gen_range(0..n)));
+            }
+            1 => {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a != b {
+                    circuit.cnot(Qubit(a), Qubit(b));
+                } else {
+                    circuit.x(Qubit(a));
+                }
+            }
+            _ => {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                let c = rng.gen_range(0..n);
+                if a != b && b != c && a != c {
+                    circuit.toffoli(Qubit(a), Qubit(b), Qubit(c));
+                } else {
+                    circuit.t(Qubit(a));
+                }
+            }
+        }
+    }
+    circuit
+}
+
+/// Compiles `program` both ways and asserts bit-identity (or identical
+/// typed failure).
+fn assert_differential(case: u64, program: &Circuit, grid: &Grid, cfg: &CompilerConfig) {
+    let mut scratch = PlacementScratch::new();
+    let monolith = compile_monolithic(program, grid, cfg, &mut scratch);
+    let pipeline = compile(program, grid, cfg);
+    match (monolith, pipeline) {
+        (Ok(m), Ok(p)) => {
+            assert_eq!(
+                schedule_digest(&m),
+                schedule_digest(&p),
+                "case {case}: schedule digest diverged"
+            );
+            assert_eq!(m, p, "case {case}: compiled artifact diverged");
+        }
+        (Err(m), Err(p)) => {
+            assert_eq!(m.to_string(), p.to_string(), "case {case}: error diverged");
+        }
+        (m, p) => panic!(
+            "case {case}: outcome diverged: monolith {:?} vs pipeline {:?}",
+            m.map(|c| c.num_timesteps()),
+            p.map(|c| c.num_timesteps())
+        ),
+    }
+}
+
+#[test]
+fn pipeline_matches_monolith_on_random_programs_and_damaged_grids() {
+    let mut rng = StdRng::seed_from_u64(808);
+    let zone_choices = [
+        RestrictionPolicy::HalfDistance,
+        RestrictionPolicy::None,
+        RestrictionPolicy::FullDistance,
+    ];
+    for case in 0..48u64 {
+        let program = random_program(&mut rng, 9, 30);
+        let mut grid = Grid::new(6, 6);
+        for _ in 0..rng.gen_range(0..6usize) {
+            grid.remove_atom(Site::new(rng.gen_range(0..6i32), rng.gen_range(0..6i32)));
+        }
+        let mid = f64::from(rng.gen_range(2u32..10)) / 2.0; // MID in [1.0, 4.5]
+        let cfg = CompilerConfig::new(mid)
+            .with_restriction(zone_choices[rng.gen_range(0..zone_choices.len())])
+            .with_native_multiqubit(rng.gen_bool(0.5));
+        assert_differential(case, &program, &grid, &cfg);
+    }
+}
+
+#[test]
+fn pipeline_matches_monolith_on_benchmark_families() {
+    let grid = Grid::new(10, 10);
+    let mut case = 0;
+    for b in Benchmark::ALL {
+        for &mid in &[2.0, 3.0, 4.0] {
+            let program = b.generate(16, 0);
+            assert_differential(case, &program, &grid, &CompilerConfig::new(mid));
+            case += 1;
+        }
+    }
+}
+
+#[test]
+fn pass_order_is_pinned() {
+    let expected = [
+        "lower",
+        "validate_arity",
+        "place",
+        "route_schedule",
+        "verify",
+        "finalize",
+    ];
+    assert_eq!(Pipeline::standard().pass_names(), expected);
+    assert_eq!(Pipeline::self_checking().pass_names(), expected);
+}
+
+#[test]
+fn placement_reused_across_mid_variants_is_bit_identical_to_fresh() {
+    // The artifact-reuse contract: lowering and placement are
+    // MID-independent, so a store shared across MID variants of one
+    // (circuit, grid) point must serve its cached placement — and the
+    // resulting schedules must be bit-for-bit what fresh compiles
+    // produce.
+    let grid = Grid::new(10, 10);
+    let program = Benchmark::Qaoa.generate(14, 3);
+    let store = ArtifactStore::new();
+    let mut reused = Vec::new();
+    for &mid in &[2.0, 3.0, 4.0] {
+        let cfg = CompilerConfig::new(mid);
+        let mut scratch = PlacementScratch::new();
+        let mut ctx = PassContext::new(&program, &grid, &cfg, &mut scratch);
+        ctx.reuse_from(&store);
+        reused.push(Pipeline::standard().run(&mut ctx).expect("compiles"));
+    }
+    assert_eq!(store.len(), 1, "one front-end artifact for the point");
+    assert_eq!(store.hits(), 2, "the second and third MID reuse it");
+    for (compiled, &mid) in reused.iter().zip(&[2.0, 3.0, 4.0]) {
+        let fresh = compile(&program, &grid, &CompilerConfig::new(mid)).expect("compiles");
+        assert_eq!(
+            compiled, &fresh,
+            "MID {mid}: reused-placement compile diverged from fresh"
+        );
+    }
+}
+
+#[test]
+fn report_times_and_annotates_every_pass() {
+    let program = Benchmark::Bv.generate(16, 0);
+    let grid = Grid::new(10, 10);
+    let (compiled, report) =
+        compile_with_report(&program, &grid, &CompilerConfig::new(3.0)).expect("compiles");
+    let fresh = compile(&program, &grid, &CompilerConfig::new(3.0)).expect("compiles");
+    assert_eq!(compiled, fresh, "reported compile diverged from plain");
+    assert_eq!(report.passes.len(), 6);
+    assert!(report.total_ns > 0);
+    let stats_of = |name: &str| {
+        &report
+            .passes
+            .iter()
+            .find(|p| p.pass == name)
+            .unwrap_or_else(|| panic!("missing pass {name}"))
+            .stats
+    };
+    assert!(stats_of("lower").contains_key("gates"));
+    assert!(stats_of("place").contains_key("qubits"));
+    assert!(stats_of("route_schedule").contains_key("ops"));
+    // The self-checking pipeline actually verifies (not skipped).
+    assert!(stats_of("verify").contains_key("ops_checked"));
+    assert!(stats_of("finalize").contains_key("used_sites"));
+}

@@ -33,7 +33,10 @@
 
 use na_arch::Grid;
 use na_circuit::Circuit;
-use na_core::{compile_with, CompileError, CompiledCircuit, CompilerConfig, PlacementScratch};
+use na_core::{
+    ArtifactStore, CompileError, CompiledCircuit, CompilerConfig, PassContext, PassReport,
+    Pipeline, PlacementScratch,
+};
 use na_loss::InteractionSummary;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -162,6 +165,15 @@ pub struct CompileCache {
     /// interaction-pair summary instead of each
     /// [`na_loss::StrategyState`] rebuilding it.
     summaries: Mutex<HashMap<CacheKey, Arc<InteractionSummary>>>,
+    /// The pass pipeline's MID-independent front-end artifacts
+    /// (lowered circuit + initial placement), shared across cache
+    /// entries that differ only in MID/zone policy — a finer-grained
+    /// reuse seam than the whole-compilation entries above.
+    artifacts: ArtifactStore,
+    /// Per-entry [`PassReport`] from the compiling thread (collected
+    /// only while telemetry is enabled); runner rows attach it next to
+    /// their stage deltas.
+    reports: Mutex<HashMap<CacheKey, Arc<PassReport>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -229,9 +241,21 @@ impl CompileCache {
         let result: CompileResult = na_faults::point("engine.compile")
             .map_err(CompileError::from)
             .and_then(|()| {
-                PLACEMENT_SCRATCH
-                    .with(|s| compile_with(circuit, grid, config, &mut s.borrow_mut()))
-                    .map(Arc::new)
+                PLACEMENT_SCRATCH.with(|s| {
+                    let mut scratch = s.borrow_mut();
+                    let mut ctx = PassContext::new(circuit, grid, config, &mut scratch);
+                    ctx.reuse_from(&self.artifacts);
+                    let pipeline = Pipeline::standard();
+                    if na_telemetry::is_enabled() {
+                        let (compiled, report) = pipeline.run_reported(&mut ctx)?;
+                        lock_recover(&self.reports)
+                            .entry(key)
+                            .or_insert_with(|| Arc::new(report));
+                        Ok(Arc::new(compiled))
+                    } else {
+                        pipeline.run(&mut ctx).map(Arc::new)
+                    }
+                })
             });
         claim.armed = false;
         {
@@ -272,6 +296,20 @@ impl CompileCache {
         Arc::clone(lock_recover(&self.summaries).entry(*key).or_insert(built))
     }
 
+    /// The [`PassReport`] of the compilation at `key`, if one was
+    /// collected (the compiling thread records it only while telemetry
+    /// is enabled). Cache hits share the original compile's report —
+    /// it describes the artifact, not the lookup.
+    pub fn pass_report(&self, key: &CacheKey) -> Option<Arc<PassReport>> {
+        lock_recover(&self.reports).get(key).cloned()
+    }
+
+    /// The pass pipeline's front-end artifact store (placement reuse
+    /// across MID variants) — exposed for occupancy/hit introspection.
+    pub fn artifacts(&self) -> &ArtifactStore {
+        &self.artifacts
+    }
+
     /// `true` if a completed compilation (or cached failure) for `key`
     /// is already present. Used to derive the deterministic per-row
     /// hit flag: an entry claimed but still compiling on another
@@ -291,10 +329,13 @@ impl CompileCache {
         }
     }
 
-    /// Drops all entries (summaries included) and zeroes the counters.
+    /// Drops all entries (summaries, pass artifacts, and reports
+    /// included) and zeroes the counters.
     pub fn clear(&self) {
         lock_recover(&self.entries).clear();
         lock_recover(&self.summaries).clear();
+        lock_recover(&self.reports).clear();
+        self.artifacts.clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -512,5 +553,34 @@ mod tests {
             .unwrap();
         cache.clear();
         assert_eq!(cache.stats(), CacheStats::default());
+        assert!(cache.artifacts().is_empty());
+        assert_eq!(cache.artifacts().hits(), 0);
+    }
+
+    #[test]
+    fn mid_variants_share_front_end_artifacts() {
+        let cache = CompileCache::new();
+        let grid = Grid::new(8, 8);
+        let c = Benchmark::Bv.generate(10, 0);
+        let a = cache
+            .get_or_compile(&c, &grid, &CompilerConfig::new(2.0))
+            .unwrap();
+        assert_eq!(cache.artifacts().len(), 1);
+        assert_eq!(cache.artifacts().hits(), 0);
+        let b = cache
+            .get_or_compile(&c, &grid, &CompilerConfig::new(4.0))
+            .unwrap();
+        assert_eq!(
+            (cache.artifacts().len(), cache.artifacts().hits()),
+            (1, 1),
+            "MID variants must share one front-end entry"
+        );
+        // Distinct compile-cache entries, same (MID-independent)
+        // initial placement, and the reused placement must compile to
+        // exactly the artifact a fresh pipeline produces.
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(a.initial_map(), b.initial_map());
+        let fresh = na_core::compile(&c, &grid, &CompilerConfig::new(4.0)).unwrap();
+        assert_eq!(*b, fresh, "artifact reuse must be bit-identical");
     }
 }

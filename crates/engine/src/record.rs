@@ -159,6 +159,14 @@ pub struct RunRecord {
     /// (telemetry-disabled) configuration the field is `None` and rows
     /// stay byte-identical at any worker count.
     pub timings: Option<std::collections::BTreeMap<String, u64>>,
+    /// The pass pipeline's per-pass report for the compilation this
+    /// job read from the cache (shared verbatim by every row on the
+    /// same compile key), tagged only when telemetry is enabled.
+    ///
+    /// Wall-clock like [`RunRecord::timings`], so equally exempt from
+    /// the byte-reproducibility contract; `None` in the default
+    /// configuration and for tasks that bypass the compile cache.
+    pub pass_report: Option<na_core::PassReport>,
     /// The measurement.
     pub outcome: Outcome,
 }
@@ -199,6 +207,7 @@ impl RunRecord {
             noise_p2,
             cache_hit: None,
             timings: None,
+            pass_report: None,
             outcome,
         }
     }

@@ -342,6 +342,13 @@ fn execute_job(job: &Job, cache: &CompileCache, verify: bool) -> RunRecord {
         if !deltas.is_empty() {
             record.timings = Some(deltas);
         }
+        // Attach the pipeline's per-pass report next to the stage
+        // deltas: rows sharing a compile key share the compiling
+        // thread's report (it describes the artifact, not the lookup).
+        if let Some(compile_cfg) = job.task.compile_config(&job.config) {
+            let key = CacheKey::for_point(&circuit, &job.grid, &compile_cfg);
+            record.pass_report = cache.pass_report(&key).map(|r| (*r).clone());
+        }
     }
     record
 }

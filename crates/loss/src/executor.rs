@@ -1,4 +1,9 @@
 //! The multi-shot campaign simulator (paper Figs. 12–14).
+//!
+//! Recompilations triggered mid-campaign (the `FullRecompile`
+//! strategy) run through the same `na_core` pass pipeline as the
+//! initial compile — see [`StrategyState::apply_loss`] — so per-pass
+//! telemetry and deadline checks cover loss-driven recompiles too.
 
 use crate::state::{LossOutcome, StrategyState};
 use crate::timeline::{EventKind, TimelineEvent};

@@ -11,7 +11,10 @@ use crate::reroute::{fixup_swaps_summary, resolved_ok_summary, InteractionSummar
 use crate::Strategy;
 use na_arch::{BfsScratch, Grid, InteractionGraph, ShiftScratch, Site, VirtualMap};
 use na_circuit::Circuit;
-use na_core::{compile_with, CompileError, CompiledCircuit, CompilerConfig, PlacementScratch};
+use na_core::{
+    compile_with, CompileError, CompiledCircuit, CompilerConfig, PassContext, Pipeline,
+    PlacementScratch,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -252,12 +255,18 @@ impl StrategyState {
             Strategy::AlwaysReload => LossOutcome::NeedsReload,
             Strategy::FullRecompile => {
                 let t0 = Instant::now();
-                match compile_with(
+                // Recompile through the same pass pipeline as the
+                // compile path, against the live holey grid. The holes
+                // change the grid fingerprint, so no front-end
+                // artifact could be reused here anyway — only the
+                // warmed `placement_scratch` carries over.
+                let mut ctx = PassContext::new(
                     &self.program,
                     &self.grid,
                     &self.compiler_config,
                     &mut self.placement_scratch,
-                ) {
+                );
+                match Pipeline::standard().run(&mut ctx) {
                     Ok(c) => {
                         self.used_addresses = c.used_sites().to_vec();
                         self.summary = Arc::new(InteractionSummary::of(&c));

@@ -62,10 +62,11 @@ pub enum Stage {
     Lower,
     /// Interaction-DAG construction plus initial placement.
     Place,
-    /// Reserved for the standalone routing pass of the future
-    /// pass-pipeline refactor; currently folded into `Schedule`.
+    /// Routing inside the scheduler loop: SWAP insertion and forced
+    /// BFS hops.
     Route,
-    /// Routing + restriction-zone scheduling (`Scheduler::run`).
+    /// Restriction-zone gate scheduling (the scheduler loop minus the
+    /// routing phases reported under [`Stage::Route`]).
     Schedule,
     /// Post-compile schedule verification.
     Verify,

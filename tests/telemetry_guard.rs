@@ -10,8 +10,26 @@ use natoms::benchmarks::Benchmark;
 use natoms::compiler::{
     compile, initial_layout, placement_digest, schedule_digest, CompilerConfig,
 };
+use natoms::engine::{Engine, ExperimentSpec, Task};
 use natoms::loss::{run_campaign, CampaignConfig, CampaignResult, LossModel, ShotTarget, Strategy};
 use natoms::telemetry as tel;
+
+/// One single-job compile experiment through the engine, returning its
+/// row. Used to pin the per-pass report contract on both telemetry
+/// arms.
+fn engine_compile_row() -> natoms::engine::RunRecord {
+    let mut spec = ExperimentSpec::new("guard", Grid::new(10, 10));
+    spec.push(
+        Benchmark::Bv,
+        16,
+        0,
+        CompilerConfig::new(3.0),
+        Task::Compile,
+    );
+    let mut rows = Engine::with_workers(1).run(&spec);
+    assert_eq!(rows.len(), 1);
+    rows.pop().expect("one row")
+}
 
 /// The workload both arms of the comparison run: a compile + placement
 /// digest pair per benchmark family, and two campaigns (a remap-only
@@ -58,11 +76,13 @@ fn metrics_on_and_off_produce_bit_identical_results() {
     // Baseline with telemetry disabled (the default).
     tel::set_enabled(false);
     let (compiles_off, reroute_off, recompile_off) = pipeline_digests();
+    let row_off = engine_compile_row();
 
     // Same work with collection enabled.
     tel::set_enabled(true);
     tel::reset();
     let (compiles_on, reroute_on, recompile_on) = pipeline_digests();
+    let row_on = engine_compile_row();
     let snapshot = tel::snapshot();
     tel::set_enabled(false);
     tel::reset();
@@ -80,10 +100,44 @@ fn metrics_on_and_off_produce_bit_identical_results() {
         "recompile campaign result changed under telemetry"
     );
 
+    // Engine rows: the observable outcome is identical on both arms;
+    // the per-pass pipeline report is attached only when telemetry is
+    // on (wall-clock fields, like `timings`, are exempt from the
+    // byte-identity contract).
+    assert_eq!(
+        row_off.outcome, row_on.outcome,
+        "engine row outcome changed under telemetry"
+    );
+    assert!(
+        row_off.pass_report.is_none(),
+        "pass report with metrics off"
+    );
+    let report = row_on
+        .pass_report
+        .as_ref()
+        .expect("telemetry-on engine row carries a pass report");
+    let names: Vec<&str> = report.passes.iter().map(|p| p.pass.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "lower",
+            "validate_arity",
+            "place",
+            "route_schedule",
+            "verify",
+            "finalize"
+        ],
+        "unexpected pass list in the engine row's report"
+    );
+
     // And the enabled arm must actually have observed the pipeline —
     // otherwise this test would pass vacuously with dead telemetry.
     assert!(snapshot.stage("lower").is_some(), "no lower-stage samples");
     assert!(snapshot.stage("place").is_some(), "no place-stage samples");
+    assert!(
+        snapshot.stage("route").is_some(),
+        "no route-stage samples (scheduler routing split)"
+    );
     assert!(
         snapshot.stage("schedule").is_some(),
         "no schedule-stage samples"

@@ -426,15 +426,34 @@ pub fn tolerance_cmd(args: &Args) -> CmdResult {
 /// `natoms campaign` — one or more Monte-Carlo campaigns through the
 /// engine. `--campaigns N` runs N independent replicas (seeds derived
 /// from `--seed`) in parallel and reports each plus the aggregate.
+/// `--shards K` fans each replica's shot budget out as K deterministic
+/// shards across the worker pool; `--streaming` drops the per-interval
+/// vector (and the timeline) for constant-memory campaigns at any shot
+/// count, reporting streak statistics from the running summaries
+/// instead.
 pub fn campaign_cmd(args: &Args) -> CmdResult {
     let c = common(args)?;
     let strategy = parse_strategy(args.get_or("strategy", "c-small-reroute"))?;
-    let shots: u32 = args.parse_or("shots", 500)?;
+    let shots: u64 = args.parse_or("shots", 500u64)?;
     let error: f64 = args.parse_or("error", 0.035)?;
     let factor: f64 = args.parse_or("loss-factor", 1.0)?;
     let campaigns: u32 = args.parse_or("campaigns", 1u32)?;
     if campaigns == 0 {
         return Err(Box::new(ArgError("--campaigns must be at least 1".into())));
+    }
+    let shards: u32 = args.parse_or("shards", 1u32)?;
+    if shards == 0 {
+        return Err(Box::new(ArgError("--shards must be at least 1".into())));
+    }
+    let streaming = args.flag("streaming");
+    if streaming && args.flag("timeline") {
+        // The timeline grows with the shot count — exactly the
+        // unbounded memory --streaming exists to rule out.
+        return Err(Box::new(ArgError(
+            "--timeline records every shot and cannot be combined with --streaming; \
+             drop one of the two flags"
+                .into(),
+        )));
     }
 
     let mut spec = ExperimentSpec::new("cli-campaign", c.grid.clone());
@@ -451,16 +470,26 @@ pub fn campaign_cmd(args: &Args) -> CmdResult {
         if args.flag("timeline") {
             cfg = cfg.with_timeline();
         }
-        spec.push(
-            c.workload.clone(),
-            c.size,
-            c.seed,
-            c.config,
-            Task::Campaign {
+        if streaming {
+            cfg = cfg.with_streaming();
+        }
+        // An explicit --shots request overrides the library's runaway
+        // safety cap (100k), which would otherwise silently truncate
+        // the million-shot campaigns --streaming exists to make cheap.
+        cfg.max_attempts = cfg.max_attempts.max(shots);
+        let loss = LossSpec::new(replica_seed).with_improvement_factor(factor);
+        // One shard is the serial campaign itself — same task, same
+        // row, no fan-out bookkeeping.
+        let task = if shards == 1 {
+            Task::Campaign { config: cfg, loss }
+        } else {
+            Task::ShardedCampaign {
                 config: cfg,
-                loss: LossSpec::new(replica_seed).with_improvement_factor(factor),
-            },
-        );
+                loss,
+                shards,
+            }
+        };
+        spec.push(c.workload.clone(), c.size, c.seed, c.config, task);
     }
     let jsonl = jsonl_target(args);
     if let Some(Some(path)) = &jsonl {
@@ -795,7 +824,7 @@ fn bench_workloads(
     timed("loss_executor", 1, shots, &mut || {
         let program = Benchmark::Bv.generate(30, 0);
         let cfg = CampaignConfig::new(3.0, Strategy::CompileSmallReroute)
-            .with_target(ShotTarget::Attempts(shots))
+            .with_target(ShotTarget::Attempts(u64::from(shots)))
             .with_seed(1);
         run_campaign(&program, &grid, na_loss::LossModel::new(1), &cfg)?;
         Ok(())
@@ -810,7 +839,7 @@ fn bench_workloads(
     timed("loss_executor_heavy", 1, heavy_shots, &mut || {
         let program = Benchmark::Cuccaro.generate(heavy_size, 0);
         let cfg = CampaignConfig::new(4.0, Strategy::CompileSmallReroute)
-            .with_target(ShotTarget::Attempts(heavy_shots))
+            .with_target(ShotTarget::Attempts(u64::from(heavy_shots)))
             .with_seed(1);
         run_campaign(
             &program,
@@ -820,6 +849,62 @@ fn bench_workloads(
         )?;
         Ok(())
     })?;
+
+    // Sharded-campaign workload: the heavy campaign config through the
+    // engine pool at 1, 2, and 8 shards, in streaming mode (the
+    // constant-memory path sharding exists to scale). A warmup run
+    // fills the shared compile cache first, so every row times the
+    // shot loops and the merge, not the one compile all shard counts
+    // share. On a multi-core host the 8-shard row's units/s against
+    // the 1-shard row shows the fan-out speedup; on a single-core
+    // host the rows document the (small) sharding overhead instead.
+    let fan_shots: u32 = if quick { 25 } else { 400 };
+    let fan_size = if quick { 16 } else { 40 };
+    let fan_engine = Engine::new();
+    let sharded_spec = |shards: u32| {
+        let mut spec = ExperimentSpec::new("bench-sharded", grid.clone());
+        let cfg = CampaignConfig::new(4.0, Strategy::CompileSmallReroute)
+            .with_target(ShotTarget::Attempts(u64::from(fan_shots)))
+            .with_streaming()
+            .with_seed(1);
+        let task = if shards == 1 {
+            Task::Campaign {
+                config: cfg,
+                loss: LossSpec::new(1),
+            }
+        } else {
+            Task::ShardedCampaign {
+                config: cfg,
+                loss: LossSpec::new(1),
+                shards,
+            }
+        };
+        spec.push(
+            Benchmark::Cuccaro,
+            fan_size,
+            0,
+            CompilerConfig::new(4.0),
+            task,
+        );
+        spec
+    };
+    let run_sharded = |engine: &Engine, shards: u32| -> Result<(), Box<dyn Error>> {
+        for r in engine.run(&sharded_spec(shards)) {
+            if let Outcome::Failed { error, .. } = &r.outcome {
+                return Err(ArgError(format!("campaign_sharded_{shards}: {error}")).into());
+            }
+        }
+        Ok(())
+    };
+    run_sharded(&fan_engine, 1)?; // warmup: fill the compile cache
+    for shards in [1u32, 2, 8] {
+        timed(
+            &format!("campaign_sharded_{shards}"),
+            1,
+            fan_shots,
+            &mut || run_sharded(&fan_engine, shards),
+        )?;
+    }
 
     // One representative compile through the self-checking pipeline:
     // the per-pass breakdown the report embeds (untimed — it is a
@@ -1026,6 +1111,52 @@ mod tests {
             "3",
         ]);
         campaign_cmd(&args).unwrap();
+    }
+
+    #[test]
+    fn campaign_shards_and_streaming_run() {
+        campaign_cmd(&parse(&[
+            "campaign",
+            "--size",
+            "12",
+            "--shots",
+            "24",
+            "--strategy",
+            "remap",
+            "--shards",
+            "3",
+            "--workers",
+            "2",
+            "--streaming",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn campaign_rejects_timeline_with_streaming() {
+        let err = campaign_cmd(&parse(&[
+            "campaign",
+            "--size",
+            "12",
+            "--shots",
+            "8",
+            "--strategy",
+            "remap",
+            "--streaming",
+            "--timeline",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--timeline"), "{err}");
+        assert!(err.to_string().contains("--streaming"), "{err}");
+    }
+
+    #[test]
+    fn campaign_rejects_zero_shards() {
+        let err = campaign_cmd(&parse(&[
+            "campaign", "--size", "12", "--shots", "8", "--shards", "0",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--shards"), "{err}");
     }
 
     #[test]

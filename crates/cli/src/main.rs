@@ -8,7 +8,8 @@
 //! natoms tolerance --benchmark cnu --size 30 --mid 4 --strategy reroute --trials 10
 //! natoms campaign --benchmark cnu --size 30 --mid 4 --strategy c-small-reroute \
 //!                 --shots 500 --error 0.035 --loss-factor 1 \
-//!                 [--campaigns 8] [--workers 8] [--jsonl] [--timeline]
+//!                 [--campaigns 8] [--shards 8] [--streaming] \
+//!                 [--workers 8] [--jsonl] [--timeline]
 //! natoms bench    [--json] [--quick]
 //! natoms reload-time --width 10 --height 10 --margin 3 --trials 10
 //! natoms stats    --file metrics.json [--require-stages lower,place] [--require-cache]
@@ -69,6 +70,11 @@ ENGINE OPTIONS (sweep, campaign):
   --job-timeout S   per-job wall-clock budget in seconds (also bench);
                     over-budget jobs become typed failed rows
   --campaigns N     parallel campaign replicas  (campaign only)
+  --shards K        split each campaign into K deterministic shot-range
+                    shards fanned across the pool (campaign only)
+  --streaming       constant-memory statistics: drop the per-interval
+                    vector, report streak summaries (campaign only;
+                    incompatible with --timeline)
 
 FAILURE SEMANTICS (see the README for the full contract):
   exit 0   every row succeeded

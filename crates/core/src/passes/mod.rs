@@ -79,6 +79,10 @@ pub struct PassContext<'a> {
     reuse: Option<&'a ArtifactStore>,
     reuse_key: Option<ArtifactKey>,
     reused: Option<Arc<PassArtifacts>>,
+    /// Armed via [`PassContext::reuse_lowered_from`]: only the
+    /// grid-independent lowering side of the store is read/written;
+    /// `place` neither serves nor deposits full artifacts.
+    lowered_only: bool,
     lowered: Option<Circuit>,
     placement: Option<QubitMap>,
     initial_table: Option<HashMap<Qubit, Site>>,
@@ -105,6 +109,7 @@ impl<'a> PassContext<'a> {
             reuse: None,
             reuse_key: None,
             reused: None,
+            lowered_only: false,
             lowered: None,
             placement: None,
             initial_table: None,
@@ -123,6 +128,22 @@ impl<'a> PassContext<'a> {
         self.reused = store.get(&key);
         self.reuse = Some(store);
         self.reuse_key = Some(key);
+    }
+
+    /// Arms only the *lowering* side of the reuse seam: `lower` serves
+    /// the grid-independent lowered circuit from the store (and
+    /// deposits fresh lowerings), while `place` computes — and does
+    /// **not** deposit — a fresh placement. This is the seam for
+    /// recompiling the same program against a mutating grid (the
+    /// `FullRecompile` loss strategy, where every loss event changes
+    /// the grid fingerprint): lowering never reads the grid, so it is
+    /// reusable across every hole pattern, but caching one full
+    /// artifact per hole pattern would grow without bound over a
+    /// campaign.
+    pub fn reuse_lowered_from(&mut self, store: &'a ArtifactStore) {
+        self.reuse = Some(store);
+        self.reuse_key = Some(ArtifactKey::of(self.source, self.grid, self.config));
+        self.lowered_only = true;
     }
 
     /// The source circuit being compiled.
@@ -254,6 +275,11 @@ pub struct PassArtifacts {
 pub struct ArtifactStore {
     map: Mutex<HashMap<ArtifactKey, Arc<PassArtifacts>>>,
     hits: AtomicU64,
+    /// The grid-independent lowering cache, keyed by (circuit, front)
+    /// only: lowering never reads the grid, so one entry serves every
+    /// hole pattern of the same program (the `FullRecompile` seam).
+    lowered: Mutex<HashMap<(u64, u64), Arc<Circuit>>>,
+    lowered_hits: AtomicU64,
 }
 
 impl ArtifactStore {
@@ -293,10 +319,43 @@ impl ArtifactStore {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Drops every entry and zeroes the hit counter.
+    /// Looks up the cached lowering for `key`'s (circuit, front) pair
+    /// — the grid component is deliberately ignored — counting a hit
+    /// when present.
+    pub fn get_lowered(&self, key: &ArtifactKey) -> Option<Arc<Circuit>> {
+        let got = lock_recover(&self.lowered)
+            .get(&(key.circuit, key.front))
+            .cloned();
+        if got.is_some() {
+            self.lowered_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    /// Deposits a lowered circuit under `key`'s (circuit, front) pair
+    /// (first insert wins).
+    pub fn insert_lowered(&self, key: ArtifactKey, lowered: Arc<Circuit>) {
+        lock_recover(&self.lowered)
+            .entry((key.circuit, key.front))
+            .or_insert(lowered);
+    }
+
+    /// Number of cached lowerings.
+    pub fn lowered_len(&self) -> usize {
+        lock_recover(&self.lowered).len()
+    }
+
+    /// Number of compilations that reused a cached lowering.
+    pub fn lowered_hits(&self) -> u64 {
+        self.lowered_hits.load(Ordering::Relaxed)
+    }
+
+    /// Drops every entry (both maps) and zeroes the hit counters.
     pub fn clear(&self) {
         lock_recover(&self.map).clear();
         self.hits.store(0, Ordering::Relaxed);
+        lock_recover(&self.lowered).clear();
+        self.lowered_hits.store(0, Ordering::Relaxed);
     }
 }
 
@@ -321,10 +380,30 @@ impl Pass for Lower {
                 ctx.stat("reused", 1);
                 (*art.lowered).clone()
             }
-            None => {
-                let _span = na_telemetry::time(na_telemetry::Stage::Lower);
-                lower_for(ctx.source, ctx.config)
-            }
+            // Full-artifact miss (or lowered-only mode): the
+            // grid-independent lowering cache can still serve —
+            // lowering is a pure function of (circuit, front-end
+            // config), so the cached copy is bit-identical to a fresh
+            // `lower_for`.
+            None => match ctx
+                .reuse
+                .zip(ctx.reuse_key)
+                .and_then(|(store, key)| store.get_lowered(&key))
+            {
+                Some(low) => {
+                    ctx.stat("reused_lowered", 1);
+                    (*low).clone()
+                }
+                None => {
+                    let span = na_telemetry::time(na_telemetry::Stage::Lower);
+                    let low = lower_for(ctx.source, ctx.config);
+                    drop(span);
+                    if let (Some(store), Some(key)) = (ctx.reuse, ctx.reuse_key) {
+                        store.insert_lowered(key, Arc::new(low.clone()));
+                    }
+                    low
+                }
+            },
         };
         ctx.stat("gates", lowered.len() as u64);
         ctx.lowered = Some(lowered);
@@ -396,14 +475,19 @@ impl Pass for Place {
                         return Err(e);
                     }
                 };
-                if let (Some(store), Some(key)) = (ctx.reuse, ctx.reuse_key) {
-                    store.insert(
-                        key,
-                        PassArtifacts {
-                            lowered: Arc::new(lowered.clone()),
-                            placement: map0.clone(),
-                        },
-                    );
+                // In lowered-only mode the grid is transient (a holey
+                // mid-campaign snapshot): depositing one full artifact
+                // per hole pattern would grow the store unboundedly.
+                if !ctx.lowered_only {
+                    if let (Some(store), Some(key)) = (ctx.reuse, ctx.reuse_key) {
+                        store.insert(
+                            key,
+                            PassArtifacts {
+                                lowered: Arc::new(lowered.clone()),
+                                placement: map0.clone(),
+                            },
+                        );
+                    }
                 }
                 map0
             }
@@ -719,6 +803,74 @@ mod tests {
         store.clear();
         assert!(store.is_empty());
         assert_eq!(store.hits(), 0);
+    }
+
+    #[test]
+    fn lowered_only_reuse_serves_across_grids_without_storing_placements() {
+        let (c, grid, cfg) = inputs();
+        let store = ArtifactStore::new();
+        let mut scratch = PlacementScratch::new();
+
+        // First compile on the pristine grid, lowered-only: deposits
+        // one lowering, zero full artifacts.
+        let mut ctx = PassContext::new(&c, &grid, &cfg, &mut scratch);
+        ctx.reuse_lowered_from(&store);
+        let fresh = Pipeline::standard().run(&mut ctx).unwrap();
+        assert_eq!(store.lowered_len(), 1);
+        assert_eq!(store.lowered_hits(), 0);
+        assert_eq!(store.len(), 0, "lowered-only mode stores no placements");
+
+        // Recompile on a mutated grid (different grid fingerprint —
+        // the FullRecompile situation): the lowering is served, the
+        // full map stays empty, and the compile is bit-identical to an
+        // unseamed one.
+        let mut holey = grid.clone();
+        holey.remove_atom(Site::new(0, 0));
+        let mut ctx = PassContext::new(&c, &holey, &cfg, &mut scratch);
+        ctx.reuse_lowered_from(&store);
+        let reused = Pipeline::standard().run(&mut ctx).unwrap();
+        assert_eq!(store.lowered_hits(), 1);
+        assert_eq!(store.lowered_len(), 1);
+        assert_eq!(store.len(), 0);
+        let mut ctx = PassContext::new(&c, &holey, &cfg, &mut scratch);
+        let direct = Pipeline::standard().run(&mut ctx).unwrap();
+        assert_eq!(reused.ops(), direct.ops());
+        assert_eq!(reused.circuit(), direct.circuit());
+        assert_eq!(reused.used_sites(), direct.used_sites());
+
+        // A pre-seeded lowering (how campaigns arm the seam from an
+        // already compiled schedule) hits immediately.
+        let seeded = ArtifactStore::new();
+        seeded.insert_lowered(
+            ArtifactKey::of(&c, &grid, &cfg),
+            Arc::new(fresh.circuit().clone()),
+        );
+        let mut ctx = PassContext::new(&c, &holey, &cfg, &mut scratch);
+        ctx.reuse_lowered_from(&seeded);
+        Pipeline::standard().run(&mut ctx).unwrap();
+        assert_eq!(seeded.lowered_hits(), 1);
+
+        store.clear();
+        assert_eq!(store.lowered_len(), 0);
+        assert_eq!(store.lowered_hits(), 0);
+    }
+
+    #[test]
+    fn full_reuse_also_populates_the_lowering_cache() {
+        let (c, grid, cfg) = inputs();
+        let store = ArtifactStore::new();
+        let mut scratch = PlacementScratch::new();
+        let mut ctx = PassContext::new(&c, &grid, &cfg, &mut scratch);
+        ctx.reuse_from(&store);
+        Pipeline::standard().run(&mut ctx).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.lowered_len(), 1);
+        // A full-artifact hit never needs the lowering map.
+        let mut ctx = PassContext::new(&c, &grid, &cfg, &mut scratch);
+        ctx.reuse_from(&store);
+        Pipeline::standard().run(&mut ctx).unwrap();
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.lowered_hits(), 0);
     }
 
     #[test]

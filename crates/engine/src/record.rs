@@ -167,6 +167,13 @@ pub struct RunRecord {
     /// the byte-reproducibility contract; `None` in the default
     /// configuration and for tasks that bypass the compile cache.
     pub pass_report: Option<na_core::PassReport>,
+    /// Per-shard stage timings for `Task::ShardedCampaign` rows
+    /// (indexed by shard, stage name → ns on the shard's worker
+    /// thread), tagged only when telemetry is enabled. Wall-clock like
+    /// [`RunRecord::timings`], so exempt from byte-reproducibility;
+    /// `None` in the default configuration and for unsharded tasks.
+    #[serde(default)]
+    pub shard_timings: Option<Vec<std::collections::BTreeMap<String, u64>>>,
     /// The measurement.
     pub outcome: Outcome,
 }
@@ -182,13 +189,17 @@ impl RunRecord {
             Task::Tolerance { strategy, .. } | Task::LossTrace { strategy, .. } => {
                 Some(strategy.name().to_string())
             }
-            Task::Campaign { config, .. } => Some(config.strategy.name().to_string()),
+            Task::Campaign { config, .. } | Task::ShardedCampaign { config, .. } => {
+                Some(config.strategy.name().to_string())
+            }
             _ => None,
         };
         let noise_p2 = match &job.task {
             Task::Success { params } | Task::Crosstalk { params, .. } => Some(params.p2),
             Task::LossTrace { params, .. } => Some(params.p2),
-            Task::Campaign { config, .. } => Some(1.0 - config.two_qubit_error),
+            Task::Campaign { config, .. } | Task::ShardedCampaign { config, .. } => {
+                Some(1.0 - config.two_qubit_error)
+            }
             _ => None,
         };
         RunRecord {
@@ -208,6 +219,7 @@ impl RunRecord {
             cache_hit: None,
             timings: None,
             pass_report: None,
+            shard_timings: None,
             outcome,
         }
     }

@@ -12,7 +12,7 @@ use crate::record::{Outcome, RunRecord};
 use crate::sink::{ResultSink, SinkError};
 use crate::spec::{CircuitSource, ExperimentSpec, Job, LossSpec, Task};
 use na_benchmarks::Benchmark;
-use na_loss::{LossOutcome, Strategy, StrategyState};
+use na_loss::{CampaignResult, LossOutcome, ShotRange, Strategy, StrategyState};
 use na_noise::{
     crosstalk_exposures, crosstalk_success, success_probability, success_with_crosstalk,
     CrosstalkParams, NoiseParams,
@@ -109,14 +109,75 @@ impl Engine {
         // execution order must not leak into the rows.
         let cache_flags = self.cache_hit_flags(jobs);
         let slots: Vec<OnceLock<RunRecord>> = jobs.iter().map(|_| OnceLock::new()).collect();
+
+        // Expand the spec into pool work items: one item per plain
+        // job, one item per shard of a sharded campaign. A sharded
+        // job's shards share a `ShardFan`; the last shard to finish
+        // merges the per-shard results in shard-index order, so the
+        // row is independent of completion order. Jobs whose shard
+        // plan is invalid fail typed before any work starts.
+        let mut fans: Vec<ShardFan> = Vec::new();
+        let mut items: Vec<WorkItem> = Vec::new();
+        for (i, job) in jobs.iter().enumerate() {
+            if let Task::ShardedCampaign { config, shards, .. } = &job.task {
+                match na_loss::shard_ranges(config, *shards) {
+                    Ok(ranges) => {
+                        let fan = fans.len();
+                        let results = ranges.iter().map(|_| OnceLock::new()).collect();
+                        let remaining = AtomicUsize::new(ranges.len());
+                        items.extend((0..ranges.len()).map(|shard| WorkItem::Shard { fan, shard }));
+                        fans.push(ShardFan {
+                            job_index: i,
+                            ranges,
+                            results,
+                            remaining,
+                        });
+                    }
+                    Err(plan) => {
+                        slots[i]
+                            .set(RunRecord::new(
+                                job,
+                                Outcome::Failed {
+                                    unroutable: false,
+                                    panicked: false,
+                                    deadline: false,
+                                    error: plan.to_string(),
+                                },
+                            ))
+                            .expect("slot written once");
+                    }
+                }
+            } else {
+                items.push(WorkItem::Whole(i));
+            }
+        }
+
         let cursor = AtomicUsize::new(0);
-        let threads = self.workers.min(jobs.len()).max(1);
+        let threads = self.workers.min(items.len()).max(1);
         na_telemetry::gauge_max(na_telemetry::Gauge::EngineWorkers, threads as u64);
 
+        let run_item = |item: &WorkItem| match *item {
+            WorkItem::Whole(i) => slots[i]
+                .set(self.run_job_isolated(&jobs[i]))
+                .expect("slot written once"),
+            WorkItem::Shard { fan, shard } => {
+                let fan = &fans[fan];
+                let job = &jobs[fan.job_index];
+                fan.results[shard]
+                    .set(self.run_shard_isolated(job, shard, fan.ranges[shard]))
+                    .expect("shard slot written once");
+                // `AcqRel` so the last finisher observes every other
+                // shard's completed write before merging.
+                if fan.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    slots[fan.job_index]
+                        .set(merge_fan(job, fan, &self.cache))
+                        .expect("slot written once");
+                }
+            }
+        };
         if threads == 1 {
-            for (job, slot) in jobs.iter().zip(&slots) {
-                slot.set(self.run_job_isolated(job))
-                    .expect("slot written once");
+            for item in &items {
+                run_item(item);
             }
         } else {
             std::thread::scope(|scope| {
@@ -124,12 +185,10 @@ impl Engine {
                     scope.spawn(|| {
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= jobs.len() {
+                            if i >= items.len() {
                                 break;
                             }
-                            slots[i]
-                                .set(self.run_job_isolated(&jobs[i]))
-                                .expect("slot written once");
+                            run_item(&items[i]);
                         }
                         // Merge this worker's recorder into the global
                         // registry before the scope joins it.
@@ -193,6 +252,41 @@ impl Engine {
         }
     }
 
+    /// Runs one campaign shard inside its own failure domain — a
+    /// per-shard fault scope (`job{id}.shard{k}`, so chaos plans can
+    /// target a single shard), a fresh copy of the engine's full
+    /// per-job deadline budget, and a panic boundary. Shards of one
+    /// job are peers of whole jobs on the pool, so a panicking or
+    /// expired shard fails only its own row.
+    // The Err side carries a full `Outcome` so a failed shard slots
+    // into the row verbatim; shards are coarse units, so the extra
+    // bytes per return never matter.
+    #[allow(clippy::result_large_err)]
+    fn run_shard_isolated(&self, job: &Job, shard: usize, range: ShotRange) -> ShardDone {
+        let _scope = na_faults::scope(format!("job{}.shard{}", job.id, shard));
+        let _deadline = na_faults::push_deadline(match self.job_timeout {
+            Some(budget) => na_faults::Deadline::after(budget),
+            None => na_faults::Deadline::UNBOUNDED,
+        });
+        // Stage timers are thread-local, so the window between marks
+        // is exactly this shard's work on this worker thread.
+        let stage_mark = na_telemetry::is_enabled().then(na_telemetry::mark_stages);
+        let result = match catch_unwind(AssertUnwindSafe(|| {
+            execute_shard(job, shard, range, &self.cache)
+        })) {
+            Ok(result) => result,
+            Err(payload) => {
+                crate::cache::reset_thread_scratch();
+                Err(Outcome::from_panic(panic_message(payload.as_ref())))
+            }
+        };
+        na_telemetry::add(na_telemetry::Counter::CampaignShards, 1);
+        ShardDone {
+            result,
+            timings: stage_mark.map(|mark| na_telemetry::stage_deltas_since(&mark)),
+        }
+    }
+
     /// `cache_hit` for every job: `None` for tasks that bypass the
     /// compile cache, otherwise whether the job's compile key is
     /// already cached or claimed by an earlier job of this spec.
@@ -241,6 +335,131 @@ impl Engine {
         crate::sink::write_records(&records, sink)?;
         Ok(records)
     }
+}
+
+/// One unit of pool work: a whole job, or one shard of a sharded
+/// campaign (both indices into the expansion-time arrays).
+enum WorkItem {
+    /// `jobs[i]` runs as a single item (every non-sharded task).
+    Whole(usize),
+    /// Shard `shard` of `fans[fan]`.
+    Shard { fan: usize, shard: usize },
+}
+
+/// Shared merge state of one sharded campaign job.
+struct ShardFan {
+    /// Index of the owning job in the spec.
+    job_index: usize,
+    /// The shard plan, from [`na_loss::shard_ranges`].
+    ranges: Vec<ShotRange>,
+    /// Per-shard results, indexed by shard.
+    results: Vec<OnceLock<ShardDone>>,
+    /// Shards still running; the worker that decrements this to zero
+    /// merges and writes the job's row.
+    remaining: AtomicUsize,
+}
+
+/// What one shard produced: its partial campaign, or the typed
+/// failure outcome that will become the whole job's row.
+#[derive(Debug)]
+struct ShardDone {
+    result: Result<CampaignResult, Outcome>,
+    /// Stage nanoseconds this shard accrued on its worker thread
+    /// (`None` while telemetry is disabled).
+    timings: Option<std::collections::BTreeMap<String, u64>>,
+}
+
+/// Runs one shard of a sharded campaign: compile through the shared
+/// cache (all shards hit the one artifact), reuse the memoized
+/// interaction summary, then execute just this shard's shot range with
+/// its deterministically derived RNG streams.
+#[allow(clippy::result_large_err)]
+fn execute_shard(
+    job: &Job,
+    shard: usize,
+    range: ShotRange,
+    cache: &CompileCache,
+) -> Result<CampaignResult, Outcome> {
+    if let Err(fault) = na_faults::point("engine.execute_job") {
+        return Err(Outcome::from_error(&fault.into()));
+    }
+    if let Err(expired) = na_faults::check_deadline() {
+        return Err(Outcome::from_error(&expired.into()));
+    }
+    let Task::ShardedCampaign { config, loss, .. } = &job.task else {
+        unreachable!("only sharded campaigns expand into shard work items");
+    };
+    let compile_cfg = job
+        .task
+        .compile_config(&job.config)
+        .expect("campaigns use the compile cache");
+    let circuit = job.circuit();
+    let compiled = cache
+        .get_or_compile(&circuit, &job.grid, &compile_cfg)
+        .map_err(|e| Outcome::from_error(&e))?;
+    let key = CacheKey::for_point(&circuit, &job.grid, &compile_cfg);
+    let summary = cache.summary_for(&key, &compiled);
+    let shard_index = u32::try_from(shard).expect("shard counts are u32");
+    na_loss::run_campaign_shard(
+        &circuit,
+        &job.grid,
+        compiled,
+        summary,
+        &loss.build(),
+        config,
+        shard_index,
+        range,
+    )
+    .map_err(|e| Outcome::from_error(&e))
+}
+
+/// Assembles a sharded campaign's row once every shard has finished:
+/// the shard results merge in shard-index order (so the row does not
+/// depend on completion order), and a failed shard — typed error,
+/// caught panic, expired deadline — fails the whole row with the
+/// lowest-indexed failure. Telemetry-tagged rows carry the per-stage
+/// sums in `timings` and the per-shard breakdown in `shard_timings`.
+fn merge_fan(job: &Job, fan: &ShardFan, cache: &CompileCache) -> RunRecord {
+    let done: Vec<&ShardDone> = fan
+        .results
+        .iter()
+        .map(|slot| slot.get().expect("every shard ran"))
+        .collect();
+    let outcome = 'merge: {
+        let mut merged: Option<CampaignResult> = None;
+        for shard in &done {
+            match &shard.result {
+                Ok(result) => match &mut merged {
+                    None => merged = Some(result.clone()),
+                    Some(m) => m.merge(result),
+                },
+                Err(failed) => break 'merge failed.clone(),
+            }
+        }
+        Outcome::Campaign(merged.expect("shard plans are never empty"))
+    };
+    let mut record = RunRecord::new(job, outcome);
+    if na_telemetry::is_enabled() {
+        let mut sums = std::collections::BTreeMap::new();
+        for shard in &done {
+            for (stage, ns) in shard.timings.iter().flatten() {
+                *sums.entry(stage.clone()).or_insert(0) += ns;
+            }
+        }
+        if !sums.is_empty() {
+            record.timings = Some(sums);
+        }
+        record.shard_timings = Some(
+            done.iter()
+                .map(|shard| shard.timings.clone().unwrap_or_default())
+                .collect(),
+        );
+        if let Some(compile_cfg) = job.task.compile_config(&job.config) {
+            let key = CacheKey::for_point(&job.circuit(), &job.grid, &compile_cfg);
+            record.pass_report = cache.pass_report(&key).map(|r| (*r).clone());
+        }
+    }
+    record
 }
 
 /// Renders a caught panic payload: the `&str`/`String` message panics
@@ -335,6 +554,11 @@ fn execute_job(job: &Job, cache: &CompileCache, verify: bool) -> RunRecord {
             seed,
         } => run_loss_trace(&circuit, job, *strategy, *max_holes, params, *seed),
         Task::Campaign { config, loss } => run_campaign_task(&circuit, job, config, loss, cache),
+        // Sharded campaigns are expanded into per-shard work items by
+        // `Engine::run` and never reach the whole-job path.
+        Task::ShardedCampaign { .. } => {
+            unreachable!("sharded campaigns expand into shard work items")
+        }
     };
     let mut record = RunRecord::new(job, outcome);
     if let Some(mark) = stage_mark {
@@ -517,6 +741,12 @@ mod tests {
                     .with_target(na_loss::ShotTarget::Attempts(1)),
                 loss: LossSpec::new(0),
             },
+            Task::ShardedCampaign {
+                config: na_loss::CampaignConfig::new(4.0, Strategy::VirtualRemap)
+                    .with_target(na_loss::ShotTarget::Attempts(2)),
+                loss: LossSpec::new(0),
+                shards: 2,
+            },
         ];
         for task in tasks {
             let expected = task.uses_compile_cache();
@@ -592,6 +822,126 @@ mod tests {
             Outcome::Campaign(result) => assert_eq!(result, &direct),
             other => panic!("expected a campaign outcome, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sharded_campaign_matches_the_serial_shard_fold_at_any_worker_count() {
+        // The pool's fan-out (shards completing in scheduler order)
+        // must reproduce na_loss::run_campaign_sharded — the serial
+        // index-order fold over the same shard plan — bit for bit.
+        let cfg = na_loss::CampaignConfig::new(4.0, na_loss::Strategy::VirtualRemap)
+            .with_target(na_loss::ShotTarget::Attempts(60))
+            .with_seed(11);
+        let task = Task::ShardedCampaign {
+            config: cfg,
+            loss: LossSpec::new(5),
+            shards: 3,
+        };
+        let circuit = Benchmark::Bv.generate(12, 0);
+        let grid = Grid::new(8, 8);
+        let compile_cfg = task.compile_config(&CompilerConfig::new(4.0)).unwrap();
+        let oracle_engine = Engine::with_workers(1);
+        let compiled = oracle_engine
+            .cache()
+            .get_or_compile(&circuit, &grid, &compile_cfg)
+            .unwrap();
+        let key = CacheKey::for_point(&circuit, &grid, &compile_cfg);
+        let summary = oracle_engine.cache().summary_for(&key, &compiled);
+        let ranges = na_loss::shard_ranges(&cfg, 3).unwrap();
+        let oracle = na_loss::run_campaign_sharded(
+            &circuit,
+            &grid,
+            compiled,
+            summary,
+            &LossSpec::new(5).build(),
+            &cfg,
+            &ranges,
+        )
+        .unwrap();
+
+        let mut spec = ExperimentSpec::new("t", grid);
+        spec.push(Benchmark::Bv, 12, 0, CompilerConfig::new(4.0), task);
+        for workers in [1, 4] {
+            let records = Engine::with_workers(workers).run(&spec);
+            match &records[0].outcome {
+                Outcome::Campaign(result) => assert_eq!(result, &oracle, "workers={workers}"),
+                other => panic!("expected a campaign outcome, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_sharded_campaign_matches_the_unsharded_task() {
+        // shards=1 keeps the serial campaign's exact RNG draw order,
+        // so the row's outcome equals Task::Campaign's bit for bit.
+        let cfg = na_loss::CampaignConfig::new(4.0, na_loss::Strategy::CompileSmall)
+            .with_target(na_loss::ShotTarget::Successes(10))
+            .with_seed(3);
+        let grid = Grid::new(8, 8);
+        let mut spec = ExperimentSpec::new("t", grid);
+        spec.push(
+            Benchmark::Bv,
+            10,
+            0,
+            CompilerConfig::new(4.0),
+            Task::Campaign {
+                config: cfg,
+                loss: LossSpec::new(7),
+            },
+        );
+        spec.push(
+            Benchmark::Bv,
+            10,
+            0,
+            CompilerConfig::new(4.0),
+            Task::ShardedCampaign {
+                config: cfg,
+                loss: LossSpec::new(7),
+                shards: 1,
+            },
+        );
+        let records = Engine::with_workers(2).run(&spec);
+        let (Outcome::Campaign(serial), Outcome::Campaign(sharded)) =
+            (&records[0].outcome, &records[1].outcome)
+        else {
+            panic!("expected two campaign outcomes");
+        };
+        assert_eq!(serial, sharded);
+        assert_eq!(records[1].task, "campaign_sharded");
+    }
+
+    #[test]
+    fn invalid_shard_plans_fail_typed_before_any_work() {
+        // A successes target cannot be pre-split: the row must be a
+        // typed Failed (not a panic), and no compilation may run.
+        let engine = Engine::with_workers(2);
+        let mut spec = ExperimentSpec::new("t", Grid::new(6, 6));
+        spec.push(
+            Benchmark::Bv,
+            8,
+            0,
+            CompilerConfig::new(4.0),
+            Task::ShardedCampaign {
+                config: na_loss::CampaignConfig::new(4.0, na_loss::Strategy::VirtualRemap)
+                    .with_target(na_loss::ShotTarget::Successes(5)),
+                loss: LossSpec::new(0),
+                shards: 4,
+            },
+        );
+        let records = engine.run(&spec);
+        match &records[0].outcome {
+            Outcome::Failed {
+                unroutable,
+                panicked,
+                deadline,
+                error,
+            } => {
+                assert!(!unroutable && !panicked && !deadline);
+                assert!(error.contains("cannot be split into 4 shards"), "{error}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(engine.cache_stats().lookups(), 0);
     }
 
     #[test]

@@ -152,6 +152,21 @@ pub enum Task {
         /// Loss-model parameters.
         loss: LossSpec,
     },
+    /// The same campaign, fanned out as `shards` independent shot
+    /// ranges across the worker pool and merged in shard-index order.
+    /// Shard 0 replays the serial campaign's RNG streams exactly; the
+    /// merged result is bit-identical to the serial fold of the same
+    /// shard plan ([`na_loss::run_campaign_sharded`]), not to the
+    /// unsharded campaign (different shard counts draw different
+    /// streams by design).
+    ShardedCampaign {
+        /// Campaign parameters (strategy, target, overhead model…).
+        config: CampaignConfig,
+        /// Loss-model parameters.
+        loss: LossSpec,
+        /// Number of shot-range shards to fan out (≥ 1).
+        shards: u32,
+    },
 }
 
 impl Task {
@@ -175,9 +190,9 @@ impl Task {
     pub fn compile_config(&self, job_config: &CompilerConfig) -> Option<CompilerConfig> {
         match self {
             Task::Compile | Task::Success { .. } | Task::Crosstalk { .. } => Some(*job_config),
-            Task::Campaign { config, .. } => Some(CompilerConfig::new(
-                config.strategy.compile_mid(config.hardware_mid),
-            )),
+            Task::Campaign { config, .. } | Task::ShardedCampaign { config, .. } => Some(
+                CompilerConfig::new(config.strategy.compile_mid(config.hardware_mid)),
+            ),
             Task::Tolerance { .. } | Task::LossTrace { .. } => None,
         }
     }
@@ -191,6 +206,7 @@ impl Task {
             Task::Tolerance { .. } => "tolerance",
             Task::LossTrace { .. } => "loss_trace",
             Task::Campaign { .. } => "campaign",
+            Task::ShardedCampaign { .. } => "campaign_sharded",
         }
     }
 }
@@ -228,15 +244,13 @@ impl Job {
 
 /// Splits one base seed into per-`id` seeds with unrelated streams
 /// (SplitMix64). Used by callers that need a deterministic seed per
-/// sweep point without hand-numbering them.
+/// sweep point without hand-numbering them. The canonical
+/// implementation lives in [`na_loss::derive_seed`] (shard seeding
+/// uses the same stream-splitting function); this delegates so the
+/// two can never drift apart.
 #[must_use]
 pub fn derive_seed(base: u64, id: u64) -> u64 {
-    let mut z = base
-        .wrapping_add(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(id.wrapping_mul(0xD1B5_4A32_D192_ED03));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    na_loss::derive_seed(base, id)
 }
 
 /// An ordered collection of jobs over one (default) device.

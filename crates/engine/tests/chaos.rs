@@ -134,6 +134,55 @@ fn cache_hit_flags_survive_a_panicking_first_claimant() {
     );
 }
 
+/// The shard failure domain: a panic injected into exactly one shard
+/// of a sharded campaign (via its `job<id>.shard<k>` scope) fails that
+/// campaign's row typed-as-panicked while sibling jobs — including an
+/// identical sharded campaign — stay fault-free, at any worker count.
+#[test]
+fn a_panicking_shard_fails_only_its_own_campaign_row() {
+    let _serial = na_faults::exclusive();
+    na_faults::reset();
+    na_faults::arm_spec("engine.execute_job#job1.shard2=panic@1").unwrap();
+
+    let sharded = |seed: u64| Task::ShardedCampaign {
+        config: na_loss::CampaignConfig::new(4.0, na_loss::Strategy::VirtualRemap)
+            .with_target(na_loss::ShotTarget::Attempts(30))
+            .with_seed(seed),
+        loss: na_engine::LossSpec::new(seed),
+        shards: 4,
+    };
+    let mut spec = ExperimentSpec::new("chaos-shard", Grid::new(8, 8));
+    for seed in 0..3u64 {
+        spec.push(
+            Benchmark::Bv,
+            10,
+            0,
+            CompilerConfig::new(4.0),
+            sharded(seed),
+        );
+    }
+    for workers in [1usize, 4] {
+        let records = Engine::with_workers(workers).run(&spec);
+        assert_eq!(records.len(), 3);
+        match &records[1].outcome {
+            Outcome::Failed {
+                panicked, error, ..
+            } => {
+                assert!(panicked, "the row must be typed as a panic");
+                assert_eq!(error, "injected panic at engine.execute_job (hit 1)");
+            }
+            other => panic!("job 1 must fail, got {other:?}"),
+        }
+        for (i, record) in records.iter().enumerate() {
+            assert!(
+                i == 1 || !record.outcome.is_failed(),
+                "job {i} must be isolated from job 1's shard panic"
+            );
+        }
+    }
+    na_faults::reset();
+}
+
 /// An already-spent budget fails each job at its first checkpoint with
 /// a typed deadline row — not a panic, not a hang.
 #[test]

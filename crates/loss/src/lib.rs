@@ -31,12 +31,14 @@ pub mod model;
 pub mod overhead;
 pub mod reroute;
 pub mod state;
+pub mod stats;
 pub mod strategy;
 pub mod timeline;
 pub mod tolerance;
 
 pub use executor::{
-    run_campaign, run_campaign_precompiled, CampaignConfig, CampaignResult, ShotTarget,
+    run_campaign, run_campaign_precompiled, run_campaign_shard, run_campaign_sharded, shard_ranges,
+    CampaignConfig, CampaignResult, ShardPlanError, ShotRange, ShotTarget,
 };
 pub use model::LossModel;
 pub use overhead::{OverheadLedger, OverheadTimes, RecompileCost};
@@ -45,6 +47,7 @@ pub use reroute::{
     resolved_ok_summary, InteractionSummary,
 };
 pub use state::{LossOutcome, StrategyState};
+pub use stats::{derive_seed, shard_seed, RunningMoments, StreakHistogram, StreakStats};
 pub use strategy::{ParseStrategyError, Strategy};
 pub use timeline::{render_timeline, EventKind, TimelineEvent};
 pub use tolerance::{max_loss_tolerance, mean_loss_tolerance, ToleranceOutcome};

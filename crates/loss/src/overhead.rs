@@ -61,18 +61,22 @@ impl OverheadTimes {
 
 /// Counts and accumulated seconds of every overhead source in a
 /// campaign.
+///
+/// Counts are `u64` so a 10⁶–10⁸-shot streaming campaign (and the sum
+/// over its shards) can never wrap; per-shard ledgers fold together
+/// with [`OverheadLedger::merge_from`] in shard-index order.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct OverheadLedger {
     /// Array reloads performed.
-    pub reloads: u32,
+    pub reloads: u64,
     /// Fluorescence detections performed (one per shot).
-    pub fluorescences: u32,
+    pub fluorescences: u64,
     /// Virtual-remap table updates.
-    pub remaps: u32,
+    pub remaps: u64,
     /// Reroute fixup computations.
-    pub fixups: u32,
+    pub fixups: u64,
     /// Full recompilations.
-    pub recompiles: u32,
+    pub recompiles: u64,
     /// Seconds spent reloading.
     pub reload_time: f64,
     /// Seconds spent fluorescing.
@@ -139,6 +143,24 @@ impl OverheadLedger {
     pub fn total_time(&self) -> f64 {
         self.overhead_time() + self.circuit_time
     }
+
+    /// Folds another shard's ledger into this one: counts add exactly;
+    /// the accumulated seconds add in call order, so callers must fold
+    /// shards in shard-index order for a deterministic float result
+    /// (the same fold-order contract as the telemetry Recorder merge).
+    pub fn merge_from(&mut self, other: &OverheadLedger) {
+        self.reloads += other.reloads;
+        self.fluorescences += other.fluorescences;
+        self.remaps += other.remaps;
+        self.fixups += other.fixups;
+        self.recompiles += other.recompiles;
+        self.reload_time += other.reload_time;
+        self.fluorescence_time += other.fluorescence_time;
+        self.remap_time += other.remap_time;
+        self.fixup_time += other.fixup_time;
+        self.recompile_time += other.recompile_time;
+        self.circuit_time += other.circuit_time;
+    }
 }
 
 #[cfg(test)]
@@ -195,5 +217,35 @@ mod tests {
         let mut measured = OverheadLedger::default();
         measured.add_recompile(&OverheadTimes::default(), 0.001);
         assert!((measured.recompile_time - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_times() {
+        let t = OverheadTimes::default();
+        let mut a = OverheadLedger::default();
+        a.add_reload(&t);
+        a.add_fluorescence(&t);
+        a.add_circuit(1e-3);
+        let mut b = OverheadLedger::default();
+        b.add_reload(&t);
+        b.add_remap(&t);
+        b.add_fixup(&t);
+        b.add_recompile(&t, 0.02);
+        b.add_circuit(2e-3);
+
+        a.merge_from(&b);
+        assert_eq!(a.reloads, 2);
+        assert_eq!(a.fluorescences, 1);
+        assert_eq!(a.remaps, 1);
+        assert_eq!(a.fixups, 1);
+        assert_eq!(a.recompiles, 1);
+        assert!((a.reload_time - 0.6).abs() < 1e-12);
+        assert!((a.circuit_time - 3e-3).abs() < 1e-12);
+        assert!((a.recompile_time - 0.02).abs() < 1e-12);
+
+        // Merging an empty ledger is the identity.
+        let snapshot = a;
+        a.merge_from(&OverheadLedger::default());
+        assert_eq!(a, snapshot);
     }
 }

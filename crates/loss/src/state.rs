@@ -12,8 +12,8 @@ use crate::Strategy;
 use na_arch::{BfsScratch, Grid, InteractionGraph, ShiftScratch, Site, VirtualMap};
 use na_circuit::Circuit;
 use na_core::{
-    compile_with, CompileError, CompiledCircuit, CompilerConfig, PassContext, Pipeline,
-    PlacementScratch,
+    compile_with, ArtifactKey, ArtifactStore, CompileError, CompiledCircuit, CompilerConfig,
+    PassContext, Pipeline, PlacementScratch,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -74,6 +74,13 @@ pub struct StrategyState {
     /// [`Grid::usable_mask`] as the hole pattern — no per-loss-event
     /// graph rebuild and no mirror bookkeeping.
     full_graph: Arc<InteractionGraph>,
+    /// Per-campaign artifact store, pre-seeded with the compiled
+    /// schedule's (grid-independent) lowered circuit so FullRecompile's
+    /// per-loss recompilations reuse the lowering instead of
+    /// re-lowering on every loss event. `Arc` so cloning the state
+    /// shares the cache (it is keyed by fingerprints, so sharing is
+    /// always sound).
+    artifacts: Arc<ArtifactStore>,
 }
 
 impl StrategyState {
@@ -151,6 +158,17 @@ impl StrategyState {
         // and MID shares one cached graph; holes are threaded through
         // `usable_mask` instead.
         let full_graph = InteractionGraph::cached(grid_template, hardware_mid);
+        // `CompiledCircuit::circuit()` *is* the pipeline's lowered
+        // circuit (finalize stores it verbatim), and lowering never
+        // reads the grid — so the cached compilation seeds the
+        // per-campaign lowering cache without running a pass.
+        let artifacts = Arc::new(ArtifactStore::new());
+        if strategy == Strategy::FullRecompile {
+            artifacts.insert_lowered(
+                ArtifactKey::of(program, grid_template, &cfg),
+                Arc::new(compiled.circuit().clone()),
+            );
+        }
         StrategyState {
             strategy,
             hardware_mid,
@@ -169,6 +187,7 @@ impl StrategyState {
             placement_scratch: PlacementScratch::new(),
             summary,
             full_graph,
+            artifacts,
         }
     }
 
@@ -257,15 +276,21 @@ impl StrategyState {
                 let t0 = Instant::now();
                 // Recompile through the same pass pipeline as the
                 // compile path, against the live holey grid. The holes
-                // change the grid fingerprint, so no front-end
-                // artifact could be reused here anyway — only the
-                // warmed `placement_scratch` carries over.
+                // change the grid fingerprint, so full front-end
+                // artifacts cannot be reused — but lowering never
+                // reads the grid, so the per-campaign store serves the
+                // schedule's lowered circuit (pre-seeded at
+                // construction) instead of re-lowering per loss event.
+                // Bit-identical by the artifact-reuse contract; the
+                // campaign digests pin it.
+                let artifacts = Arc::clone(&self.artifacts);
                 let mut ctx = PassContext::new(
                     &self.program,
                     &self.grid,
                     &self.compiler_config,
                     &mut self.placement_scratch,
                 );
+                ctx.reuse_lowered_from(&artifacts);
                 match Pipeline::standard().run(&mut ctx) {
                     Ok(c) => {
                         self.used_addresses = c.used_sites().to_vec();

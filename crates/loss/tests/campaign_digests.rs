@@ -24,13 +24,13 @@ use na_loss::{run_campaign, CampaignConfig, CampaignResult, LossModel, ShotTarge
 
 /// Digest of everything deterministic in a [`CampaignResult`].
 fn campaign_digest(r: &CampaignResult) -> u64 {
-    let mut h = fnv1a_extend(0xcbf2_9ce4_8422_2325, u64::from(r.shots_attempted));
-    h = fnv1a_extend(h, u64::from(r.shots_successful));
-    h = fnv1a_extend(h, u64::from(r.discarded_by_loss));
-    h = fnv1a_extend(h, u64::from(r.failed_by_noise));
+    let mut h = fnv1a_extend(0xcbf2_9ce4_8422_2325, r.shots_attempted);
+    h = fnv1a_extend(h, r.shots_successful);
+    h = fnv1a_extend(h, r.discarded_by_loss);
+    h = fnv1a_extend(h, r.failed_by_noise);
     let l = &r.ledger;
     for count in [l.reloads, l.fluorescences, l.remaps, l.fixups, l.recompiles] {
-        h = fnv1a_extend(h, u64::from(count));
+        h = fnv1a_extend(h, count);
     }
     // Deterministic f64 accumulations, folded bitwise. recompile_time
     // (measured wall clock) is excluded; circuit_time is the analytic

@@ -149,11 +149,13 @@ pub enum Counter {
     JobsPanicked,
     /// Engine jobs that ran out of their cooperative deadline budget.
     DeadlinesExceeded,
+    /// Campaign shards executed (sharded fan-out across the pool).
+    CampaignShards,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 15;
     /// All counters, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::Compiles,
@@ -170,6 +172,7 @@ impl Counter {
         Counter::JobsFailed,
         Counter::JobsPanicked,
         Counter::DeadlinesExceeded,
+        Counter::CampaignShards,
     ];
 
     /// Dense index for array storage.
@@ -195,6 +198,7 @@ impl Counter {
             Counter::JobsFailed => "jobs_failed",
             Counter::JobsPanicked => "jobs_panicked",
             Counter::DeadlinesExceeded => "deadlines_exceeded",
+            Counter::CampaignShards => "campaign_shards",
         }
     }
 }

@@ -82,10 +82,10 @@ fn campaign_shot_accounting_is_consistent() {
             "{strategy}"
         );
         assert_eq!(r.ledger.fluorescences, r.shots_attempted, "{strategy}");
-        let interval_sum: u32 = r.shots_between_reloads.iter().sum();
+        let interval_sum: u64 = r.shots_between_reloads.iter().map(|&v| u64::from(v)).sum();
         assert_eq!(interval_sum, r.shots_successful, "{strategy}");
         assert_eq!(
-            r.shots_between_reloads.len() as u32,
+            r.shots_between_reloads.len() as u64,
             r.ledger.reloads + 1,
             "{strategy}"
         );
@@ -159,7 +159,7 @@ fn campaign_timeline_matches_ledger() {
         .with_timeline();
     let r = run_campaign(&program, &grid(), LossModel::new(6), &cfg).unwrap();
     use natoms::loss::EventKind;
-    let count = |k: EventKind| r.timeline.iter().filter(|e| e.kind == k).count() as u32;
+    let count = |k: EventKind| r.timeline.iter().filter(|e| e.kind == k).count() as u64;
     assert_eq!(count(EventKind::RunCircuit), r.shots_attempted);
     assert_eq!(count(EventKind::Fluorescence), r.ledger.fluorescences);
     assert_eq!(count(EventKind::Reload), r.ledger.reloads);

@@ -9,20 +9,24 @@
 //!   and unit structs;
 //! * enums with unit, tuple, and struct variants (externally tagged,
 //!   matching serde's default representation);
-//! * no generic parameters and no `#[serde(...)]` attributes — the
-//!   macro rejects generics with a compile error rather than
+//! * `#[serde(default)]` on named struct fields — a missing (or
+//!   `null`) key deserializes to `Default::default()`, which is how
+//!   rows written before a field existed keep round-tripping;
+//! * no generic parameters and no other `#[serde(...)]` attributes —
+//!   the macro rejects generics with a compile error rather than
 //!   mis-expanding.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives the vendored `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let body = match &item.shape {
         Shape::NamedStruct(fields) => {
             let mut pushes = String::new();
             for f in fields {
+                let f = &f.name;
                 pushes.push_str(&format!(
                     "entries.push((\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})));\n"
                 ));
@@ -87,7 +91,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the vendored `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let name = &item.name;
@@ -95,9 +99,18 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::NamedStruct(fields) => {
             let mut inits = String::new();
             for f in fields {
-                inits.push_str(&format!(
-                    "{f}: serde::Deserialize::from_value(value.get(\"{f}\").unwrap_or(&serde::Value::Null)).map_err(|e| serde::DeError(format!(\"{name}.{f}: {{e}}\")))?,\n"
-                ));
+                let (f, default) = (&f.name, f.default);
+                if default {
+                    // `#[serde(default)]`: absent or null keys take the
+                    // field type's `Default` instead of erroring.
+                    inits.push_str(&format!(
+                        "{f}: match value.get(\"{f}\") {{\nNone | Some(serde::Value::Null) => Default::default(),\nSome(v) => serde::Deserialize::from_value(v).map_err(|e| serde::DeError(format!(\"{name}.{f}: {{e}}\")))?,\n}},\n"
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{f}: serde::Deserialize::from_value(value.get(\"{f}\").unwrap_or(&serde::Value::Null)).map_err(|e| serde::DeError(format!(\"{name}.{f}: {{e}}\")))?,\n"
+                    ));
+                }
             }
             format!(
                 "match value {{\nserde::Value::Object(_) => Ok({name} {{\n{inits}}}),\n_ => Err(serde::DeError::expected(\"struct {name}\", value)),\n}}"
@@ -175,10 +188,16 @@ struct Item {
 }
 
 enum Shape {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` was present on the field.
+    default: bool,
 }
 
 struct Variant {
@@ -233,14 +252,18 @@ fn parse_item(input: TokenStream) -> Item {
 type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
 
 /// Skips leading attributes (`#[...]`) and a visibility modifier
-/// (`pub`, `pub(...)`).
-fn skip_attrs_and_vis(tokens: &mut Tokens) {
+/// (`pub`, `pub(...)`), reporting whether any attribute was
+/// `#[serde(default)]`.
+fn skip_attrs_and_vis(tokens: &mut Tokens) -> bool {
+    let mut default = false;
     loop {
         match tokens.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 tokens.next();
                 match tokens.next() {
-                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        default |= is_serde_default(g.stream());
+                    }
                     other => panic!("malformed attribute: {other:?}"),
                 }
             }
@@ -252,17 +275,35 @@ fn skip_attrs_and_vis(tokens: &mut Tokens) {
                     }
                 }
             }
-            _ => return,
+            _ => return default,
         }
     }
 }
 
-/// Field names of a named-field body (`a: T, b: U, ...`).
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Whether an attribute body (the tokens inside `#[...]`) reads
+/// `serde(default)`.
+fn is_serde_default(stream: TokenStream) -> bool {
+    let mut tokens = stream.into_iter();
+    match (tokens.next(), tokens.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(g)))
+            if i.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let mut inner = g.stream().into_iter();
+            match (inner.next(), inner.next()) {
+                (Some(TokenTree::Ident(arg)), None) if arg.to_string() == "default" => true,
+                other => panic!("vendored serde_derive supports only #[serde(default)]: {other:?}"),
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Fields of a named-field body (`a: T, #[serde(default)] b: U, ...`).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut tokens = stream.into_iter().peekable();
     let mut fields = Vec::new();
     loop {
-        skip_attrs_and_vis(&mut tokens);
+        let default = skip_attrs_and_vis(&mut tokens);
         let name = match tokens.next() {
             None => break,
             Some(TokenTree::Ident(i)) => i.to_string(),
@@ -273,7 +314,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             other => panic!("expected ':' after field {name}, found {other:?}"),
         }
         skip_type(&mut tokens);
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     fields
 }
@@ -329,7 +370,12 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
                 VariantShape::Tuple(n)
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                let fields = parse_named_fields(g.stream());
+                // Variant fields keep the plain name list; the
+                // `default` flag is a named-struct feature.
+                let fields = parse_named_fields(g.stream())
+                    .into_iter()
+                    .map(|f| f.name)
+                    .collect();
                 tokens.next();
                 VariantShape::Named(fields)
             }

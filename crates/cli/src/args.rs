@@ -25,6 +25,7 @@ impl Error for ArgError {}
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     subcommand: Option<String>,
+    positional: Option<String>,
     values: HashMap<String, String>,
     flags: Vec<String>,
 }
@@ -36,7 +37,9 @@ impl Args {
     ///
     /// # Errors
     ///
-    /// Rejects stray positional arguments after the subcommand.
+    /// Rejects more than one stray positional argument after the
+    /// subcommand (subcommands that take no positional reject the
+    /// first one themselves, so the error message stays the same).
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
         let mut args = Args::default();
         let mut iter = raw.into_iter().peekable();
@@ -51,6 +54,8 @@ impl Args {
                 }
             } else if args.subcommand.is_none() {
                 args.subcommand = Some(tok);
+            } else if args.positional.is_none() {
+                args.positional = Some(tok);
             } else {
                 return Err(ArgError(format!("unexpected positional argument {tok:?}")));
             }
@@ -61,6 +66,12 @@ impl Args {
     /// The subcommand, if any.
     pub fn subcommand(&self) -> Option<&str> {
         self.subcommand.as_deref()
+    }
+
+    /// The single trailing positional argument, if any (only `natoms
+    /// trace <file>` accepts one; every other subcommand rejects it).
+    pub fn positional(&self) -> Option<&str> {
+        self.positional.as_deref()
     }
 
     /// A string option.
@@ -132,8 +143,15 @@ mod tests {
     }
 
     #[test]
+    fn one_trailing_positional_is_kept() {
+        let a = parse(&["trace", "t.json"]);
+        assert_eq!(a.subcommand(), Some("trace"));
+        assert_eq!(a.positional(), Some("t.json"));
+    }
+
+    #[test]
     fn stray_positionals_rejected() {
-        let err = Args::parse(["a".to_string(), "b".to_string()]).unwrap_err();
+        let err = Args::parse(["a".to_string(), "b".to_string(), "c".to_string()]).unwrap_err();
         assert!(err.to_string().contains("unexpected"));
     }
 

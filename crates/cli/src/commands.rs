@@ -263,6 +263,11 @@ fn report_cache_stats() {
         snap.counter("compile_cache_misses"),
         snap.gauge("compile_cache_entries")
     );
+    eprintln!(
+        "artifact store: {} placement hits, {} lowered hits",
+        snap.counter("artifact_hits"),
+        snap.counter("artifact_lowered_hits")
+    );
 }
 
 /// `natoms compile`
@@ -682,7 +687,99 @@ pub fn bench_cmd(args: &Args) -> CmdResult {
         print!("{}", report.metrics.render());
         print!("{}", report.pass_report.render());
     }
+    // The perf gate: compare this run's throughput against a committed
+    // baseline; a regression beyond tolerance exits nonzero (code 2).
+    if let Some(baseline) = args.get("check") {
+        let tolerance: f64 = args.parse_or("tolerance", 25.0)?;
+        return check_bench_regression(&report.workloads, baseline, tolerance);
+    }
     Ok(CmdStatus::Ok)
+}
+
+/// Extracts `(name, units_per_sec)` baseline rows from a comparison
+/// file: a `natoms bench --json` report (`workloads`), or the
+/// committed `BENCH_compile.json` shape (preferring the most recent
+/// `current.results` measurement, falling back to
+/// `baseline.results`).
+fn baseline_rows(value: &serde_json::Value) -> Option<Vec<(String, f64)>> {
+    let results = |key: &str| {
+        value
+            .get(key)
+            .and_then(|section| section.get("results"))
+            .and_then(|rows| rows.as_array())
+    };
+    let rows = value
+        .get("workloads")
+        .and_then(|rows| rows.as_array())
+        .or_else(|| results("current"))
+        .or_else(|| results("baseline"))?;
+    let rows: Vec<(String, f64)> = rows
+        .iter()
+        .filter_map(|row| {
+            Some((
+                row.get("name")?.as_str()?.to_string(),
+                row.get("units_per_sec")?.as_f64()?,
+            ))
+        })
+        .collect();
+    (!rows.is_empty()).then_some(rows)
+}
+
+/// `natoms bench --check <baseline.json> [--tolerance PCT]`: every
+/// workload present in both runs must stay above
+/// `baseline * (1 - PCT/100)` units/s (default tolerance 25%).
+///
+/// # Errors
+///
+/// An unreadable or shape-less baseline file, or no common workloads.
+/// A throughput regression is *not* an `Err` — it reports per-workload
+/// verdicts on stderr and returns [`CmdStatus::PartialFailure`]
+/// (exit 2), matching the engine's typed-failure exit semantics.
+fn check_bench_regression(fresh: &[BenchWorkload], path: &str, tolerance_pct: f64) -> CmdResult {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read bench baseline {path:?}: {e}")))?;
+    let value: serde_json::Value = serde_json::from_str(&text)
+        .map_err(|e| ArgError(format!("{path}: not a bench baseline: {e}")))?;
+    let baseline = baseline_rows(&value).ok_or_else(|| {
+        ArgError(format!(
+            "{path}: no workload rows (expected a bench report or BENCH_compile.json)"
+        ))
+    })?;
+    let mut compared = 0u32;
+    let mut regressions = 0u32;
+    eprintln!("bench check vs {path} (tolerance -{tolerance_pct}%):");
+    for w in fresh {
+        let Some((_, base_ups)) = baseline.iter().find(|(name, _)| name == &w.name) else {
+            continue;
+        };
+        compared += 1;
+        let floor = base_ups * (1.0 - tolerance_pct / 100.0);
+        let delta_pct = (w.units_per_sec / base_ups - 1.0) * 100.0;
+        let verdict = if w.units_per_sec < floor {
+            regressions += 1;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "  {:<24} {:>10.1} units/s vs {:>10.1} baseline ({:>+7.1}%) {}",
+            w.name, w.units_per_sec, base_ups, delta_pct, verdict
+        );
+    }
+    if compared == 0 {
+        return Err(Box::new(ArgError(format!(
+            "{path}: no workloads in common with this bench run"
+        ))));
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench check: {regressions}/{compared} workload(s) more than {tolerance_pct}% below baseline"
+        );
+        Ok(CmdStatus::PartialFailure)
+    } else {
+        eprintln!("bench check: {compared} workload(s) within tolerance");
+        Ok(CmdStatus::Ok)
+    }
 }
 
 /// The timed workloads of `natoms bench`. Each pass of each workload
@@ -941,6 +1038,41 @@ pub fn write_metrics_snapshot(path: &str) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Drains the trace registry and writes Chrome trace-event JSON to
+/// `path` (the tail end of the global `--trace <file>` flag).
+pub fn write_trace(path: &str) -> Result<(), Box<dyn Error>> {
+    let mut buf = Vec::new();
+    let events = na_telemetry::trace::write_chrome_trace(&mut buf)?;
+    std::fs::write(path, &buf)
+        .map_err(|e| ArgError(format!("cannot write trace file {path:?}: {e}")))?;
+    eprintln!("trace: wrote {events} events to {path}");
+    Ok(())
+}
+
+/// The tail end of every `natoms` invocation: writes the `--metrics`
+/// snapshot and `--trace` export once the subcommand has run.
+///
+/// Both files are written for [`CmdStatus::PartialFailure`] (exit 2)
+/// too, not just full success — the failure counters
+/// (`jobs_failed`, `deadlines_exceeded`) and the panic/deadline trace
+/// instants are exactly what you inspect after a partial failure.
+/// `tests` pins this regression.
+pub fn finalize_outputs(
+    result: Result<CmdStatus, Box<dyn Error>>,
+    metrics_path: Option<&str>,
+    trace_path: Option<&str>,
+) -> Result<CmdStatus, Box<dyn Error>> {
+    result.and_then(|status| {
+        if let Some(path) = metrics_path {
+            write_metrics_snapshot(path)?;
+        }
+        if let Some(path) = trace_path {
+            write_trace(path)?;
+        }
+        Ok(status)
+    })
+}
+
 /// `natoms stats` — pretty-prints a `--metrics` snapshot file, with
 /// optional assertions for CI smoke checks:
 ///
@@ -984,6 +1116,206 @@ pub fn stats_cmd(args: &Args) -> CmdResult {
             return Err(Box::new(ArgError(
                 "snapshot has no compile-cache lookups".into(),
             )));
+        }
+    }
+    Ok(CmdStatus::Ok)
+}
+
+/// One completed span reconstructed from a Chrome trace file.
+#[derive(Debug, Clone)]
+struct TraceSpan {
+    name: String,
+    /// Span id from `args.id` (0 when absent).
+    id: u64,
+    /// Parent span id from `args.parent` (0 = root).
+    parent: u64,
+    tid: u64,
+    /// Duration in microseconds.
+    dur_us: f64,
+    /// `args.job`, when the span carries one.
+    job: Option<u64>,
+    /// `args.task`, when the span carries one.
+    task: Option<String>,
+}
+
+/// Reconstructs spans (matched B/E pairs, LIFO per track) and instant
+/// counts from parsed trace events. Returns
+/// `(spans, instant counts by name, unmatched event count)`.
+fn fold_trace_events(
+    events: &[serde_json::Value],
+) -> (
+    Vec<TraceSpan>,
+    std::collections::BTreeMap<String, u64>,
+    usize,
+) {
+    let mut stacks: std::collections::HashMap<u64, Vec<(serde_json::Value, f64)>> =
+        std::collections::HashMap::new();
+    let mut spans = Vec::new();
+    let mut instants: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut unmatched = 0usize;
+    let name_of = |ev: &serde_json::Value| {
+        ev.get("name")
+            .and_then(|n| n.as_str())
+            .unwrap_or("?")
+            .to_string()
+    };
+    let arg =
+        |ev: &serde_json::Value, key: &str| ev.get("args").and_then(|args| args.get(key)).cloned();
+    for ev in events {
+        let tid = ev.get("tid").and_then(|t| t.as_u64()).unwrap_or(0);
+        let ts = ev.get("ts").and_then(|t| t.as_f64()).unwrap_or(0.0);
+        match ev.get("ph").and_then(|p| p.as_str()) {
+            Some("B") => stacks.entry(tid).or_default().push((ev.clone(), ts)),
+            Some("E") => match stacks.entry(tid).or_default().pop() {
+                Some((begin, begin_ts)) => spans.push(TraceSpan {
+                    name: name_of(&begin),
+                    id: arg(&begin, "id").and_then(|v| v.as_u64()).unwrap_or(0),
+                    parent: arg(&begin, "parent").and_then(|v| v.as_u64()).unwrap_or(0),
+                    tid,
+                    dur_us: (ts - begin_ts).max(0.0),
+                    job: arg(&begin, "job").and_then(|v| v.as_u64()),
+                    task: arg(&begin, "task").and_then(|v| v.as_str().map(str::to_string)),
+                }),
+                None => unmatched += 1,
+            },
+            Some("i") => {
+                *instants.entry(name_of(ev)).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    unmatched += stacks.values().map(Vec::len).sum::<usize>();
+    (spans, instants, unmatched)
+}
+
+/// Walks the longest-child chain under `root`, rendering one critical
+/// path line per level.
+fn render_critical_path(
+    root: usize,
+    spans: &[TraceSpan],
+    children: &std::collections::HashMap<u64, Vec<usize>>,
+) -> String {
+    let mut path = String::new();
+    let mut at = root;
+    loop {
+        let slowest_child = children
+            .get(&spans[at].id)
+            .into_iter()
+            .flatten()
+            .copied()
+            .max_by(|&a, &b| spans[a].dur_us.total_cmp(&spans[b].dur_us));
+        match slowest_child {
+            Some(child) => {
+                path.push_str(&format!(
+                    " -> {} {:.3} ms",
+                    spans[child].name,
+                    spans[child].dur_us / 1e3
+                ));
+                at = child;
+            }
+            None => break,
+        }
+    }
+    path
+}
+
+/// `natoms trace <file>` — summarizes a Chrome trace-event file
+/// written by the global `--trace` flag: structural validation
+/// (matched begin/end pairs per track), per-job critical paths, the
+/// top-k slowest spans (`--top N`, default 10), and cache-wait
+/// totals.
+pub fn trace_cmd(args: &Args) -> CmdResult {
+    let path = args
+        .positional()
+        .or_else(|| args.get("file"))
+        .ok_or_else(|| ArgError("trace needs a file: natoms trace <trace.json>".into()))?;
+    let top: usize = args.parse_or("top", 10)?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read trace file {path:?}: {e}")))?;
+    let events: Vec<serde_json::Value> = serde_json::from_str(&text)
+        .map_err(|e| ArgError(format!("{path}: not a trace-event array: {e}")))?;
+    let (spans, instants, unmatched) = fold_trace_events(&events);
+    let tracks: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter_map(|ev| ev.get("tid").and_then(|t| t.as_u64()))
+        .collect();
+    println!(
+        "{path}: {} events, {} spans, {} tracks, {} unmatched begin/end",
+        events.len(),
+        spans.len(),
+        tracks.len(),
+        unmatched
+    );
+    if !instants.is_empty() {
+        let rendered: Vec<String> = instants
+            .iter()
+            .map(|(name, count)| format!("{name} x{count}"))
+            .collect();
+        println!("instants: {}", rendered.join(", "));
+    }
+
+    let waits: Vec<&TraceSpan> = spans.iter().filter(|s| s.name == "cache_wait").collect();
+    if !waits.is_empty() {
+        println!(
+            "cache wait: {} wait(s), {:.3} ms total",
+            waits.len(),
+            waits.iter().map(|s| s.dur_us).sum::<f64>() / 1e3
+        );
+    }
+
+    let mut slowest: Vec<usize> = (0..spans.len()).collect();
+    slowest.sort_by(|&a, &b| spans[b].dur_us.total_cmp(&spans[a].dur_us));
+    if !slowest.is_empty() {
+        println!("top {} slowest spans:", top.min(slowest.len()));
+        for (rank, &i) in slowest.iter().take(top).enumerate() {
+            let s = &spans[i];
+            let mut label = s.name.clone();
+            if let Some(job) = s.job {
+                label.push_str(&format!(" job={job}"));
+            }
+            if let Some(task) = &s.task {
+                label.push_str(&format!(" task={task}"));
+            }
+            println!(
+                "  {:>2}. {:<32} {:>10.3} ms  [tid {}]",
+                rank + 1,
+                label,
+                s.dur_us / 1e3,
+                s.tid
+            );
+        }
+    }
+
+    // Critical path per job: jobs are the root spans (`job` /
+    // `campaign_job`); children link by the explicit span ids the
+    // exporter put in `args`.
+    let mut children: std::collections::HashMap<u64, Vec<usize>> = std::collections::HashMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.parent != 0 {
+            children.entry(s.parent).or_default().push(i);
+        }
+    }
+    let mut jobs: Vec<usize> = (0..spans.len())
+        .filter(|&i| {
+            (spans[i].name == "job" || spans[i].name == "campaign_job") && spans[i].id != 0
+        })
+        .collect();
+    jobs.sort_by_key(|&i| spans[i].job.unwrap_or(u64::MAX));
+    if !jobs.is_empty() {
+        println!("per-job critical path:");
+        for &i in &jobs {
+            let s = &spans[i];
+            println!(
+                "  job {} ({}) {:.3} ms{}",
+                s.job.map_or_else(|| "?".into(), |j| j.to_string()),
+                s.task.as_deref().unwrap_or(if s.name == "campaign_job" {
+                    "campaign_sharded"
+                } else {
+                    "?"
+                }),
+                s.dur_us / 1e3,
+                render_critical_path(i, &spans, &children)
+            );
         }
     }
     Ok(CmdStatus::Ok)
@@ -1313,6 +1645,145 @@ mod tests {
             let row: serde_json::Value = serde_json::from_str(line).unwrap();
             assert!(row.get("outcome").is_some(), "not a result row: {line}");
         }
+    }
+
+    #[test]
+    fn finalize_outputs_writes_snapshots_on_partial_failure_too() {
+        // Regression guard: an exit-2 run (typed failed rows) must
+        // still write the --metrics snapshot and --trace export — the
+        // failure counters and fault instants are what you inspect
+        // after a partial failure.
+        let metrics = std::env::temp_dir().join("natoms_cli_partial_metrics.json");
+        let trace = std::env::temp_dir().join("natoms_cli_partial_trace.json");
+        for p in [&metrics, &trace] {
+            let _ = std::fs::remove_file(p);
+        }
+        let out = finalize_outputs(
+            Ok(CmdStatus::PartialFailure),
+            Some(metrics.to_str().unwrap()),
+            Some(trace.to_str().unwrap()),
+        )
+        .unwrap();
+        assert_eq!(out, CmdStatus::PartialFailure, "status must pass through");
+        let snap: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert_eq!(
+            snap.get("schema").and_then(|s| s.as_str()),
+            Some(na_telemetry::SNAPSHOT_SCHEMA)
+        );
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        let events: serde_json::Value = serde_json::from_str(&trace_text).unwrap();
+        assert!(
+            events.as_array().is_some(),
+            "trace export must be an event array"
+        );
+        // An Err result must stay an Err and write nothing.
+        let _ = std::fs::remove_file(&metrics);
+        let err = finalize_outputs(
+            Err(Box::new(ArgError("boom".into()))),
+            Some(metrics.to_str().unwrap()),
+            None,
+        );
+        assert!(err.is_err());
+        assert!(!metrics.exists(), "failed runs must not write snapshots");
+    }
+
+    fn bench_row(name: &str, units_per_sec: f64) -> BenchWorkload {
+        BenchWorkload {
+            name: name.to_string(),
+            passes: 1,
+            units_per_pass: 10,
+            total_secs: 1.0,
+            secs_per_pass: 1.0,
+            units_per_sec,
+        }
+    }
+
+    #[test]
+    fn bench_check_flags_regressions_and_passes_within_tolerance() {
+        let path = std::env::temp_dir().join("natoms_cli_bench_baseline.json");
+        std::fs::write(
+            &path,
+            r#"{"current":{"results":[{"name":"fig07_compile","units_per_sec":100.0},
+                                      {"name":"placement","units_per_sec":50.0}]}}"#,
+        )
+        .unwrap();
+        let path = path.to_str().unwrap();
+        // Within tolerance: -20% on one workload at the default -25%.
+        let fresh = vec![
+            bench_row("fig07_compile", 80.0),
+            bench_row("placement", 55.0),
+        ];
+        assert_eq!(
+            check_bench_regression(&fresh, path, 25.0).unwrap(),
+            CmdStatus::Ok
+        );
+        // Synthetically regressed: -60% must fail with exit-2 status.
+        let slow = vec![
+            bench_row("fig07_compile", 40.0),
+            bench_row("placement", 55.0),
+        ];
+        assert_eq!(
+            check_bench_regression(&slow, path, 25.0).unwrap(),
+            CmdStatus::PartialFailure
+        );
+        // No common workloads is a hard error, not a silent pass.
+        let alien = vec![bench_row("unknown_workload", 1.0)];
+        assert!(check_bench_regression(&alien, path, 25.0).is_err());
+    }
+
+    #[test]
+    fn bench_check_reads_all_three_baseline_shapes() {
+        let report = r#"{"workloads":[{"name":"w","units_per_sec":10.0}]}"#;
+        let compare = r#"{"baseline":{"results":[{"name":"w","units_per_sec":10.0}]}}"#;
+        for text in [report, compare] {
+            let value: serde_json::Value = serde_json::from_str(text).unwrap();
+            assert_eq!(
+                baseline_rows(&value).unwrap(),
+                vec![("w".to_string(), 10.0)]
+            );
+        }
+        let other: serde_json::Value = serde_json::from_str(r#"{"schema": "x"}"#).unwrap();
+        assert!(baseline_rows(&other).is_none());
+    }
+
+    #[test]
+    fn trace_cmd_summarizes_a_trace_file() {
+        let path = std::env::temp_dir().join("natoms_cli_trace_summary.json");
+        std::fs::write(
+            &path,
+            r#"[
+              {"name":"job","cat":"job","ph":"B","ts":10.0,"pid":1,"tid":1,"args":{"id":1,"job":0,"task":"compile"}},
+              {"name":"lower","cat":"pass","ph":"B","ts":11.0,"pid":1,"tid":1,"args":{"id":2,"parent":1}},
+              {"name":"lower","cat":"pass","ph":"E","ts":15.0,"pid":1,"tid":1},
+              {"name":"cache_wait","cat":"cache","ph":"B","ts":16.0,"pid":1,"tid":1,"args":{"id":3,"parent":1}},
+              {"name":"cache_wait","cat":"cache","ph":"E","ts":18.0,"pid":1,"tid":1},
+              {"name":"cache_hit","cat":"cache","ph":"i","s":"t","ts":19.0,"pid":1,"tid":1},
+              {"name":"job","cat":"job","ph":"E","ts":20.0,"pid":1,"tid":1}
+            ]"#,
+        )
+        .unwrap();
+        let args = parse(&["trace", path.to_str().unwrap()]);
+        assert_eq!(trace_cmd(&args).unwrap(), CmdStatus::Ok);
+        // The folding itself: 3 matched spans, 1 instant, 0 unmatched.
+        let events: Vec<serde_json::Value> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let (spans, instants, unmatched) = fold_trace_events(&events);
+        assert_eq!((spans.len(), unmatched), (3, 0));
+        assert_eq!(instants.get("cache_hit"), Some(&1));
+        let job = spans.iter().find(|s| s.name == "job").unwrap();
+        assert_eq!((job.id, job.job, job.dur_us), (1, Some(0), 10.0));
+        assert!(spans.iter().all(|s| s.name == "job" || s.parent == 1));
+    }
+
+    #[test]
+    fn trace_cmd_rejects_missing_and_malformed_files() {
+        let args = parse(&["trace"]);
+        assert!(trace_cmd(&args).is_err(), "no file argument");
+        let path = std::env::temp_dir().join("natoms_cli_trace_bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let args = parse(&["trace", path.to_str().unwrap()]);
+        assert!(trace_cmd(&args).is_err(), "malformed trace must error");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! natoms bench    [--json] [--quick]
 //! natoms reload-time --width 10 --height 10 --margin 3 --trials 10
 //! natoms stats    --file metrics.json [--require-stages lower,place] [--require-cache]
+//! natoms trace    t.json [--top 10]
 //! ```
 //!
 //! Every workload command (`compile`, `sweep`, `success`, `tolerance`,
@@ -24,6 +25,13 @@
 //! [`na_telemetry::MetricsSnapshot`] JSON to `<file>` on success.
 //! `natoms stats` pretty-prints such a file. Telemetry is strictly
 //! observational — outputs are identical with or without `--metrics`.
+//!
+//! Likewise a global `--trace <file>` flag records the causal span
+//! timeline (engine jobs, compile passes, campaign shards, fault and
+//! cache events) and writes Chrome trace-event JSON on exit — load it
+//! in Perfetto / `chrome://tracing`, or summarize it with `natoms
+//! trace <file>`. Tracing shares telemetry's strictly-observational
+//! contract.
 //!
 //! `sweep` and `campaign` run through the `na-engine` worker pool;
 //! results are identical at any `--workers` value.
@@ -46,12 +54,19 @@ SUBCOMMANDS:
   tolerance    max atom loss before reload, per strategy
   campaign     multi-shot campaign under atom loss
   bench        time the paper-grid compile/loss workloads [--json] [--quick]
+               [--check BASELINE.json [--tolerance PCT]]: compare against a
+               committed baseline and exit 2 on throughput regression
   reload-time  derive the array reload time from assembly physics
   stats        pretty-print a --metrics snapshot file
+  trace        summarize a --trace file (critical path per job, top-k
+               slowest spans, cache-wait totals)
 
 COMMON OPTIONS:
   --metrics FILE    collect telemetry for this run and write the
                     metrics snapshot JSON to FILE (any subcommand)
+  --trace FILE      record causal spans (jobs, passes, shards) and write
+                    Chrome trace-event JSON to FILE — load it in
+                    Perfetto / chrome://tracing (any subcommand)
   --benchmark bv|cnu|cuccaro|qft-adder|qaoa   (default bv)
   --qasm FILE       run an imported OpenQASM 2.0 circuit instead
   --size N          program qubit budget        (default 30)
@@ -125,6 +140,32 @@ fn main() -> ExitCode {
         }
         na_telemetry::set_enabled(true);
     }
+    // Global --trace flag: same shape as --metrics, but recording the
+    // causal span timeline instead of aggregate counters.
+    let trace_path = match args.get("trace") {
+        Some(path) => Some(path.to_string()),
+        None => {
+            if args.flag("trace") && args.subcommand() != Some("trace") {
+                eprintln!("error: --trace expects a file path\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+            None
+        }
+    };
+    if let Some(path) = &trace_path {
+        if let Err(e) = commands::validate_writable(path, "trace") {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        na_telemetry::trace::set_enabled(true);
+    }
+    // Only `natoms trace <file>` takes a positional argument.
+    if let Some(pos) = args.positional() {
+        if args.subcommand() != Some("trace") {
+            eprintln!("error: unexpected positional argument {pos:?}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
     let result = match args.subcommand() {
         Some("compile") => commands::compile_cmd(&args),
         Some("sweep") => commands::sweep_cmd(&args),
@@ -134,6 +175,7 @@ fn main() -> ExitCode {
         Some("bench") => commands::bench_cmd(&args),
         Some("reload-time") => commands::reload_time_cmd(&args),
         Some("stats") => commands::stats_cmd(&args),
+        Some("trace") => commands::trace_cmd(&args),
         Some(other) => {
             eprintln!("error: unknown subcommand {other:?}\n\n{USAGE}");
             return ExitCode::FAILURE;
@@ -143,14 +185,7 @@ fn main() -> ExitCode {
             return ExitCode::SUCCESS;
         }
     };
-    // The snapshot is written for partial failures too: the failed
-    // rows are exactly what the counters describe.
-    let result = result.and_then(|status| {
-        if let Some(path) = &metrics_path {
-            commands::write_metrics_snapshot(path)?;
-        }
-        Ok(status)
-    });
+    let result = commands::finalize_outputs(result, metrics_path.as_deref(), trace_path.as_deref());
     match result {
         Ok(commands::CmdStatus::Ok) => ExitCode::SUCCESS,
         Ok(commands::CmdStatus::PartialFailure) => ExitCode::from(PARTIAL_FAILURE_CODE),

@@ -293,6 +293,8 @@ impl ArtifactStore {
         let got = lock_recover(&self.map).get(key).cloned();
         if got.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            na_telemetry::add(na_telemetry::Counter::ArtifactHits, 1);
+            na_telemetry::trace::instant("artifact", "artifact_hit", Vec::new());
         }
         got
     }
@@ -328,6 +330,8 @@ impl ArtifactStore {
             .cloned();
         if got.is_some() {
             self.lowered_hits.fetch_add(1, Ordering::Relaxed);
+            na_telemetry::add(na_telemetry::Counter::ArtifactLoweredHits, 1);
+            na_telemetry::trace::instant("artifact", "artifact_lowered_hit", Vec::new());
         }
         got
     }
@@ -682,6 +686,7 @@ impl Pipeline {
             // typed error instead of burning its worker. One relaxed
             // load when no deadline is armed.
             na_faults::check_deadline()?;
+            let _pass_span = na_telemetry::trace::span("pass", pass.name());
             match report.as_deref_mut() {
                 Some(r) => {
                     ctx.stats = Some(BTreeMap::new());

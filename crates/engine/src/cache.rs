@@ -215,9 +215,11 @@ impl CompileCache {
                         drop(state);
                         self.hits.fetch_add(1, Ordering::Relaxed);
                         na_telemetry::add(na_telemetry::Counter::CompileCacheHits, 1);
+                        na_telemetry::trace::instant("cache", "cache_hit", Vec::new());
                         return result;
                     }
                     EntryState::InFlight => {
+                        let _wait_span = na_telemetry::trace::span("cache", "cache_wait");
                         state = entry
                             .ready
                             .wait(state)
@@ -272,6 +274,7 @@ impl CompileCache {
         entry.ready.notify_all();
         self.misses.fetch_add(1, Ordering::Relaxed);
         na_telemetry::add(na_telemetry::Counter::CompileCacheMisses, 1);
+        na_telemetry::trace::instant("cache", "cache_miss", Vec::new());
         result
     }
 

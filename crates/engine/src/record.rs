@@ -84,19 +84,49 @@ pub enum Outcome {
 }
 
 impl Outcome {
-    /// Builds the failure outcome for a compile error.
+    /// Builds the failure outcome for a compile error. Emits a trace
+    /// instant (`deadline` / `unroutable` / `error`) on the thread
+    /// that hit the failure boundary, so failed rows are visible on
+    /// the causal timeline.
     pub fn from_error(e: &CompileError) -> Self {
+        let unroutable = matches!(e, CompileError::UnroutableGate { .. });
+        let deadline = matches!(e, CompileError::DeadlineExceeded);
+        if na_telemetry::trace::is_enabled() {
+            let name = if deadline {
+                "deadline"
+            } else if unroutable {
+                "unroutable"
+            } else {
+                "error"
+            };
+            na_telemetry::trace::instant(
+                "fault",
+                name,
+                vec![("message", na_telemetry::trace::ArgValue::Str(e.to_string()))],
+            );
+        }
         Outcome::Failed {
-            unroutable: matches!(e, CompileError::UnroutableGate { .. }),
+            unroutable,
             panicked: false,
-            deadline: matches!(e, CompileError::DeadlineExceeded),
+            deadline,
             error: e.to_string(),
         }
     }
 
     /// Builds the failure outcome for a panic the engine caught and
-    /// isolated; `message` is the extracted panic payload.
+    /// isolated; `message` is the extracted panic payload. Emits a
+    /// `panic` trace instant on the catching thread.
     pub fn from_panic(message: String) -> Self {
+        if na_telemetry::trace::is_enabled() {
+            na_telemetry::trace::instant(
+                "fault",
+                "panic",
+                vec![(
+                    "message",
+                    na_telemetry::trace::ArgValue::Str(message.clone()),
+                )],
+            );
+        }
         Outcome::Failed {
             unroutable: false,
             panicked: true,

@@ -126,11 +126,25 @@ impl Engine {
                         let results = ranges.iter().map(|_| OnceLock::new()).collect();
                         let remaining = AtomicUsize::new(ranges.len());
                         items.extend((0..ranges.len()).map(|shard| WorkItem::Shard { fan, shard }));
+                        // The job span of a sharded campaign outlives
+                        // any single worker: allocate its id and begin
+                        // timestamp here; the merging worker emits the
+                        // complete span onto the job's virtual track.
+                        let (trace_span, trace_begin_ns) = if na_telemetry::trace::is_enabled() {
+                            (
+                                na_telemetry::trace::alloc_span_id(),
+                                na_telemetry::trace::now_ns(),
+                            )
+                        } else {
+                            (0, 0)
+                        };
                         fans.push(ShardFan {
                             job_index: i,
                             ranges,
                             results,
                             remaining,
+                            trace_span,
+                            trace_begin_ns,
                         });
                     }
                     Err(plan) => {
@@ -164,7 +178,7 @@ impl Engine {
                 let fan = &fans[fan];
                 let job = &jobs[fan.job_index];
                 fan.results[shard]
-                    .set(self.run_shard_isolated(job, shard, fan.ranges[shard]))
+                    .set(self.run_shard_isolated(job, shard, fan.ranges[shard], fan.trace_span))
                     .expect("shard slot written once");
                 // `AcqRel` so the last finisher observes every other
                 // shard's completed write before merging.
@@ -181,8 +195,14 @@ impl Engine {
             }
         } else {
             std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| {
+                let run_item = &run_item;
+                let cursor = &cursor;
+                let items = &items;
+                for worker in 0..threads {
+                    scope.spawn(move || {
+                        // Workers trace onto track ids 1..=N so the
+                        // Perfetto rows read as the pool's threads.
+                        na_telemetry::trace::set_thread_tid(worker as u64 + 1);
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= items.len() {
@@ -190,9 +210,11 @@ impl Engine {
                             }
                             run_item(&items[i]);
                         }
-                        // Merge this worker's recorder into the global
-                        // registry before the scope joins it.
+                        // Merge this worker's recorder and trace buffer
+                        // into the global registries before the scope
+                        // joins it.
                         na_telemetry::flush_local();
+                        na_telemetry::trace::flush_local();
                     });
                 }
             });
@@ -231,6 +253,17 @@ impl Engine {
     /// isolated into an [`Outcome::from_panic`] row — the worker keeps
     /// draining the cursor and every other job's row is unaffected.
     fn run_job_isolated(&self, job: &Job) -> RunRecord {
+        let _job_span = na_telemetry::trace::span_with(
+            "job",
+            "job",
+            vec![
+                ("job", na_telemetry::trace::ArgValue::U64(job.id)),
+                (
+                    "task",
+                    na_telemetry::trace::ArgValue::Str(job.task.name().to_string()),
+                ),
+            ],
+        );
         let _scope = na_faults::scope(format!("job{}", job.id));
         let _deadline = na_faults::push_deadline(match self.job_timeout {
             Some(budget) => na_faults::Deadline::after(budget),
@@ -262,7 +295,22 @@ impl Engine {
     // into the row verbatim; shards are coarse units, so the extra
     // bytes per return never matter.
     #[allow(clippy::result_large_err)]
-    fn run_shard_isolated(&self, job: &Job, shard: usize, range: ShotRange) -> ShardDone {
+    fn run_shard_isolated(
+        &self,
+        job: &Job,
+        shard: usize,
+        range: ShotRange,
+        trace_parent: u64,
+    ) -> ShardDone {
+        let _shard_span = na_telemetry::trace::span_child_of(
+            "shard",
+            "shard",
+            trace_parent,
+            vec![
+                ("job", na_telemetry::trace::ArgValue::U64(job.id)),
+                ("shard", na_telemetry::trace::ArgValue::U64(shard as u64)),
+            ],
+        );
         let _scope = na_faults::scope(format!("job{}.shard{}", job.id, shard));
         let _deadline = na_faults::push_deadline(match self.job_timeout {
             Some(budget) => na_faults::Deadline::after(budget),
@@ -357,6 +405,12 @@ struct ShardFan {
     /// Shards still running; the worker that decrements this to zero
     /// merges and writes the job's row.
     remaining: AtomicUsize,
+    /// Pre-allocated trace span id of the whole job (0 = tracing off).
+    /// Shard spans parent under it; the merging worker emits it as a
+    /// complete span on the job's virtual track.
+    trace_span: u64,
+    /// Trace timestamp of fan creation (the job span's begin).
+    trace_begin_ns: u64,
 }
 
 /// What one shard produced: its partial campaign, or the typed
@@ -420,6 +474,18 @@ fn execute_shard(
 /// lowest-indexed failure. Telemetry-tagged rows carry the per-stage
 /// sums in `timings` and the per-shard breakdown in `shard_timings`.
 fn merge_fan(job: &Job, fan: &ShardFan, cache: &CompileCache) -> RunRecord {
+    let _merge_span = na_telemetry::trace::span_child_of(
+        "shard",
+        "merge",
+        fan.trace_span,
+        vec![
+            ("job", na_telemetry::trace::ArgValue::U64(job.id)),
+            (
+                "shards",
+                na_telemetry::trace::ArgValue::U64(fan.ranges.len() as u64),
+            ),
+        ],
+    );
     let done: Vec<&ShardDone> = fan
         .results
         .iter()
@@ -458,6 +524,26 @@ fn merge_fan(job: &Job, fan: &ShardFan, cache: &CompileCache) -> RunRecord {
             let key = CacheKey::for_point(&job.circuit(), &job.grid, &compile_cfg);
             record.pass_report = cache.pass_report(&key).map(|r| (*r).clone());
         }
+    }
+    // The whole-job span, back-dated to fan creation and emitted on
+    // the job's own virtual track (it spans multiple workers).
+    if fan.trace_span != 0 {
+        na_telemetry::trace::complete(
+            "job",
+            "campaign_job",
+            na_telemetry::trace::JOB_TRACK_BASE + job.id,
+            fan.trace_begin_ns,
+            na_telemetry::trace::now_ns(),
+            fan.trace_span,
+            0,
+            vec![
+                ("job", na_telemetry::trace::ArgValue::U64(job.id)),
+                (
+                    "shards",
+                    na_telemetry::trace::ArgValue::U64(fan.ranges.len() as u64),
+                ),
+            ],
+        );
     }
     record
 }

@@ -43,6 +43,7 @@ mod clock;
 mod histogram;
 mod recorder;
 mod snapshot;
+pub mod trace;
 
 pub use clock::{iso8601_now, iso8601_utc};
 pub use histogram::{Histogram, LINEAR_LIMIT, NUM_BUCKETS};
@@ -127,6 +128,10 @@ pub enum Counter {
     CompileCacheHits,
     /// Compile-cache lookups that ran the compiler.
     CompileCacheMisses,
+    /// Artifact-store placement reuses across MID points (PR 8).
+    ArtifactHits,
+    /// Artifact-store lowered-circuit reuses across MID points.
+    ArtifactLoweredHits,
     /// Scheduled operations emitted across all compiles.
     OpsScheduled,
     /// Loss-campaign shots attempted.
@@ -155,12 +160,14 @@ pub enum Counter {
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 17;
     /// All counters, in snapshot order.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::Compiles,
         Counter::CompileCacheHits,
         Counter::CompileCacheMisses,
+        Counter::ArtifactHits,
+        Counter::ArtifactLoweredHits,
         Counter::OpsScheduled,
         Counter::ShotsAttempted,
         Counter::LossesDrawn,
@@ -187,6 +194,8 @@ impl Counter {
             Counter::Compiles => "compiles",
             Counter::CompileCacheHits => "compile_cache_hits",
             Counter::CompileCacheMisses => "compile_cache_misses",
+            Counter::ArtifactHits => "artifact_hits",
+            Counter::ArtifactLoweredHits => "artifact_lowered_hits",
             Counter::OpsScheduled => "ops_scheduled",
             Counter::ShotsAttempted => "shots_attempted",
             Counter::LossesDrawn => "losses_drawn",
